@@ -1,0 +1,83 @@
+//! One benchmark per reproduced paper table/figure.
+//!
+//! Each benchmark regenerates its experiment at reduced scale (2% of paper
+//! scale so `cargo bench` completes in minutes) and prints the figure's
+//! rows once, so a bench run doubles as a smoke regeneration of the whole
+//! evaluation. For paper-scale numbers use the harness binary:
+//!
+//! ```text
+//! cargo run --release -p ignite-harness --bin figures -- all
+//! ```
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ignite_engine::protocol::RunOptions;
+use ignite_harness::{figures, Figure, Harness};
+
+fn harness() -> &'static Harness {
+    static HARNESS: OnceLock<Harness> = OnceLock::new();
+    HARNESS.get_or_init(|| Harness::new(0.02, RunOptions::quick()))
+}
+
+fn bench_figure(c: &mut Criterion, id: &str, run: fn(&Harness) -> Figure) {
+    // Print the regenerated rows once per bench target.
+    println!("{}", run(harness()).render());
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function(id, |b| b.iter(|| run(harness())));
+    group.finish();
+}
+
+fn fig1(c: &mut Criterion) {
+    bench_figure(c, "fig01_cpi_stack", figures::fig1::run);
+}
+fn fig2(c: &mut Criterion) {
+    bench_figure(c, "fig02_working_sets", figures::fig2::run);
+}
+fn fig3(c: &mut Criterion) {
+    bench_figure(c, "fig03_prefetchers", figures::fig3::run);
+}
+fn fig4(c: &mut Criterion) {
+    bench_figure(c, "fig04_warm_bpu", figures::fig4::run);
+}
+fn fig5(c: &mut Criterion) {
+    bench_figure(c, "fig05_cbp_split", figures::fig5::run);
+}
+fn fig6(c: &mut Criterion) {
+    bench_figure(c, "fig06_initial_misses", figures::fig6::run);
+}
+fn fig8(c: &mut Criterion) {
+    bench_figure(c, "fig08_performance", figures::fig8::run);
+}
+fn fig9a(c: &mut Criterion) {
+    bench_figure(c, "fig09a_coverage", figures::fig9::run_a);
+}
+fn fig9b(c: &mut Criterion) {
+    bench_figure(c, "fig09b_initial_coverage", figures::fig9::run_b);
+}
+fn fig9c(c: &mut Criterion) {
+    bench_figure(c, "fig09c_restore_accuracy", figures::fig9::run_c);
+}
+fn fig10(c: &mut Criterion) {
+    bench_figure(c, "fig10_bandwidth", figures::fig10::run);
+}
+fn fig11(c: &mut Criterion) {
+    bench_figure(c, "fig11_bim_policy", figures::fig11::run);
+}
+fn fig12(c: &mut Criterion) {
+    bench_figure(c, "fig12_temporal_streaming", figures::fig12::run);
+}
+fn table1(c: &mut Criterion) {
+    bench_figure(c, "table1_suite", figures::tables::table1);
+}
+fn table2(c: &mut Criterion) {
+    bench_figure(c, "table2_processor", figures::tables::table2);
+}
+
+criterion_group!(
+    benches, table1, table2, fig1, fig2, fig3, fig4, fig5, fig6, fig8, fig9a, fig9b, fig9c,
+    fig10, fig11, fig12
+);
+criterion_main!(benches);

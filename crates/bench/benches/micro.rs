@@ -1,0 +1,175 @@
+//! Microbenchmarks of the simulator's core data structures.
+//!
+//! These quantify the substrate costs behind every experiment: cache and
+//! BTB lookups, TAGE prediction, Ignite's metadata codec, and the trace
+//! walker. Run with `cargo bench -p ignite-bench --bench micro`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use ignite_core::codec::{CodecConfig, Encoder};
+use ignite_uarch::addr::Addr;
+use ignite_uarch::btb::{BranchKind, Btb, BtbEntry};
+use ignite_uarch::cache::{FillKind, SetAssocCache};
+use ignite_uarch::cbp::Cbp;
+use ignite_uarch::hierarchy::Hierarchy;
+use ignite_uarch::rng::SplitMix64;
+use ignite_uarch::UarchConfig;
+use ignite_workloads::gen::{generate, GenParams};
+use ignite_workloads::trace::TraceWalker;
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = UarchConfig::ice_lake_like();
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("l1i_lookup_fill_mix", |b| {
+        let mut cache = SetAssocCache::new(cfg.hierarchy.l1i);
+        let mut rng = SplitMix64::new(7);
+        b.iter(|| {
+            for _ in 0..1024 {
+                let addr = Addr::new(rng.next_below(1 << 20) & !63);
+                if !cache.lookup(addr) {
+                    cache.fill(addr, FillKind::Demand);
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let cfg = UarchConfig::ice_lake_like();
+    let mut group = c.benchmark_group("hierarchy");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("fetch_sequential", |b| {
+        let mut h = Hierarchy::new(&cfg.hierarchy);
+        let mut now = 0;
+        let mut pc = 0u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                let r = h.fetch(Addr::new(pc & ((1 << 24) - 1)), now);
+                now = r.ready_at;
+                pc += 64;
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_btb(c: &mut Criterion) {
+    let cfg = UarchConfig::ice_lake_like();
+    let mut group = c.benchmark_group("btb");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("lookup_insert_mix", |b| {
+        let mut btb = Btb::new(&cfg.btb);
+        let mut rng = SplitMix64::new(3);
+        b.iter(|| {
+            for _ in 0..1024 {
+                let pc = Addr::new(rng.next_below(1 << 18) & !3);
+                if btb.lookup(pc).is_none() {
+                    btb.insert(
+                        BtbEntry::new(pc, pc + 64, BranchKind::Conditional),
+                        false,
+                    );
+                }
+            }
+            btb.drain_insertions();
+        });
+    });
+    group.finish();
+}
+
+fn bench_cbp(c: &mut Criterion) {
+    let cfg = UarchConfig::ice_lake_like();
+    let mut group = c.benchmark_group("cbp");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("predict_resolve", |b| {
+        let mut cbp = Cbp::new(&cfg.cbp);
+        let mut rng = SplitMix64::new(11);
+        b.iter(|| {
+            for _ in 0..256 {
+                let pc = Addr::new(rng.next_below(1 << 16) & !3);
+                let taken = rng.chance(0.6);
+                let p = cbp.predict(pc);
+                cbp.resolve(pc, taken, pc + 32, &p);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let entries: Vec<BtbEntry> = {
+        // Execution-chained stream, as the recorder produces it: each
+        // branch sits shortly after the previous branch's target.
+        let mut rng = SplitMix64::new(5);
+        let mut cursor = 0x40_0000u64;
+        (0..8_192)
+            .map(|_| {
+                let pc = cursor + rng.range_inclusive(8, 48);
+                let target = pc + rng.range_inclusive(4, 4096);
+                cursor = target;
+                BtbEntry::new(Addr::new(pc), Addr::new(target), BranchKind::Conditional)
+            })
+            .collect()
+    };
+    group.throughput(Throughput::Elements(entries.len() as u64));
+    group.bench_function("encode_8k_records", |b| {
+        b.iter(|| {
+            let mut enc = Encoder::new(CodecConfig::default());
+            for e in &entries {
+                enc.push(e);
+            }
+            enc.finish()
+        });
+    });
+    let metadata = {
+        let mut enc = Encoder::new(CodecConfig::default());
+        for e in &entries {
+            enc.push(e);
+        }
+        enc.finish()
+    };
+    group.bench_function("decode_8k_records", |b| {
+        b.iter(|| metadata.decode().count());
+    });
+    group.finish();
+    println!(
+        "codec: {} records in {} bytes ({:.1} bits/record)",
+        metadata.entries(),
+        metadata.byte_len(),
+        metadata.byte_len() as f64 * 8.0 / metadata.entries() as f64
+    );
+}
+
+fn bench_walker(c: &mut Criterion) {
+    let mut params = GenParams::example("bench-walker");
+    params.target_branches = 4_000;
+    params.target_code_bytes = 160 * 1024;
+    let image = generate(&params);
+    let mut group = c.benchmark_group("walker");
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("trace_50k_instrs", |b| {
+        let mut invocation = 0;
+        b.iter_batched(
+            || {
+                invocation += 1;
+                TraceWalker::new(&image, invocation, 50_000)
+            },
+            |walker| walker.count(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_hierarchy,
+    bench_btb,
+    bench_cbp,
+    bench_codec,
+    bench_walker
+);
+criterion_main!(benches);

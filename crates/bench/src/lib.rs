@@ -1,0 +1,6 @@
+//! Benchmark-only crate; see `benches/` for the Criterion harnesses:
+//!
+//! * `micro` — microbenchmarks of the core data structures (caches, BTB,
+//!   TAGE, metadata codec, trace walker).
+//! * `figures` — one benchmark per reproduced paper table/figure, running
+//!   the corresponding experiment at reduced scale and printing its rows.

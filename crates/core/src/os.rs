@@ -1,0 +1,232 @@
+//! Operating-system interface (§4.3).
+//!
+//! The OS allocates a contiguous metadata region per function container and
+//! programs Ignite's record/replay engines through base/size/control
+//! registers. This module models that interface: per-container metadata
+//! storage, record/replay enable bits, and optional double-buffering
+//! (record and replay simultaneously, letting the metadata track behaviour
+//! that evolves between invocations).
+
+use std::collections::HashMap;
+
+use crate::codec::Metadata;
+
+/// Control-register state for one Ignite engine pair (record + replay have
+/// independent register sets; §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlRegisters {
+    /// Recording enabled.
+    pub record: bool,
+    /// Replay enabled.
+    pub replay: bool,
+}
+
+impl Default for ControlRegisters {
+    fn default() -> Self {
+        // Double-buffered always-on operation is the paper's worst-case
+        // bandwidth configuration (§6.3) and keeps metadata fresh.
+        ControlRegisters { record: true, replay: true }
+    }
+}
+
+/// What the OS arms when a function is scheduled onto a core.
+#[derive(Debug, Clone)]
+pub struct InvocationPlan {
+    /// Metadata from the previous invocation, to be replayed (absent on the
+    /// container's first invocation or when replay is disabled).
+    pub replay_metadata: Option<Metadata>,
+    /// Whether recording should run during this invocation.
+    pub record: bool,
+}
+
+/// The modelled host OS managing Ignite metadata regions.
+///
+/// # Example
+///
+/// ```
+/// use ignite_core::os::IgniteOs;
+///
+/// let mut os = IgniteOs::new(120 * 1024);
+/// let plan = os.function_started(7);
+/// assert!(plan.replay_metadata.is_none(), "first invocation has nothing to replay");
+/// assert!(plan.record);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IgniteOs {
+    regions: HashMap<u64, Metadata>,
+    control: ControlRegisters,
+    region_bytes: usize,
+}
+
+impl IgniteOs {
+    /// Creates an OS managing metadata regions of `region_bytes` each
+    /// (paper: 120 KiB).
+    pub fn new(region_bytes: usize) -> Self {
+        IgniteOs { regions: HashMap::new(), control: ControlRegisters::default(), region_bytes }
+    }
+
+    /// Metadata region size (the record budget).
+    pub fn region_bytes(&self) -> usize {
+        self.region_bytes
+    }
+
+    /// Control registers.
+    pub fn control(&self) -> ControlRegisters {
+        self.control
+    }
+
+    /// Sets the control registers (e.g. replay-only, record-only).
+    pub fn set_control(&mut self, control: ControlRegisters) {
+        self.control = control;
+    }
+
+    /// Called when the scheduler places `container` on a core: returns the
+    /// invocation plan per the control registers (§4.3).
+    pub fn function_started(&mut self, container: u64) -> InvocationPlan {
+        InvocationPlan {
+            replay_metadata: if self.control.replay {
+                self.regions.get(&container).cloned()
+            } else {
+                None
+            },
+            record: self.control.record,
+        }
+    }
+
+    /// Called when the invocation finishes with freshly recorded metadata:
+    /// the region is swapped in for the next invocation (double buffering).
+    pub fn function_finished(&mut self, container: u64, recorded: Option<Metadata>) {
+        if let Some(md) = recorded {
+            if !md.is_empty() {
+                self.regions.insert(container, md);
+            }
+        }
+    }
+
+    /// Like [`IgniteOs::function_finished`], but *merges* the new recording
+    /// into the retained region instead of replacing it.
+    ///
+    /// Used for double-buffered operation (§4.3): when replay was active,
+    /// restored branches never re-allocate in the BTB, so the new recording
+    /// holds only the branches that *diverged* this invocation. Appending
+    /// them keeps the established working set while reacting to behaviour
+    /// changes. The merged region is re-encoded and truncated at the region
+    /// budget.
+    pub fn function_finished_merge(
+        &mut self,
+        container: u64,
+        recorded: Metadata,
+        codec: crate::codec::CodecConfig,
+    ) {
+        if recorded.is_empty() {
+            return;
+        }
+        let merged = match self.regions.get(&container) {
+            None => recorded,
+            Some(old) => {
+                // De-duplicate by branch PC (newest record wins) so repeated
+                // divergence does not grow the region without bound, then
+                // re-encode in the original reuse order.
+                let mut latest: std::collections::HashMap<u64, ignite_uarch::btb::BtbEntry> =
+                    std::collections::HashMap::new();
+                for e in old.decode().chain(recorded.decode()) {
+                    latest.insert(e.branch_pc.as_u64(), e);
+                }
+                let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+                let mut enc = crate::codec::Encoder::new(codec);
+                for e in old.decode().chain(recorded.decode()) {
+                    if !seen.insert(e.branch_pc.as_u64()) {
+                        continue;
+                    }
+                    let entry = latest[&e.branch_pc.as_u64()];
+                    enc.push(&entry);
+                    if enc.byte_len() > self.region_bytes {
+                        break;
+                    }
+                }
+                enc.finish()
+            }
+        };
+        self.regions.insert(container, merged);
+    }
+
+    /// Number of containers with stored metadata.
+    pub fn containers(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Stored metadata size for a container, in bytes.
+    pub fn metadata_bytes(&self, container: u64) -> Option<usize> {
+        self.regions.get(&container).map(Metadata::byte_len)
+    }
+
+    /// Frees a container's metadata region (function instance shut down).
+    pub fn release(&mut self, container: u64) {
+        self.regions.remove(&container);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecConfig, Encoder};
+    use ignite_uarch::addr::Addr;
+    use ignite_uarch::btb::{BranchKind, BtbEntry};
+
+    fn sample_metadata() -> Metadata {
+        let mut enc = Encoder::new(CodecConfig::default());
+        enc.push(&BtbEntry::new(Addr::new(0x100), Addr::new(0x200), BranchKind::Call));
+        enc.finish()
+    }
+
+    #[test]
+    fn record_replay_cycle() {
+        let mut os = IgniteOs::new(120 * 1024);
+        let plan = os.function_started(1);
+        assert!(plan.replay_metadata.is_none());
+        os.function_finished(1, Some(sample_metadata()));
+        let plan = os.function_started(1);
+        assert_eq!(plan.replay_metadata.unwrap().entries(), 1);
+    }
+
+    #[test]
+    fn replay_disable_bit() {
+        let mut os = IgniteOs::new(120 * 1024);
+        os.function_finished(1, Some(sample_metadata()));
+        os.set_control(ControlRegisters { record: true, replay: false });
+        let plan = os.function_started(1);
+        assert!(plan.replay_metadata.is_none());
+        assert!(plan.record);
+    }
+
+    #[test]
+    fn record_disable_bit() {
+        let mut os = IgniteOs::new(120 * 1024);
+        os.set_control(ControlRegisters { record: false, replay: true });
+        assert!(!os.function_started(1).record);
+    }
+
+    #[test]
+    fn containers_are_independent() {
+        let mut os = IgniteOs::new(120 * 1024);
+        os.function_finished(1, Some(sample_metadata()));
+        assert!(os.function_started(2).replay_metadata.is_none());
+        assert_eq!(os.containers(), 1);
+    }
+
+    #[test]
+    fn empty_metadata_not_stored() {
+        let mut os = IgniteOs::new(120 * 1024);
+        os.function_finished(1, Some(Encoder::new(CodecConfig::default()).finish()));
+        assert_eq!(os.containers(), 0);
+    }
+
+    #[test]
+    fn release_frees_region() {
+        let mut os = IgniteOs::new(120 * 1024);
+        os.function_finished(1, Some(sample_metadata()));
+        assert!(os.metadata_bytes(1).is_some());
+        os.release(1);
+        assert!(os.metadata_bytes(1).is_none());
+    }
+}

@@ -1,0 +1,432 @@
+//! Ignite replay logic (§4.2).
+//!
+//! Replay streams the recorded metadata sequentially and, per record:
+//!
+//! 1. expands the deltas to full addresses;
+//! 2. inserts a BTB entry (marked *restored*);
+//! 3. for conditional branches, initializes the bimodal entry (weakly taken
+//!    by default — the policy §6.4 validates);
+//! 4. translates the branch PC through the ITLB (warming it);
+//! 5. prefetches the instruction block(s) into the L2 — chaining from the
+//!    previous record's target through this record's branch PC, which
+//!    reconstructs the instruction working set (§4 "it is trivial to
+//!    reconstruct the working set of instruction cache blocks").
+//!
+//! Replay is throttled whenever the number of restored-but-unaccessed BTB
+//! entries exceeds a threshold (1 K, §5.3), extending the BTB's effective
+//! reach for functions whose branch working set exceeds its capacity.
+
+use ignite_uarch::addr::{lines_spanned, Addr};
+use ignite_uarch::bimodal::{BimInitPolicy, Counter};
+use ignite_uarch::btb::{Btb, BtbEntry};
+use ignite_uarch::cache::FillKind;
+use ignite_uarch::cbp::Cbp;
+use ignite_uarch::hierarchy::Hierarchy;
+use ignite_uarch::tlb::Itlb;
+use ignite_uarch::Cycle;
+
+use crate::codec::Metadata;
+
+/// Replay pacing and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayConfig {
+    /// Records restored per cycle.
+    pub entries_per_cycle: u32,
+    /// Pause replay while more than this many restored BTB entries are
+    /// still untouched (§5.3: 1 K).
+    pub throttle_threshold: u64,
+    /// Bimodal initialization policy for restored conditionals.
+    pub bim_policy: BimInitPolicy,
+    /// Longest chained code run prefetched per record, in bytes (guards
+    /// against metadata corruption producing runaway prefetch).
+    pub max_chain_bytes: u64,
+    /// Whether to issue L2 instruction prefetches (disabled in the
+    /// BTB/BIM-only ablations).
+    pub prefetch_instructions: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            entries_per_cycle: 2,
+            throttle_threshold: 1_000,
+            bim_policy: BimInitPolicy::WeaklyTaken,
+            max_chain_bytes: 4_096,
+            prefetch_instructions: true,
+        }
+    }
+}
+
+/// Traffic and progress from one replay step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStep {
+    /// Metadata bytes streamed from memory.
+    pub metadata_bytes: u64,
+    /// Instruction bytes pulled from DRAM into the L2.
+    pub instruction_bytes: u64,
+    /// Records restored this step.
+    pub entries_restored: u64,
+    /// Whether the step was throttled.
+    pub throttled: bool,
+}
+
+/// Cumulative replay statistics for one invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Records restored into the BTB.
+    pub entries_restored: u64,
+    /// Conditional records whose BIM entry was initialized.
+    pub bim_initialized: u64,
+    /// L2 prefetches issued.
+    pub l2_prefetches: u64,
+    /// ITLB translations warmed.
+    pub itlb_warmed: u64,
+    /// Metadata bytes streamed from memory.
+    pub metadata_bytes: u64,
+    /// Cycles on which replay was throttled.
+    pub throttled_steps: u64,
+}
+
+/// A replay session for one invocation.
+///
+/// # Example
+///
+/// ```
+/// use ignite_core::codec::{CodecConfig, Encoder};
+/// use ignite_core::replay::{Replayer, ReplayConfig};
+/// use ignite_uarch::addr::Addr;
+/// use ignite_uarch::btb::{BranchKind, Btb, BtbEntry};
+/// use ignite_uarch::cbp::Cbp;
+/// use ignite_uarch::config::UarchConfig;
+/// use ignite_uarch::hierarchy::Hierarchy;
+/// use ignite_uarch::tlb::Itlb;
+///
+/// let cfg = UarchConfig::tiny_for_tests();
+/// let (mut btb, mut cbp) = (Btb::new(&cfg.btb), Cbp::new(&cfg.cbp));
+/// let (mut h, mut tlb) = (Hierarchy::new(&cfg.hierarchy), Itlb::new(&cfg.itlb));
+///
+/// let mut enc = Encoder::new(CodecConfig::default());
+/// enc.push(&BtbEntry::new(Addr::new(0x100), Addr::new(0x200), BranchKind::Call));
+/// let metadata = enc.finish();
+///
+/// let mut replay = Replayer::new(&metadata, ReplayConfig::default());
+/// while !replay.is_done() {
+///     replay.step(0, &mut btb, &mut cbp, &mut tlb, &mut h);
+/// }
+/// assert!(btb.probe(Addr::new(0x100)).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Replayer {
+    cfg: ReplayConfig,
+    entries: Vec<BtbEntry>,
+    cursor: usize,
+    /// Previous record's target — the start of the code run ending at the
+    /// current record's branch PC.
+    prev_target: Option<Addr>,
+    /// Lines awaiting an L2 prefetch slot (BTB/BIM restoration runs at the
+    /// replay rate; instruction streaming is DRAM-bandwidth limited).
+    pending_lines: std::collections::VecDeque<Addr>,
+    /// Metadata bytes per record (amortized), for streaming accounting.
+    bytes_per_entry: f64,
+    stats: ReplayStats,
+}
+
+impl Replayer {
+    /// Creates a replay session over recorded metadata.
+    pub fn new(metadata: &Metadata, cfg: ReplayConfig) -> Self {
+        let entries: Vec<BtbEntry> = metadata.decode().collect();
+        let bytes_per_entry = if entries.is_empty() {
+            0.0
+        } else {
+            metadata.byte_len() as f64 / entries.len() as f64
+        };
+        Replayer {
+            cfg,
+            entries,
+            cursor: 0,
+            prev_target: None,
+            pending_lines: std::collections::VecDeque::new(),
+            bytes_per_entry,
+            stats: ReplayStats::default(),
+        }
+    }
+
+    /// Whether every record has been replayed and every queued instruction
+    /// prefetch issued.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.entries.len() && self.pending_lines.is_empty()
+    }
+
+    /// Total records in the stream.
+    pub fn total_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &ReplayStats {
+        &self.stats
+    }
+
+    /// Runs one cycle of replay.
+    pub fn step(
+        &mut self,
+        now: Cycle,
+        btb: &mut Btb,
+        cbp: &mut Cbp,
+        itlb: &mut Itlb,
+        hierarchy: &mut Hierarchy,
+    ) -> ReplayStep {
+        let mut out = ReplayStep::default();
+        if self.is_done() {
+            return out;
+        }
+        // Drain queued instruction prefetches first, as DRAM bandwidth
+        // (modelled by the L2 prefetch MSHRs) allows.
+        while let Some(&line) = self.pending_lines.front() {
+            if hierarchy.probe_l2(line) {
+                self.pending_lines.pop_front();
+                continue;
+            }
+            if hierarchy.l2_prefetch_capacity(now) == 0 {
+                break;
+            }
+            self.pending_lines.pop_front();
+            if let Some(r) = hierarchy.prefetch_l2(line, now, FillKind::Restore) {
+                out.instruction_bytes += r.bytes_from_memory;
+                self.stats.l2_prefetches += 1;
+            }
+        }
+        // Throttle: too many restored entries not yet consumed (§4.2).
+        if btb.restored_untouched() > self.cfg.throttle_threshold {
+            self.stats.throttled_steps += 1;
+            out.throttled = true;
+            return out;
+        }
+        for _ in 0..self.cfg.entries_per_cycle {
+            let Some(&entry) = self.entries.get(self.cursor) else { break };
+            self.cursor += 1;
+            // 1-2. Restore the BTB entry.
+            btb.insert(entry, true);
+            self.stats.entries_restored += 1;
+            out.entries_restored += 1;
+            // 3. Initialize the BIM for conditionals.
+            if entry.kind.is_conditional() {
+                match self.cfg.bim_policy {
+                    BimInitPolicy::None => {}
+                    BimInitPolicy::WeaklyTaken => {
+                        cbp.ignite_initialize(entry.branch_pc, Counter::WeakTaken);
+                        self.stats.bim_initialized += 1;
+                    }
+                    BimInitPolicy::WeaklyNotTaken => {
+                        cbp.ignite_initialize(entry.branch_pc, Counter::WeakNotTaken);
+                        self.stats.bim_initialized += 1;
+                    }
+                }
+            }
+            // 4. Translate (warms the ITLB).
+            if !itlb.probe(entry.branch_pc) {
+                itlb.warm(entry.branch_pc);
+                self.stats.itlb_warmed += 1;
+            }
+            // 5. Queue the code run ending at this branch for L2 prefetch.
+            if self.cfg.prefetch_instructions {
+                let run_start = match self.prev_target {
+                    Some(t)
+                        if t <= entry.branch_pc
+                            && t.delta_to(entry.branch_pc) as u64 <= self.cfg.max_chain_bytes =>
+                    {
+                        t
+                    }
+                    _ => entry.branch_pc,
+                };
+                let run_bytes = run_start.delta_to(entry.branch_pc).unsigned_abs() + 4;
+                for line in lines_spanned(run_start, run_bytes) {
+                    if !hierarchy.probe_l2(line) {
+                        self.pending_lines.push_back(line);
+                    }
+                }
+            }
+            self.prev_target = Some(entry.target);
+            let md = self.bytes_per_entry.ceil() as u64;
+            out.metadata_bytes += md;
+            self.stats.metadata_bytes += md;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecConfig, Encoder};
+    use ignite_uarch::btb::BranchKind;
+    use ignite_uarch::config::UarchConfig;
+
+    struct Machine {
+        btb: Btb,
+        cbp: Cbp,
+        itlb: Itlb,
+        hierarchy: Hierarchy,
+    }
+
+    fn machine() -> Machine {
+        let cfg = UarchConfig::tiny_for_tests();
+        Machine {
+            btb: Btb::new(&cfg.btb),
+            cbp: Cbp::new(&cfg.cbp),
+            itlb: Itlb::new(&cfg.itlb),
+            hierarchy: Hierarchy::new(&cfg.hierarchy),
+        }
+    }
+
+    fn metadata(entries: &[BtbEntry]) -> Metadata {
+        let mut enc = Encoder::new(CodecConfig::default());
+        for e in entries {
+            enc.push(e);
+        }
+        enc.finish()
+    }
+
+    fn run_to_completion(replay: &mut Replayer, m: &mut Machine) {
+        let mut now = 0;
+        while !replay.is_done() {
+            replay.step(now, &mut m.btb, &mut m.cbp, &mut m.itlb, &mut m.hierarchy);
+            now += 1;
+        }
+    }
+
+    #[test]
+    fn restores_btb_bim_itlb_and_l2() {
+        let mut m = machine();
+        let entries = [
+            BtbEntry::new(Addr::new(0x1020), Addr::new(0x1100), BranchKind::Conditional),
+            BtbEntry::new(Addr::new(0x1140), Addr::new(0x2000), BranchKind::Call),
+        ];
+        let md = metadata(&entries);
+        let mut replay = Replayer::new(&md, ReplayConfig::default());
+        run_to_completion(&mut replay, &mut m);
+
+        // BTB restored.
+        assert!(m.btb.probe(Addr::new(0x1020)).is_some());
+        assert!(m.btb.probe(Addr::new(0x1140)).is_some());
+        // BIM weakly taken for the conditional.
+        assert!(m.cbp.bimodal().predict(Addr::new(0x1020)));
+        // ITLB warmed.
+        assert!(m.itlb.probe(Addr::new(0x1020)));
+        // Code blocks in the L2: the run [0x1100, 0x1140] was chained.
+        assert!(m.hierarchy.probe_l2(Addr::new(0x1020)));
+        assert!(m.hierarchy.probe_l2(Addr::new(0x1100)));
+        assert_eq!(replay.stats().entries_restored, 2);
+        assert_eq!(replay.stats().bim_initialized, 1);
+    }
+
+    #[test]
+    fn pacing_limits_entries_per_cycle() {
+        let mut m = machine();
+        let entries: Vec<_> = (0..10u64)
+            .map(|i| {
+                BtbEntry::new(
+                    Addr::new(0x1000 + i * 32),
+                    Addr::new(0x1000 + i * 32 + 8),
+                    BranchKind::Conditional,
+                )
+            })
+            .collect();
+        let md = metadata(&entries);
+        let mut replay = Replayer::new(&md, ReplayConfig::default());
+        let step = replay.step(0, &mut m.btb, &mut m.cbp, &mut m.itlb, &mut m.hierarchy);
+        assert_eq!(step.entries_restored, 2);
+        assert!(!replay.is_done());
+    }
+
+    #[test]
+    fn throttles_when_restored_entries_pile_up() {
+        let mut m = machine();
+        let entries: Vec<_> = (0..100u64)
+            .map(|i| {
+                BtbEntry::new(
+                    Addr::new(0x1000 + i * 32),
+                    Addr::new(0x1000 + i * 32 + 8),
+                    BranchKind::Conditional,
+                )
+            })
+            .collect();
+        let md = metadata(&entries);
+        let cfg = ReplayConfig { throttle_threshold: 10, ..ReplayConfig::default() };
+        let mut replay = Replayer::new(&md, cfg);
+        let mut throttled = false;
+        for now in 0..50 {
+            let s = replay.step(now, &mut m.btb, &mut m.cbp, &mut m.itlb, &mut m.hierarchy);
+            if s.throttled {
+                throttled = true;
+                break;
+            }
+        }
+        assert!(throttled, "replay must throttle at the threshold");
+        assert!(replay.stats().entries_restored <= 12);
+
+        // Touching restored entries un-throttles replay.
+        for i in 0..6u64 {
+            m.btb.lookup(Addr::new(0x1000 + i * 32));
+        }
+        let s = replay.step(100, &mut m.btb, &mut m.cbp, &mut m.itlb, &mut m.hierarchy);
+        assert!(!s.throttled);
+        assert!(s.entries_restored > 0);
+    }
+
+    #[test]
+    fn bim_policy_none_leaves_bim_cold() {
+        let mut m = machine();
+        let entries =
+            [BtbEntry::new(Addr::new(0x1020), Addr::new(0x1100), BranchKind::Conditional)];
+        let md = metadata(&entries);
+        let cfg = ReplayConfig { bim_policy: BimInitPolicy::None, ..ReplayConfig::default() };
+        let mut replay = Replayer::new(&md, cfg);
+        run_to_completion(&mut replay, &mut m);
+        assert_eq!(replay.stats().bim_initialized, 0);
+        assert!(!m.cbp.bimodal().predict(Addr::new(0x1020)), "default counter untouched");
+    }
+
+    #[test]
+    fn instruction_prefetch_can_be_disabled() {
+        let mut m = machine();
+        let entries =
+            [BtbEntry::new(Addr::new(0x1020), Addr::new(0x1100), BranchKind::Conditional)];
+        let md = metadata(&entries);
+        let cfg = ReplayConfig { prefetch_instructions: false, ..ReplayConfig::default() };
+        let mut replay = Replayer::new(&md, cfg);
+        run_to_completion(&mut replay, &mut m);
+        assert!(!m.hierarchy.probe_l2(Addr::new(0x1020)));
+        assert!(m.btb.probe(Addr::new(0x1020)).is_some());
+    }
+
+    #[test]
+    fn metadata_traffic_matches_stream_size() {
+        let mut m = machine();
+        let entries: Vec<_> = (0..50u64)
+            .map(|i| {
+                BtbEntry::new(
+                    Addr::new(0x1000 + i * 32),
+                    Addr::new(0x1000 + i * 32 + 8),
+                    BranchKind::Conditional,
+                )
+            })
+            .collect();
+        let md = metadata(&entries);
+        let mut replay = Replayer::new(&md, ReplayConfig::default());
+        run_to_completion(&mut replay, &mut m);
+        let streamed = replay.stats().metadata_bytes;
+        let actual = md.byte_len() as u64;
+        assert!(
+            streamed >= actual && streamed <= actual + 50,
+            "streamed {streamed} vs stored {actual}"
+        );
+    }
+
+    #[test]
+    fn empty_metadata_completes_immediately() {
+        let md = metadata(&[]);
+        let replay = Replayer::new(&md, ReplayConfig::default());
+        assert!(replay.is_done());
+    }
+}

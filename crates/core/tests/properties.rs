@@ -1,0 +1,186 @@
+//! Property-based tests for Ignite's metadata codec and record/replay.
+//!
+//! The codec is the heart of the contribution: any encode/decode mismatch
+//! silently corrupts restored front-end state, so the roundtrip property is
+//! tested over arbitrary branch streams and delta-width configurations.
+
+use proptest::prelude::*;
+
+use ignite_core::codec::{CodecConfig, Encoder};
+use ignite_core::record::Recorder;
+use ignite_core::replay::{ReplayConfig, Replayer};
+use ignite_core::{Ignite, IgniteConfig};
+use ignite_uarch::addr::Addr;
+use ignite_uarch::btb::{BranchKind, Btb, BtbEntry};
+use ignite_uarch::cbp::Cbp;
+use ignite_uarch::config::UarchConfig;
+use ignite_uarch::hierarchy::Hierarchy;
+use ignite_uarch::tlb::Itlb;
+
+fn arb_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::Conditional),
+        Just(BranchKind::Unconditional),
+        Just(BranchKind::Call),
+        Just(BranchKind::Return),
+        Just(BranchKind::Indirect),
+    ]
+}
+
+/// Arbitrary entries, from tightly clustered (delta-friendly) to scattered
+/// across the full 48-bit space (forcing full-format fallbacks).
+fn arb_entries() -> impl Strategy<Value = Vec<BtbEntry>> {
+    prop::collection::vec(
+        (0u64..(1 << 47), 0u64..(1 << 47), arb_kind())
+            .prop_map(|(pc, t, k)| BtbEntry::new(Addr::new(pc), Addr::new(t), k)),
+        0..64,
+    )
+}
+
+/// Entries shaped like a real control-flow chain: each branch sits shortly
+/// after the previous branch's target (the structure Ignite's recorder
+/// sees, and what the delta format is designed around).
+fn arb_chain() -> impl Strategy<Value = Vec<BtbEntry>> {
+    (0u64..(1 << 40), prop::collection::vec((1u64..64, 4u64..2048, arb_kind()), 1..128))
+        .prop_map(|(base, steps)| {
+            let mut cursor = base;
+            steps
+                .into_iter()
+                .map(|(gap, span, kind)| {
+                    let pc = cursor.wrapping_add(gap) & ((1 << 47) - 1);
+                    let target = pc.wrapping_add(span) & ((1 << 47) - 1);
+                    cursor = target;
+                    BtbEntry::new(Addr::new(pc), Addr::new(target), kind)
+                })
+                .collect()
+        })
+}
+
+fn arb_widths() -> impl Strategy<Value = CodecConfig> {
+    (4u32..32, 4u32..32)
+        .prop_map(|(s, t)| CodecConfig { src_delta_bits: s, tgt_delta_bits: t })
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrip_arbitrary_entries(entries in arb_entries(), cfg in arb_widths()) {
+        let mut enc = Encoder::new(cfg);
+        for e in &entries {
+            enc.push(e);
+        }
+        let md = enc.finish();
+        let decoded: Vec<BtbEntry> = md.decode().collect();
+        prop_assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn codec_roundtrip_chains(entries in arb_chain(), cfg in arb_widths()) {
+        let mut enc = Encoder::new(cfg);
+        for e in &entries {
+            enc.push(e);
+        }
+        let md = enc.finish();
+        let decoded: Vec<BtbEntry> = md.decode().collect();
+        prop_assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn compressed_size_never_exceeds_full_format(entries in arb_chain()) {
+        let cfg = CodecConfig::default();
+        let mut enc = Encoder::new(cfg);
+        for e in &entries {
+            enc.push(e);
+        }
+        let bits = enc.byte_len() * 8;
+        let full_bits = entries.len() * cfg.full_bits() as usize;
+        prop_assert!(bits <= full_bits + 8, "{bits} bits vs full {full_bits}");
+    }
+
+    #[test]
+    fn chains_compress_well(entries in arb_chain()) {
+        prop_assume!(entries.len() >= 16);
+        let mut enc = Encoder::new(CodecConfig::default());
+        for e in &entries {
+            enc.push(e);
+        }
+        let bits_per_entry = enc.byte_len() * 8 / entries.len();
+        // Local chains should compress far below the 100-bit full format.
+        prop_assert!(bits_per_entry < 64, "{bits_per_entry} bits/entry");
+    }
+
+    #[test]
+    fn recorder_budget_is_respected(entries in arb_chain(), budget in 8usize..512) {
+        let mut rec = Recorder::new(CodecConfig::default(), budget);
+        for e in &entries {
+            rec.observe(e);
+        }
+        // The budget may be exceeded by at most one record (the one that
+        // crossed the boundary).
+        let md = rec.finish();
+        prop_assert!(md.byte_len() <= budget + 13, "{} vs budget {budget}", md.byte_len());
+    }
+
+    #[test]
+    fn replay_restores_exactly_the_recorded_branches(entries in arb_chain()) {
+        // Deduplicate by PC the way a BTB would (later records update).
+        let cfg = UarchConfig::ice_lake_like();
+        let mut enc = Encoder::new(CodecConfig::default());
+        for e in &entries {
+            enc.push(e);
+        }
+        let md = enc.finish();
+        let mut btb = Btb::new(&cfg.btb);
+        let mut cbp = Cbp::new(&cfg.cbp);
+        let mut itlb = Itlb::new(&cfg.itlb);
+        let mut h = Hierarchy::new(&cfg.hierarchy);
+        let mut replay = Replayer::new(&md, ReplayConfig {
+            throttle_threshold: u64::MAX, // no throttling for this property
+            ..ReplayConfig::default()
+        });
+        let mut now = 0;
+        while !replay.is_done() {
+            replay.step(now, &mut btb, &mut cbp, &mut itlb, &mut h);
+            now += 1;
+        }
+        for e in &entries {
+            let restored = btb.probe(e.branch_pc);
+            prop_assert!(restored.is_some(), "missing {:?}", e.branch_pc);
+        }
+    }
+
+    #[test]
+    fn full_ignite_cycle_preserves_unique_pcs(entries in arb_chain()) {
+        let cfg = UarchConfig::ice_lake_like();
+        let mut btb = Btb::new(&cfg.btb);
+        let mut cbp = Cbp::new(&cfg.cbp);
+        let mut itlb = Itlb::new(&cfg.itlb);
+        let mut h = Hierarchy::new(&cfg.hierarchy);
+        let mut ignite = Ignite::new(IgniteConfig::default());
+
+        ignite.begin_invocation(1);
+        for e in &entries {
+            btb.insert(*e, false);
+        }
+        ignite.observe_btb_insertions(&mut btb);
+        let s = ignite.end_invocation(1);
+        let unique: std::collections::HashSet<_> =
+            entries.iter().map(|e| e.branch_pc).collect();
+        // One record per *allocation*: duplicates update in place.
+        prop_assert_eq!(s.entries_recorded as usize, unique.len());
+
+        btb.flush();
+        ignite.begin_invocation(1);
+        let mut now = 0;
+        while ignite.replay_pending() {
+            ignite.step(now, &mut btb, &mut cbp, &mut itlb, &mut h);
+            now += 1;
+            // Consume restored entries so throttling cannot stall forever.
+            for e in &entries {
+                btb.lookup(e.branch_pc);
+            }
+        }
+        for pc in &unique {
+            prop_assert!(btb.probe(*pc).is_some());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Quick calibration probe: one function, all front-end configurations.
+//!
+//! Run with `cargo run --release -p ignite-engine --example speed_probe`.
+
+use ignite_engine::config::FrontEndConfig;
+use ignite_engine::machine::PreparedFunction;
+use ignite_engine::protocol::{run_function, RunOptions};
+use ignite_uarch::stats::speedup;
+use ignite_uarch::UarchConfig;
+use ignite_workloads::suite::Suite;
+use std::time::Instant;
+
+fn main() {
+    let suite = Suite::paper_suite();
+    let uarch = UarchConfig::ice_lake_like();
+    let f = PreparedFunction::from_suite(&suite.functions()[0], 0);
+    let opts = RunOptions::quick();
+    let configs = [
+        FrontEndConfig::nl(),
+        FrontEndConfig::jukebox(),
+        FrontEndConfig::boomerang(),
+        FrontEndConfig::boomerang_jukebox(),
+        FrontEndConfig::ignite(),
+        FrontEndConfig::ignite_tage(),
+        FrontEndConfig::ideal(),
+    ];
+    let nl = run_function(&uarch, &configs[0], &f, opts);
+    for c in &configs {
+        let t = Instant::now();
+        let r = run_function(&uarch, c, &f, opts);
+        let n = r.instructions as f64;
+        println!(
+            "{:16} speedup={:.3} cpi={:.3} [ret={:.2} fetch={:.2} bad={:.2} be={:.2}] l1i={:5.1} btb={:5.1} cbp={:5.1} ({:?})",
+            c.name,
+            speedup(nl.cycles, r.cycles) * (r.instructions as f64 / nl.instructions as f64),
+            r.cpi(),
+            r.topdown.retiring / n,
+            r.topdown.fetch_bound / n,
+            r.topdown.bad_speculation / n,
+            r.topdown.backend_bound / n,
+            r.l1i_mpki(),
+            r.btb_mpki(),
+            r.cbp_mpki(),
+            t.elapsed()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! Cycle-approximate decoupled front-end simulation engine.
+//!
+//! Substitutes for the paper's gem5 full-system setup (§5.3): a trace-driven
+//! model of an Ice Lake-like core front-end — decoupled BPU + FTQ, the
+//! L1-I/L2/LLC/DRAM instruction path, resteer penalties, Top-Down cycle
+//! accounting — plus an abstract back-end. See DESIGN.md §1 for what is
+//! modelled structurally vs. abstractly.
+//!
+//! Entry points:
+//!
+//! * [`config::FrontEndConfig`] — the evaluated configurations (NL, FDP,
+//!   Boomerang, Jukebox, Confluence, Ignite, Ideal) and state policies
+//!   (lukewarm / back-to-back / selectively warm).
+//! * [`machine::PreparedFunction`] / [`machine::Machine`] — a bound
+//!   workload and the simulated hardware.
+//! * [`protocol::run_function`] — warm-up + measured invocations under a
+//!   policy, returning an [`metrics::InvocationResult`].
+//!
+//! # Example
+//!
+//! ```
+//! use ignite_engine::config::FrontEndConfig;
+//! use ignite_engine::machine::PreparedFunction;
+//! use ignite_engine::protocol::{run_function, RunOptions};
+//! use ignite_uarch::UarchConfig;
+//! use ignite_workloads::gen::{generate, GenParams};
+//!
+//! let mut params = GenParams::example("doc");
+//! params.target_branches = 200;
+//! params.target_code_bytes = 8 * 1024;
+//! let f = PreparedFunction::from_image(generate(&params), 0, 10_000);
+//! let uarch = UarchConfig::ice_lake_like();
+//! let result = run_function(&uarch, &FrontEndConfig::nl(), &f, RunOptions::quick());
+//! assert!(result.cpi() > 0.0);
+//! ```
+
+pub mod config;
+pub mod machine;
+pub mod metrics;
+pub mod protocol;
+pub mod sim;
+pub mod topdown;
+
+pub use config::{FrontEndConfig, StatePolicy};
+pub use machine::{Machine, PreparedFunction};
+pub use metrics::{InvocationResult, RestoreAccuracy, Traffic};
+pub use protocol::{run_function, RunOptions};
+pub use topdown::{Category, TopDown};

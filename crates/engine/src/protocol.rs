@@ -1,0 +1,108 @@
+//! Invocation protocols: warm-up, lukewarm interleaving, measurement.
+//!
+//! Mirrors the paper's §5.3 methodology: the function is first invoked to
+//! warm the runtime and train record-based mechanisms, then measured over
+//! several consecutive invocations with the configured state policy applied
+//! between them (full flush + BIM randomization for lukewarm).
+
+use crate::config::FrontEndConfig;
+use crate::machine::{Machine, PreparedFunction};
+use crate::metrics::InvocationResult;
+use crate::sim::run_invocation;
+use ignite_uarch::UarchConfig;
+
+/// How many invocations to run and measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Unmeasured leading invocations (trains recorders; the paper uses
+    /// 20 000 hardware invocations to warm runtimes — one suffices here
+    /// because the synthetic runtime has no JIT warm-up).
+    pub warmup_invocations: usize,
+    /// Measured invocations, averaged.
+    pub measured_invocations: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { warmup_invocations: 1, measured_invocations: 3 }
+    }
+}
+
+impl RunOptions {
+    /// A single measured invocation (fast tests).
+    pub fn quick() -> Self {
+        RunOptions { warmup_invocations: 1, measured_invocations: 1 }
+    }
+}
+
+/// Runs one function under one front-end configuration and returns the
+/// summed measurements over the measured invocations.
+///
+/// Rates (CPI, MPKI) derived from the summed result equal the
+/// instruction-weighted average over invocations.
+pub fn run_function(
+    uarch: &UarchConfig,
+    fe: &FrontEndConfig,
+    function: &PreparedFunction,
+    opts: RunOptions,
+) -> InvocationResult {
+    let mut machine = Machine::new(uarch, fe);
+    let mut total = InvocationResult::default();
+    let invocations = opts.warmup_invocations + opts.measured_invocations;
+    for i in 0..invocations {
+        if i > 0 {
+            machine.between_invocations();
+        }
+        let r = run_invocation(&mut machine, function, i as u64);
+        if i >= opts.warmup_invocations {
+            total.merge(&r);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ignite_workloads::gen::{generate, GenParams};
+
+    fn function() -> PreparedFunction {
+        let mut p = GenParams::example("protocol-test");
+        p.target_branches = 400;
+        p.target_code_bytes = 16 * 1024;
+        PreparedFunction::from_image(generate(&p), 0, 20_000)
+    }
+
+    #[test]
+    fn measured_invocations_accumulate() {
+        let uarch = UarchConfig::ice_lake_like();
+        let f = function();
+        let one = run_function(&uarch, &FrontEndConfig::nl(), &f, RunOptions::quick());
+        let three = run_function(
+            &uarch,
+            &FrontEndConfig::nl(),
+            &f,
+            RunOptions { warmup_invocations: 1, measured_invocations: 3 },
+        );
+        assert!(three.instructions > 2 * one.instructions);
+    }
+
+    #[test]
+    fn warmup_excluded_from_measurement() {
+        // The warm-up invocation runs on a cold machine with no metadata;
+        // measured Ignite invocations must show replay traffic.
+        let uarch = UarchConfig::ice_lake_like();
+        let f = function();
+        let r = run_function(&uarch, &FrontEndConfig::ignite(), &f, RunOptions::quick());
+        assert!(r.traffic.replay_metadata_bytes > 0);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let uarch = UarchConfig::ice_lake_like();
+        let f = function();
+        let a = run_function(&uarch, &FrontEndConfig::ignite(), &f, RunOptions::default());
+        let b = run_function(&uarch, &FrontEndConfig::ignite(), &f, RunOptions::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,683 @@
+//! The cycle-approximate decoupled front-end simulation loop.
+//!
+//! One call to [`run_invocation`] models one serverless function invocation
+//! over its dynamic basic-block trace. The model follows the structure of a
+//! decoupled front-end:
+//!
+//! * The BPU (BTB + CBP + ideal RAS) is consulted once per block, at the
+//!   time the block's successor would enter the FTQ (run-ahead when the
+//!   recent transitions predicted correctly, demand-time right after a
+//!   resteer). The FTQ extends by up to `bpu_blocks_per_cycle` blocks per
+//!   elapsed cycle, up to the FTQ capacity, and *stalls* at the first
+//!   transition the BPU cannot predict — at which point the real front-end
+//!   would run down the wrong path, modelled as a burst of wrong-path line
+//!   prefetches.
+//! * FDP (if enabled) prefetches the lines of every block entering the FTQ;
+//!   the hierarchy's in-flight tracking credits partial latency overlap.
+//! * At commit, predictors train, taken branches missing from the BTB are
+//!   inserted (the event Ignite records), and mispredicted transitions pay
+//!   a resteer penalty classified as bad speculation.
+//! * The back-end is abstract: retire-width throughput plus a cold/warm
+//!   data-stall model (DESIGN.md §5).
+
+use std::collections::VecDeque;
+
+use ignite_uarch::addr::{lines_spanned, LINE_BYTES};
+use ignite_uarch::btb::{BranchKind, BtbEntry};
+use ignite_uarch::cache::FillKind;
+use ignite_uarch::cbp::CbpPrediction;
+use ignite_uarch::hierarchy::Level;
+use ignite_uarch::Cycle;
+use ignite_workloads::trace::{BlockExec, TraceWalker};
+
+use crate::machine::{Machine, PreparedFunction};
+use crate::metrics::{InvocationResult, RestoreAccuracy};
+use crate::topdown::Category;
+
+/// How the BPU's prediction of a block's transition resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Predicted next fetch address matches the actual path.
+    Correct,
+    /// A taken branch was not identified (BTB miss) — front-end resteer.
+    BtbMissTaken,
+    /// Conditional direction mispredicted.
+    CbpWrongDirection,
+    /// Stale BTB target (indirect branch changed target).
+    WrongTarget,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Eval {
+    outcome: Outcome,
+    cbp_pred: Option<CbpPrediction>,
+    btb_hit: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    block: BlockExec,
+    eval: Option<Eval>,
+}
+
+/// Runs one invocation and returns its measurements.
+///
+/// `invocation` seeds the trace walker; consecutive invocations of the same
+/// function share most control flow (the commonality Ignite exploits).
+pub fn run_invocation(
+    m: &mut Machine,
+    f: &PreparedFunction,
+    invocation: u64,
+) -> InvocationResult {
+    let mut res = InvocationResult::default();
+    let start_cycle = m.now;
+    let ideal = m.fe.select.ideal;
+    let fdp = m.fe.select.fdp && !ideal;
+    let base_cpi = (1.0 / m.uarch.backend.retire_width as f64).max(m.uarch.backend.ilp_cpi);
+    let ftq_cap = m.uarch.frontend.ftq_entries;
+    let bpu_rate = m.uarch.frontend.bpu_blocks_per_cycle as f64;
+
+    m.reset_stats();
+    m.cbp.begin_invocation();
+    if let Some(jb) = &mut m.jukebox {
+        jb.begin_invocation(f.container);
+    }
+    if let Some(ig) = &mut m.ignite {
+        ig.begin_invocation(f.container);
+    }
+
+    let mut walker =
+        TraceWalker::with_noise(&f.image, invocation, f.invocation_instrs, f.noise);
+    let mut buf: VecDeque<Pending> = VecDeque::new();
+    let mut walker_done = false;
+    // Number of leading `buf` entries considered "in the FTQ" (their lines
+    // prefetched); the first is the block being fetched.
+    let mut ftq_len: usize = 1;
+    // The FTQ extension hit an unpredictable transition and is stalled
+    // until that block commits and the pipeline resteers.
+    let mut blocked = false;
+    let mut bpu_budget: f64 = 2.0;
+    // Fractional-cycle accumulator: `m.now` is integral.
+    let mut cycle_carry: f64 = 0.0;
+    let mut mech_clock = m.now;
+    // Cold-data pool for the back-end stall model.
+    let mut data_pool: f64 =
+        if m.fe.policy.warm_data { 0.0 } else { f.data_ws_lines as f64 };
+
+    loop {
+        // Keep the lookahead buffer stocked.
+        while !walker_done && buf.len() < ftq_cap + 2 {
+            match walker.next() {
+                Some(b) => buf.push_back(Pending { block: b, eval: None }),
+                None => walker_done = true,
+            }
+        }
+        let Some(front) = buf.front() else { break };
+        let _ = front;
+
+        // Paced mechanisms (Ignite replay, Jukebox replay, Confluence
+        // streams) catch up to the global clock.
+        while mech_clock <= m.now {
+            step_mechanisms(m, f, mech_clock, &mut res);
+            mech_clock += 1;
+        }
+
+        // Demand-time evaluation when the FTQ holds only this block (right
+        // after a resteer or at invocation start).
+        if buf[0].eval.is_none() {
+            let eval = evaluate(m, f, &buf[0].block, 0);
+            buf[0].eval = Some(eval);
+        }
+        let Pending { block, eval } = buf.pop_front().expect("non-empty");
+        let eval = eval.expect("evaluated above");
+        let block_start_cycle = m.now;
+
+        // ---- Fetch ----
+        if !ideal {
+            let mut t = m.now;
+            let mut stall: Cycle = 0;
+            let tlb_extra = m.itlb.translate(block.start);
+            stall += tlb_extra;
+            t += tlb_extra;
+            for line in lines_spanned(block.start, u64::from(block.bytes)) {
+                let r = m.hierarchy.fetch(line, t);
+                let l1i_lat = m.uarch.hierarchy.l1i_latency;
+                // A fetch that has to wait out an in-flight fill is a miss
+                // (an MSHR hit): the prefetch was not timely.
+                let effective_miss = r.served_by != Level::L1I || r.ready_at > t + l1i_lat;
+                if effective_miss {
+                    res.l1i_misses += 1;
+                    if let Some(c) = &mut m.confluence {
+                        c.on_miss(line, t);
+                    }
+                    if matches!(r.served_by, Level::Llc | Level::Memory) {
+                        res.accuracy_l2.uncovered += 1;
+                    }
+                }
+                if effective_miss || r.hit_prefetched {
+                    for (pf_line, pf) in m.nl.trigger_observed(line, t, &mut m.hierarchy) {
+                        if let Some(jb) = &mut m.jukebox {
+                            jb.observe_fill(pf_line, pf.served_by);
+                        }
+                    }
+                }
+                if let Some(jb) = &mut m.jukebox {
+                    jb.observe_fill(line, r.served_by);
+                }
+                if let Some(c) = &mut m.confluence {
+                    c.observe_access(line, r.served_by != Level::L1I);
+                }
+                if r.ready_at > t + l1i_lat {
+                    stall += r.ready_at - (t + l1i_lat);
+                }
+                t = t.max(r.ready_at);
+            }
+            m.now += stall;
+            res.topdown.add(Category::FetchBound, stall as f64);
+        }
+
+        // ---- Commit ----
+        res.instructions += u64::from(block.instrs);
+        let br = block.branch;
+        if br.kind == BranchKind::Conditional {
+            res.conditional_branches += 1;
+            match &eval.cbp_pred {
+                Some(pred) => m.cbp.resolve(br.pc, br.taken, br.target, pred),
+                None => m.cbp.resolve_uncounted(br.pc, br.taken, br.target),
+            }
+        } else if br.taken {
+            m.cbp.note_taken_branch(br.pc, br.target);
+        }
+        // BTB allocation on taken commit (the event Ignite records), and
+        // target update on stale indirect targets.
+        if !ideal && br.taken && (!eval.btb_hit || eval.outcome == Outcome::WrongTarget) {
+            m.btb.insert(BtbEntry::new(br.pc, br.target, br.kind), false);
+        }
+        if let Some(ig) = &mut m.ignite {
+            ig.observe_btb_insertions(&mut m.btb);
+        }
+
+        // Resteer handling.
+        match eval.outcome {
+            Outcome::Correct => {}
+            outcome => {
+                let penalty = match (outcome, br.kind) {
+                    // Direct jumps/calls discovered at decode resteer early.
+                    (Outcome::BtbMissTaken, BranchKind::Unconditional | BranchKind::Call) => {
+                        m.uarch.frontend.decode_resteer_penalty
+                    }
+                    _ => m.uarch.frontend.exec_resteer_penalty,
+                };
+                if matches!(outcome, Outcome::BtbMissTaken | Outcome::WrongTarget) {
+                    res.btb_misses += 1;
+                }
+                res.resteers += 1;
+                m.now += penalty;
+                res.topdown.add(Category::BadSpeculation, penalty as f64);
+                if let Some(c) = &mut m.confluence {
+                    c.on_resteer();
+                }
+                blocked = false;
+                // The FTQ (and everything younger) is squashed; prediction
+                // restarts at the correct target.
+                ftq_len = 1;
+            }
+        }
+
+        // ---- Retire + back-end ----
+        let mut block_cycles = f64::from(block.instrs) * base_cpi;
+        res.topdown.add(Category::Retiring, block_cycles);
+        let loads = f64::from(block.instrs) * m.uarch.backend.load_fraction;
+        let cold = (loads * m.uarch.backend.cold_touch_rate).min(data_pool);
+        data_pool -= cold;
+        let data_stall = cold * m.uarch.backend.cold_miss_penalty as f64
+            + (loads - cold) * m.uarch.backend.warm_miss_rate
+                * m.uarch.backend.data_miss_penalty as f64;
+        res.topdown.add(Category::BackendBound, data_stall);
+        block_cycles += data_stall;
+        cycle_carry += block_cycles;
+        let whole = cycle_carry.floor();
+        m.now += whole as Cycle;
+        cycle_carry -= whole;
+
+        // ---- FTQ maintenance ----
+        if ftq_len > 1 {
+            ftq_len -= 1;
+        }
+        if fdp {
+            let elapsed = (m.now - block_start_cycle).max(1);
+            bpu_budget = (bpu_budget + elapsed as f64 * bpu_rate).min(ftq_cap as f64 * 2.0);
+            while bpu_budget >= 1.0 && ftq_len < ftq_cap && !blocked && ftq_len < buf.len() {
+                bpu_budget -= 1.0;
+                // Evaluate the transition out of the newest FTQ block.
+                if buf[ftq_len - 1].eval.is_none() {
+                    let eval = evaluate(m, f, &buf[ftq_len - 1].block, ftq_len - 1);
+                    buf[ftq_len - 1].eval = Some(eval);
+                }
+                if buf[ftq_len - 1].eval.expect("set above").outcome == Outcome::Correct {
+                    // The successor enters the FTQ: FDP prefetches it.
+                    let nb = buf[ftq_len].block;
+                    for line in lines_spanned(nb.start, u64::from(nb.bytes)) {
+                        m.hierarchy.prefetch_l1i(line, m.now, FillKind::Prefetch);
+                    }
+                    ftq_len += 1;
+                } else {
+                    blocked = true;
+                }
+            }
+        }
+    }
+
+    // ---- Wrap up ----
+    res.traffic.useless_instruction_bytes = m.hierarchy.untouched_fill_bytes();
+    res.cycles = m.now - start_cycle;
+    let cbp = m.cbp.stats();
+    res.cbp_mispredictions = cbp.mispredictions;
+    res.initial_mispredictions = cbp.initial_mispredictions;
+    res.subsequent_mispredictions = cbp.subsequent_mispredictions;
+    res.itlb_walks = m.itlb.walks();
+
+    // Ignite restore accuracy (Fig. 9c).
+    let btb_stats = *m.btb.stats();
+    res.accuracy_btb = RestoreAccuracy {
+        covered: btb_stats.restored_used,
+        uncovered: res.btb_misses,
+        overpredicted: btb_stats.restored_evicted_untouched + m.btb.restored_untouched(),
+    };
+    res.accuracy_cbp = RestoreAccuracy {
+        covered: cbp.ignite_covered_initials,
+        uncovered: res.cbp_mispredictions.saturating_sub(cbp.ignite_induced_mispredictions),
+        overpredicted: cbp.ignite_induced_mispredictions,
+    };
+    let l2_stats = *m.hierarchy.l2().stats();
+    let l2_over = l2_stats.unused_restore_evictions + m.hierarchy.l2().unused_restored_resident();
+
+    if let Some(jb) = &mut m.jukebox {
+        res.traffic.record_metadata_bytes += jb.record_bytes();
+        jb.end_invocation(f.container);
+    }
+    if let Some(ig) = &mut m.ignite {
+        let stats = ig.end_invocation(f.container);
+        res.traffic.record_metadata_bytes += stats.record_bytes;
+        res.accuracy_l2 = RestoreAccuracy {
+            covered: stats.replay.l2_prefetches.saturating_sub(l2_over),
+            uncovered: res.accuracy_l2.uncovered,
+            overpredicted: l2_over,
+        };
+    }
+
+    // Fig. 10 partition: everything from DRAM on the instruction path that
+    // we did not attribute to the wrong path counts as useful.
+    let total_mem = m.hierarchy.memory_read_bytes();
+    res.traffic.useful_instruction_bytes =
+        total_mem.saturating_sub(res.traffic.useless_instruction_bytes);
+
+    res
+}
+
+/// Steps the paced background mechanisms for one cycle.
+fn step_mechanisms(m: &mut Machine, f: &PreparedFunction, now: Cycle, res: &mut InvocationResult) {
+    if let Some(jb) = &mut m.jukebox {
+        let s = jb.step(now, &mut m.hierarchy);
+        res.traffic.replay_metadata_bytes += s.metadata_bytes;
+    }
+    if let Some(ig) = &mut m.ignite {
+        let s = ig.step(now, &mut m.btb, &mut m.cbp, &mut m.itlb, &mut m.hierarchy);
+        res.traffic.replay_metadata_bytes += s.metadata_bytes;
+    }
+    if let Some(c) = &mut m.confluence {
+        c.step(now, &mut m.hierarchy, &f.branch_index, &mut m.btb);
+    }
+}
+
+/// Consults the BPU for a block's terminating branch, exactly as the
+/// front-end would when the block's successor is considered for the FTQ.
+///
+/// `lookahead` is the block's distance (in blocks) from the fetch point —
+/// 0 means demand-time (no run-ahead slack for Boomerang fills).
+fn evaluate(
+    m: &mut Machine,
+    f: &PreparedFunction,
+    block: &BlockExec,
+    lookahead: usize,
+) -> Eval {
+    let br = block.branch;
+    let ideal = m.fe.select.ideal;
+    let actual_next = block.next_pc();
+
+    let btb_entry = if ideal {
+        // Perfect BTB: every branch identified with its current target.
+        Some(BtbEntry::new(br.pc, br.target, br.kind))
+    } else {
+        m.btb.lookup(br.pc)
+    };
+
+    let mut btb_hit = btb_entry.is_some();
+    let mut identified = btb_entry;
+
+    // Boomerang: a BTB miss discovered while running ahead can be resolved
+    // by fetching and predecoding the branch's cache block, if the fill
+    // completes before the fetch stream reaches this block.
+    if identified.is_none() && lookahead > 0 {
+        if let Some(boomerang) = &mut m.boomerang {
+            // Blocks take ~5 cycles each to drain at typical CPI, giving
+            // the fill that much slack per block of run-ahead.
+            let needed_at = m.now + lookahead as Cycle * 5;
+            let fill = boomerang.request_fill(
+                br.pc,
+                m.now,
+                &mut m.hierarchy,
+                &f.branch_index,
+                &mut m.btb,
+            );
+            match fill {
+                Some(outcome) if outcome.ready_at <= needed_at => {
+                    identified = m.btb.probe(br.pc);
+                    btb_hit = identified.is_some();
+                }
+                _ if br.kind == BranchKind::Return => {
+                    // Predecode identifies returns even without a static
+                    // target; the RAS then supplies the target. Model the
+                    // identification with the same line-fetch+predecode
+                    // latency.
+                    if let Some(r) =
+                        m.hierarchy.prefetch_l1i(br.pc, m.now, FillKind::Prefetch)
+                    {
+                        if r.ready_at + 6 <= needed_at {
+                            identified =
+                                Some(BtbEntry::new(br.pc, br.target, BranchKind::Return));
+                        }
+                    } else {
+                        identified = Some(BtbEntry::new(br.pc, br.target, BranchKind::Return));
+                    }
+                }
+                _ => {}
+            }
+        }
+    } else if identified.is_none() && m.boomerang.is_some() {
+        // Demand-time discovery: too late to help this transition, but the
+        // fill still lands in the BTB for future executions.
+        if let Some(boomerang) = &mut m.boomerang {
+            boomerang.request_fill(br.pc, m.now, &mut m.hierarchy, &f.branch_index, &mut m.btb);
+        }
+    }
+
+    // Maintain the RAS in prediction order: calls push their return
+    // address; identified returns consume the top.
+    if br.kind == BranchKind::Call {
+        m.ras.push(block.fallthrough());
+    }
+    // The indirect predictor's path history also advances in prediction
+    // order, for every taken branch.
+    if br.taken {
+        if let Some(it) = &mut m.ittage {
+            it.push_history(br.pc, br.target);
+        }
+    }
+    let (outcome, cbp_pred) = match identified {
+        Some(entry) => match br.kind {
+            BranchKind::Conditional => {
+                let pred = m.cbp.predict(br.pc);
+                let predicted_next =
+                    if pred.taken { entry.target } else { block.fallthrough() };
+                let outcome = if predicted_next == actual_next {
+                    Outcome::Correct
+                } else {
+                    Outcome::CbpWrongDirection
+                };
+                (outcome, Some(pred))
+            }
+            BranchKind::Return => {
+                // The BTB identifies the return; the RAS supplies the
+                // target (an ideal front-end always predicts correctly).
+                if ideal {
+                    (Outcome::Correct, None)
+                } else {
+                    match m.ras.pop() {
+                        Some(t) if t == actual_next => (Outcome::Correct, None),
+                        _ => (Outcome::WrongTarget, None),
+                    }
+                }
+            }
+            BranchKind::Indirect => {
+                // An ITTAGE predictor (if configured) overrides the BTB's
+                // last-target prediction for polymorphic dispatch sites.
+                // It predicts and trains here, in prediction order, so its
+                // history discipline is self-consistent.
+                let predicted = match &mut m.ittage {
+                    Some(it) => {
+                        let p = it.predict(br.pc).unwrap_or(entry.target);
+                        it.update(br.pc, br.target);
+                        p
+                    }
+                    None => entry.target,
+                };
+                if predicted == actual_next {
+                    (Outcome::Correct, None)
+                } else {
+                    (Outcome::WrongTarget, None)
+                }
+            }
+            BranchKind::Unconditional | BranchKind::Call => {
+                if entry.target == actual_next {
+                    (Outcome::Correct, None)
+                } else {
+                    (Outcome::WrongTarget, None)
+                }
+            }
+        },
+        None => {
+            // Unidentified branch: the front-end continues sequentially.
+            // An unidentified return also consumes its RAS entry once it
+            // resolves, keeping the stack aligned with the call stream.
+            if br.kind == BranchKind::Return {
+                m.ras.pop();
+            }
+            if br.taken {
+                (Outcome::BtbMissTaken, None)
+            } else {
+                (Outcome::Correct, None)
+            }
+        }
+    };
+
+    // Wrong-path fetch modelling: the front-end keeps fetching down the
+    // wrong path until the branch resolves.
+    if outcome != Outcome::Correct && !ideal {
+        let wrong_start = match outcome {
+            Outcome::BtbMissTaken => block.fallthrough(),
+            Outcome::CbpWrongDirection => {
+                if br.taken {
+                    block.fallthrough() // predicted not-taken: fetches fall-through
+                } else {
+                    br.target // predicted taken: fetches the target path
+                }
+            }
+            Outcome::WrongTarget => identified.map_or(block.fallthrough(), |e| e.target),
+            Outcome::Correct => unreachable!(),
+        };
+        // A decoupled front-end (FDP) runs ahead down the wrong path at the
+        // prefetcher's pace, fetching considerably more than a plain
+        // fetch engine does within the resteer window (§6.3: Boomerang more
+        // than doubles useless fetches over NL).
+        let runahead: u64 = if m.fe.select.fdp { 2 } else { 1 };
+        let lines = (runahead
+            * m.uarch.frontend.exec_resteer_penalty
+            * m.uarch.frontend.fetch_bytes_per_cycle
+            / LINE_BYTES)
+            .max(1);
+        for i in 0..lines {
+            let line = wrong_start + i * LINE_BYTES;
+            m.hierarchy.prefetch_l1i(line, m.now, FillKind::Prefetch);
+        }
+    }
+
+    Eval { outcome, cbp_pred, btb_hit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FrontEndConfig, StatePolicy};
+    use ignite_uarch::UarchConfig;
+    use ignite_workloads::gen::{generate, GenParams};
+
+    fn small_function() -> PreparedFunction {
+        let mut p = GenParams::example("sim-test");
+        p.target_branches = 600;
+        p.target_code_bytes = 24 * 1024;
+        PreparedFunction::from_image(generate(&p), 0, 30_000)
+    }
+
+    fn run(fe: FrontEndConfig) -> (InvocationResult, InvocationResult) {
+        let uarch = UarchConfig::ice_lake_like();
+        let f = small_function();
+        let mut m = Machine::new(&uarch, &fe);
+        let first = run_invocation(&mut m, &f, 0);
+        m.between_invocations();
+        let second = run_invocation(&mut m, &f, 1);
+        (first, second)
+    }
+
+    #[test]
+    fn executes_all_instructions() {
+        let (first, _) = run(FrontEndConfig::nl());
+        assert!(first.instructions >= 30_000);
+        assert!(first.cycles > 0);
+    }
+
+    #[test]
+    fn topdown_accounts_all_cycles() {
+        let (first, _) = run(FrontEndConfig::nl());
+        let total = first.topdown.total();
+        let cycles = first.cycles as f64;
+        assert!(
+            (total - cycles).abs() / cycles < 0.02,
+            "topdown {total} vs cycles {cycles}"
+        );
+    }
+
+    #[test]
+    fn lukewarm_is_slower_than_warm() {
+        let uarch = UarchConfig::ice_lake_like();
+        let f = small_function();
+        // Lukewarm.
+        let mut m = Machine::new(&uarch, &FrontEndConfig::nl());
+        run_invocation(&mut m, &f, 0);
+        m.between_invocations();
+        let luke = run_invocation(&mut m, &f, 1);
+        // Back-to-back.
+        let warm_fe = FrontEndConfig::nl().with_policy("warm", StatePolicy::back_to_back());
+        let mut m = Machine::new(&uarch, &warm_fe);
+        run_invocation(&mut m, &f, 0);
+        m.between_invocations();
+        let warm = run_invocation(&mut m, &f, 1);
+        assert!(
+            luke.cpi() > warm.cpi() * 1.3,
+            "lukewarm CPI {} must clearly exceed warm CPI {}",
+            luke.cpi(),
+            warm.cpi()
+        );
+    }
+
+    #[test]
+    fn fdp_outperforms_nl_on_lukewarm() {
+        let (_, nl) = run(FrontEndConfig::nl());
+        let (_, fdp) = run(FrontEndConfig::fdp());
+        assert!(
+            fdp.cycles < nl.cycles,
+            "FDP {} cycles vs NL {} cycles",
+            fdp.cycles,
+            nl.cycles
+        );
+    }
+
+    #[test]
+    fn ideal_front_end_is_fastest() {
+        let (_, ideal) = run(FrontEndConfig::ideal());
+        let (_, nl) = run(FrontEndConfig::nl());
+        assert!(ideal.cycles < nl.cycles);
+        assert_eq!(ideal.l1i_misses, 0);
+        assert_eq!(ideal.btb_misses, 0);
+    }
+
+    #[test]
+    fn ignite_reduces_btb_misses_on_second_invocation() {
+        let (first, second) = run(FrontEndConfig::ignite());
+        assert!(
+            second.btb_misses * 3 < first.btb_misses,
+            "restored BTB: {} misses vs cold {}",
+            second.btb_misses,
+            first.btb_misses
+        );
+    }
+
+    #[test]
+    fn ignite_beats_boomerang_jukebox() {
+        let (_, ignite) = run(FrontEndConfig::ignite());
+        let (_, bjb) = run(FrontEndConfig::boomerang_jukebox());
+        assert!(
+            ignite.cycles < bjb.cycles,
+            "Ignite {} vs Boomerang+JB {}",
+            ignite.cycles,
+            bjb.cycles
+        );
+    }
+
+    #[test]
+    fn warm_btb_reduces_resteers() {
+        let (_, luke) = run(FrontEndConfig::boomerang_jukebox());
+        let (_, warm_btb) = run(
+            FrontEndConfig::boomerang_jukebox()
+                .with_policy("+ warm BTB", StatePolicy::lukewarm_warm_btb()),
+        );
+        assert!(warm_btb.btb_misses < luke.btb_misses / 2);
+    }
+
+    #[test]
+    fn traffic_totals_are_consistent() {
+        let (_, r) = run(FrontEndConfig::ignite());
+        assert!(r.traffic.useful_instruction_bytes > 0);
+        assert!(r.traffic.record_metadata_bytes > 0, "record runs every invocation");
+        assert!(r.traffic.replay_metadata_bytes > 0, "replay ran on the second invocation");
+    }
+
+    #[test]
+    fn ignite_on_boomerang_also_works() {
+        // §5.3: Ignite "could equally be used with Boomerang".
+        let (_, nl) = run(FrontEndConfig::nl());
+        let (_, boomerang) = run(FrontEndConfig::boomerang());
+        let (_, combo) = run(FrontEndConfig::ignite_boomerang());
+        assert!(combo.cycles < boomerang.cycles, "Ignite helps Boomerang too");
+        assert!(combo.cycles < nl.cycles);
+        assert!(combo.btb_misses < boomerang.btb_misses);
+    }
+
+    #[test]
+    fn returns_are_predicted_through_the_ras() {
+        // With a restored BTB (returns identified) the RAS supplies return
+        // targets; most returns must not resteer.
+        let uarch = UarchConfig::ice_lake_like();
+        let f = small_function();
+        let mut m = Machine::new(&uarch, &FrontEndConfig::ignite());
+        run_invocation(&mut m, &f, 0);
+        m.between_invocations();
+        run_invocation(&mut m, &f, 1);
+        assert!(m.ras.pushes() > 100, "calls push the RAS");
+        // Underflows only at root transitions (returns into the runtime).
+        assert!(
+            m.ras.underflows() < m.ras.pops() / 4,
+            "underflows {} of {} pops",
+            m.ras.underflows(),
+            m.ras.pops()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (a1, a2) = run(FrontEndConfig::boomerang_jukebox());
+        let (b1, b2) = run(FrontEndConfig::boomerang_jukebox());
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the simulation engine: for arbitrary generated
+//! workloads and any front-end configuration, the simulator must terminate,
+//! account its cycles consistently, and respect basic dominance relations.
+
+use proptest::prelude::*;
+
+use ignite_engine::config::{FrontEndConfig, StatePolicy};
+use ignite_engine::machine::PreparedFunction;
+use ignite_engine::protocol::{run_function, RunOptions};
+use ignite_uarch::addr::Addr;
+use ignite_uarch::UarchConfig;
+use ignite_workloads::gen::{generate, GenParams};
+
+fn arb_function() -> impl Strategy<Value = PreparedFunction> {
+    (64u32..600, 12u64..40, any::<u64>(), 0.0f64..0.1).prop_map(
+        |(branches, avg_bytes, seed, noise)| {
+            let params = GenParams {
+                name: format!("engine-prop-{seed}"),
+                seed,
+                base: Addr::new(0x0040_0000),
+                target_code_bytes: u64::from(branches) * avg_bytes,
+                target_branches: branches,
+                indirect_fraction: 0.02,
+                call_fraction: 0.08,
+                cond_fraction: 0.62,
+                backward_fraction: 0.2,
+                high_bias_fraction: 0.8,
+                blocks_per_function: 32,
+                dead_code_fraction: 0.4,
+            };
+            let mut f =
+                PreparedFunction::from_image(generate(&params), 0, 6_000);
+            f.noise = noise;
+            f
+        },
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = FrontEndConfig> {
+    prop_oneof![
+        Just(FrontEndConfig::nl()),
+        Just(FrontEndConfig::fdp()),
+        Just(FrontEndConfig::jukebox()),
+        Just(FrontEndConfig::boomerang()),
+        Just(FrontEndConfig::boomerang_jukebox()),
+        Just(FrontEndConfig::confluence()),
+        Just(FrontEndConfig::ignite()),
+        Just(FrontEndConfig::ignite_boomerang()),
+        Just(FrontEndConfig::confluence_ignite()),
+        Just(FrontEndConfig::ideal()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every configuration terminates on every workload with consistent
+    /// accounting.
+    #[test]
+    fn any_config_terminates_and_balances(f in arb_function(), fe in arb_config()) {
+        let r = run_function(&UarchConfig::ice_lake_like(), &fe, &f, RunOptions::quick());
+        prop_assert!(r.instructions >= 6_000, "budget executed");
+        prop_assert!(r.cycles > 0);
+        // Top-down slots reconcile with wall-clock cycles.
+        let drift = (r.topdown.total() - r.cycles as f64).abs() / r.cycles as f64;
+        prop_assert!(drift < 0.02, "{} topdown drift {drift}", fe.name);
+        // Misprediction split is exact.
+        prop_assert_eq!(
+            r.initial_mispredictions + r.subsequent_mispredictions,
+            r.cbp_mispredictions
+        );
+        // Rates are bounded by the branch density (≤ one event per
+        // instruction, far less in practice).
+        prop_assert!(r.l1i_mpki() <= 1000.0);
+        prop_assert!(r.cbp_mpki() <= 1000.0);
+    }
+
+    /// The simulation is a pure function of its inputs.
+    #[test]
+    fn simulation_is_deterministic(f in arb_function(), fe in arb_config()) {
+        let uarch = UarchConfig::ice_lake_like();
+        let a = run_function(&uarch, &fe, &f, RunOptions::quick());
+        let b = run_function(&uarch, &fe, &f, RunOptions::quick());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Warm state never hurts: back-to-back invocations are at least as
+    /// fast as lukewarm ones for the same workload.
+    #[test]
+    fn warm_state_dominates_lukewarm(f in arb_function()) {
+        let uarch = UarchConfig::ice_lake_like();
+        let luke = run_function(&uarch, &FrontEndConfig::nl(), &f, RunOptions::quick());
+        let warm_cfg =
+            FrontEndConfig::nl().with_policy("(warm)", StatePolicy::back_to_back());
+        let warm = run_function(&uarch, &warm_cfg, &f, RunOptions::quick());
+        prop_assert!(
+            warm.cpi() <= luke.cpi() * 1.02,
+            "warm {} vs lukewarm {}",
+            warm.cpi(),
+            luke.cpi()
+        );
+    }
+
+    /// The ideal front-end bounds every real configuration from below.
+    #[test]
+    fn ideal_is_a_lower_bound(f in arb_function(), fe in arb_config()) {
+        let uarch = UarchConfig::ice_lake_like();
+        let real = run_function(&uarch, &fe, &f, RunOptions::quick());
+        let ideal =
+            run_function(&uarch, &FrontEndConfig::ideal(), &f, RunOptions::quick());
+        prop_assert!(
+            ideal.cpi() <= real.cpi() * 1.05,
+            "{}: ideal {} vs real {}",
+            fe.name,
+            ideal.cpi(),
+            real.cpi()
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure data model and text rendering.
+
+/// One labelled series of (x, value) points — one bar group or line of a
+/// paper figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. `"Boomerang + JB"`).
+    pub label: String,
+    /// Points, keyed by x-axis label (function abbreviation or category).
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates a series from an iterator of points.
+    pub fn new(
+        label: impl Into<String>,
+        points: impl IntoIterator<Item = (String, f64)>,
+    ) -> Self {
+        Series { label: label.into(), points: points.into_iter().collect() }
+    }
+
+    /// The value at an x label, if present.
+    pub fn value(&self, x: &str) -> Option<f64> {
+        self.points.iter().find(|(k, _)| k == x).map(|(_, v)| *v)
+    }
+
+    /// Arithmetic mean over all points.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// A reproduced table or figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Paper identifier, e.g. `"fig8"` or `"table1"`.
+    pub id: String,
+    /// Caption (what the paper's figure shows).
+    pub caption: String,
+    /// The data series.
+    pub series: Vec<Series>,
+    /// Free-form commentary (expected paper shape, substitutions).
+    pub notes: String,
+}
+
+impl Figure {
+    /// Looks up a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// The union of x labels across all series, in first-seen order.
+    pub fn x_labels(&self) -> Vec<&str> {
+        let mut labels: Vec<&str> = Vec::new();
+        for s in &self.series {
+            for (x, _) in &s.points {
+                if !labels.contains(&x.as_str()) {
+                    labels.push(x);
+                }
+            }
+        }
+        labels
+    }
+
+    /// Renders a fixed-width text table: one row per x label, one column
+    /// per series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.caption));
+        let labels = self.x_labels();
+        let xw = labels.iter().map(|l| l.len()).max().unwrap_or(1).max(8);
+        let cols: Vec<usize> =
+            self.series.iter().map(|s| s.label.len().max(8)).collect();
+        out.push_str(&format!("{:xw$}", "", xw = xw + 2));
+        for (s, w) in self.series.iter().zip(&cols) {
+            out.push_str(&format!("  {:>w$}", s.label, w = w));
+        }
+        out.push('\n');
+        for x in &labels {
+            out.push_str(&format!("{:xw$}", x, xw = xw + 2));
+            for (s, w) in self.series.iter().zip(&cols) {
+                match s.value(x) {
+                    Some(v) => out.push_str(&format!("  {:>w$.3}", v, w = w)),
+                    None => out.push_str(&format!("  {:>w$}", "-", w = w)),
+                }
+            }
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push_str(&format!("\n{}\n", self.notes));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        Figure {
+            id: "figX".into(),
+            caption: "test".into(),
+            series: vec![
+                Series::new("A", [("x1".to_string(), 1.0), ("x2".to_string(), 2.0)]),
+                Series::new("B", [("x1".to_string(), 3.0)]),
+            ],
+            notes: "note".into(),
+        }
+    }
+
+    #[test]
+    fn series_lookup_and_mean() {
+        let f = sample();
+        assert_eq!(f.series("A").unwrap().value("x2"), Some(2.0));
+        assert_eq!(f.series("A").unwrap().mean(), 1.5);
+        assert!(f.series("C").is_none());
+    }
+
+    #[test]
+    fn x_labels_union_ordered() {
+        let f = sample();
+        assert_eq!(f.x_labels(), vec!["x1", "x2"]);
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let r = sample().render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("x1") && r.contains("x2"));
+        assert!(r.contains('A') && r.contains('B'));
+        assert!(r.contains('-'), "missing point rendered as dash");
+        assert!(r.contains("note"));
+    }
+
+    #[test]
+    fn empty_series_mean_is_zero() {
+        let s = Series::new("empty", []);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

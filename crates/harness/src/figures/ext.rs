@@ -1,0 +1,220 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! * [`adaptation`] — §4.2 "Divergence at replay time" / §4.3 double
+//!   buffering: when a function's behaviour shifts between invocations,
+//!   always-on recording (the default, double-buffered operation) re-learns
+//!   the new working set within one invocation, while a record-once policy
+//!   degrades permanently.
+//! * [`metadata_footprint`] — §4/§5.3: per-function metadata size against
+//!   the 120 KiB budget (the paper's scalability argument: thousands of
+//!   functions, no on-chip state).
+
+use crate::figure::{Figure, Series};
+use crate::runner::Harness;
+use ignite_core::os::ControlRegisters;
+use ignite_engine::config::FrontEndConfig;
+use ignite_engine::machine::Machine;
+use ignite_engine::sim::run_invocation;
+
+/// Invocation index at which the simulated behaviour shift happens.
+const SHIFT_AT: u64 = 3;
+/// Invocations simulated per mode.
+const INVOCATIONS: u64 = 7;
+/// Site-deviation probability after the shift (vs the 3% default).
+const SHIFTED_NOISE: f64 = 0.30;
+
+/// Runs the adaptation experiment.
+///
+/// Series are per-invocation CPIs for the two recording policies; the
+/// behaviour shift occurs before invocation `3`.
+pub fn adaptation(h: &Harness) -> Figure {
+    let f = &h.functions()[1];
+    let mut series = Vec::new();
+    for (label, record_always) in
+        [("Record once", false), ("Double-buffered (default)", true)]
+    {
+        let mut m = Machine::new(&h.uarch, &FrontEndConfig::ignite());
+        let mut points = Vec::new();
+        for inv in 0..INVOCATIONS {
+            if inv > 0 {
+                m.between_invocations();
+            }
+            if inv == 1 && !record_always {
+                // Freeze the metadata recorded during invocation 0.
+                m.ignite
+                    .as_mut()
+                    .expect("ignite configured")
+                    .os_mut()
+                    .set_control(ControlRegisters { record: false, replay: true });
+            }
+            let mut fi = f.clone();
+            if inv >= SHIFT_AT {
+                fi.noise = SHIFTED_NOISE;
+            }
+            // Keep the walker seed fixed after the shift so the *new*
+            // behaviour is itself stable (a persistent phase change).
+            let seed = if inv >= SHIFT_AT { SHIFT_AT + 1000 } else { inv };
+            let r = run_invocation(&mut m, &fi, seed);
+            points.push((format!("inv{inv}"), r.cpi()));
+        }
+        series.push(Series { label: label.to_string(), points });
+    }
+    Figure {
+        id: "ext-adaptation".to_string(),
+        caption: "Behaviour shift at invocation 3: record-once vs double-buffered"
+            .to_string(),
+        series,
+        notes: "Expected: both policies degrade at the shift; the \
+                double-buffered recorder recovers within one invocation, the \
+                frozen record does not (§4.2-4.3)."
+            .to_string(),
+    }
+}
+
+/// Validates the lukewarm flush protocol against *real* interleaving.
+///
+/// The paper (and its predecessor, Jukebox) models interleaving thousands
+/// of co-located functions with a stressor / state flush, citing evidence
+/// that the microarchitectural effect is equivalent (§2.2, §5.3). This
+/// experiment checks that equivalence in the simulator: the
+/// function-under-test runs back-to-back while `k` *other* suite functions
+/// execute in between — no artificial flush — thrashing the caches, BTB
+/// and CBP naturally. As `k` grows, the measured CPI must approach the
+/// flush-protocol CPI.
+pub fn interleaving(h: &Harness) -> Figure {
+    let fut = &h.functions()[0];
+    let warm_cfg = FrontEndConfig::nl()
+        .with_policy("(warm)", ignite_engine::StatePolicy::back_to_back());
+    let mut points = Vec::new();
+    for k in [0usize, 1, 2, 4, 8, 19] {
+        let mut m = Machine::new(&h.uarch, &warm_cfg);
+        // Warm the function-under-test.
+        run_invocation(&mut m, fut, 0);
+        let mut cpis = Vec::new();
+        for round in 1..=2u64 {
+            // Interleave k other functions (no flush between them either).
+            for other in h.functions().iter().skip(1).take(k) {
+                run_invocation(&mut m, other, round);
+            }
+            let r = run_invocation(&mut m, fut, round);
+            cpis.push(r.cpi());
+        }
+        points.push((format!("{k} interleaved"), cpis.iter().sum::<f64>() / cpis.len() as f64));
+    }
+    // Reference: the paper's flush protocol.
+    let mut m = Machine::new(&h.uarch, &FrontEndConfig::nl());
+    run_invocation(&mut m, fut, 0);
+    let mut cpis = Vec::new();
+    for round in 1..=2u64 {
+        m.between_invocations();
+        cpis.push(run_invocation(&mut m, fut, round).cpi());
+    }
+    points.push((
+        "flush protocol".to_string(),
+        cpis.iter().sum::<f64>() / cpis.len() as f64,
+    ));
+    Figure {
+        id: "ext-interleaving".to_string(),
+        caption: "Real function interleaving vs the lukewarm flush protocol (NL, CPI of \
+                  the function under test)"
+            .to_string(),
+        series: vec![Series { label: "CPI".to_string(), points }],
+        notes: "Expected: CPI rises with the number of interleaved functions \
+                toward the flush-protocol CPI, which models thousands of \
+                co-located functions (the suite's 20 functions overflow the BTB \
+                and L2 but only partially thrash the 8 MiB LLC at small scales) \
+                — the equivalence the paper's methodology (§5.3) relies on."
+            .to_string(),
+    }
+}
+
+/// Per-function metadata footprint after one recorded invocation.
+pub fn metadata_footprint(h: &Harness) -> Figure {
+    let mut kib = Vec::new();
+    let mut bits_per_entry = Vec::new();
+    for (abbr, f) in h.abbrs().iter().zip(h.functions()) {
+        let mut m = Machine::new(&h.uarch, &FrontEndConfig::ignite());
+        run_invocation(&mut m, f, 0);
+        let ignite = m.ignite.as_ref().expect("ignite configured");
+        let bytes = ignite.os().metadata_bytes(f.container).unwrap_or(0);
+        let entries = m.btb.stats().insertions.max(1);
+        kib.push((abbr.clone(), bytes as f64 / 1024.0));
+        bits_per_entry.push((abbr.clone(), bytes as f64 * 8.0 / entries as f64));
+    }
+    Figure {
+        id: "ext-metadata".to_string(),
+        caption: "Per-function Ignite metadata footprint (budget: 120 KiB)".to_string(),
+        series: vec![
+            Series { label: "Metadata [KiB]".to_string(), points: kib },
+            Series { label: "Bits/record".to_string(), points: bits_per_entry },
+        ],
+        notes: "The paper stores all metadata in main memory, ~120 KiB max per \
+                function — thousands of co-resident functions need no on-chip \
+                state."
+            .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_buffering_recovers_from_behaviour_shift() {
+        let h = Harness::for_tests();
+        let fig = adaptation(&h);
+        let last = format!("inv{}", INVOCATIONS - 1);
+        let frozen = fig.series("Record once").unwrap().value(&last).unwrap();
+        let fresh =
+            fig.series("Double-buffered (default)").unwrap().value(&last).unwrap();
+        assert!(
+            fresh < frozen,
+            "double buffering must recover after the shift: {fresh} vs {frozen}"
+        );
+        // Before the shift the two policies behave identically.
+        let pre = "inv2";
+        let a = fig.series("Record once").unwrap().value(pre).unwrap();
+        let b = fig.series("Double-buffered (default)").unwrap().value(pre).unwrap();
+        assert!((a - b).abs() / a < 0.08, "pre-shift equivalence: {a} vs {b}");
+    }
+
+    #[test]
+    fn interleaving_converges_to_the_flush_protocol() {
+        let h = Harness::for_tests();
+        let fig = interleaving(&h);
+        let cpi = |x: &str| fig.series("CPI").unwrap().value(x).unwrap();
+        let warm = cpi("0 interleaved");
+        let max_interleaved = cpi("19 interleaved");
+        let flush = cpi("flush protocol");
+        assert!(
+            max_interleaved > warm * 1.04,
+            "interleaving must degrade performance: {max_interleaved} vs warm {warm}"
+        );
+        assert!(
+            max_interleaved >= cpi("2 interleaved") * 0.95,
+            "degradation grows with co-location"
+        );
+        // The flush protocol models *thousands* of co-located functions, so
+        // it upper-bounds what 19 can do — especially at test scale, where
+        // 19 functions do not overflow the LLC. At paper scale the gap
+        // closes (see the ext-interleaving figure in EXPERIMENTS.md).
+        assert!(
+            max_interleaved <= flush * 1.05,
+            "flush protocol bounds 19-way interleaving: {max_interleaved} vs {flush}"
+        );
+        assert!(warm < flush, "flush is strictly worse than back-to-back");
+    }
+
+    #[test]
+    fn metadata_fits_the_budget_and_compresses() {
+        let h = Harness::for_tests();
+        let fig = metadata_footprint(&h);
+        for (abbr, kib) in &fig.series("Metadata [KiB]").unwrap().points {
+            assert!(*kib <= 120.0, "{abbr} metadata {kib} KiB exceeds the budget");
+            assert!(*kib > 0.0, "{abbr} recorded nothing");
+        }
+        for (abbr, bits) in &fig.series("Bits/record").unwrap().points {
+            assert!(*bits < 60.0, "{abbr}: {bits} bits/record (naive format is 100)");
+        }
+    }
+}

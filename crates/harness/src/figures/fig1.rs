@@ -1,0 +1,72 @@
+//! Fig. 1: CPI stacks for interleaved (lukewarm) vs. back-to-back
+//! execution, per function.
+//!
+//! The paper's hardware experiment on an Ice Lake Xeon; here the same
+//! comparison runs in the simulator (the substitution the paper itself
+//! makes for §2.3 onward). Expected shape: interleaved CPI is 2× or more
+//! the back-to-back CPI, with front-end stalls (fetch + bad speculation)
+//! responsible for roughly two-thirds of the degradation.
+
+use crate::figure::Figure;
+use crate::figures::per_function_series;
+use crate::runner::Harness;
+use ignite_engine::config::{FrontEndConfig, StatePolicy};
+use ignite_engine::topdown::Category;
+
+/// Runs the experiment.
+pub fn run(h: &Harness) -> Figure {
+    let interleaved = h.run_config(&FrontEndConfig::nl());
+    let warm =
+        h.run_config(&FrontEndConfig::nl().with_policy("(warm)", StatePolicy::back_to_back()));
+
+    let mut series = Vec::new();
+    for (prefix, results) in [("Interleaved", &interleaved), ("Back-to-back", &warm)] {
+        for cat in Category::ALL {
+            series.push(per_function_series(
+                &format!("{prefix} {cat}"),
+                h.abbrs(),
+                results.iter().map(|r| r.topdown.get(cat) / r.instructions.max(1) as f64),
+            ));
+        }
+        series.push(per_function_series(
+            &format!("{prefix} CPI"),
+            h.abbrs(),
+            results.iter().map(|r| r.cpi()),
+        ));
+    }
+
+    Figure {
+        id: "fig1".to_string(),
+        caption: "CPI stack: interleaved (lukewarm) vs back-to-back execution".to_string(),
+        series,
+        notes: "Paper shape: interleaved CPI 2x+ of back-to-back; front-end stalls \
+                (fetch + bad speculation) are ~2/3 of the degradation."
+            .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_is_clearly_slower_and_frontend_dominated() {
+        let h = Harness::for_tests();
+        let fig = run(&h);
+        let luke = fig.series("Interleaved CPI").unwrap().value("Mean").unwrap();
+        let warm = fig.series("Back-to-back CPI").unwrap().value("Mean").unwrap();
+        assert!(luke > warm * 1.4, "interleaved {luke} vs warm {warm}");
+
+        // Front-end share of the degradation dominates.
+        let d_fetch = fig.series("Interleaved Fetch Bound").unwrap().value("Mean").unwrap()
+            - fig.series("Back-to-back Fetch Bound").unwrap().value("Mean").unwrap();
+        let d_bad = fig.series("Interleaved Bad Speculation").unwrap().value("Mean").unwrap()
+            - fig.series("Back-to-back Bad Speculation").unwrap().value("Mean").unwrap();
+        let d_total = luke - warm;
+        assert!(
+            (d_fetch + d_bad) / d_total > 0.5,
+            "front-end share {}",
+            (d_fetch + d_bad) / d_total
+        );
+    }
+}

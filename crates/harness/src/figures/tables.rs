@@ -1,0 +1,92 @@
+//! Tables 1 and 2: the benchmark suite and the simulated processor.
+
+use crate::figure::{Figure, Series};
+use crate::runner::Harness;
+
+/// Table 1: the 20 serverless functions and their language runtimes.
+pub fn table1(h: &Harness) -> Figure {
+    let series = vec![
+        Series::new(
+            "Code [KiB]",
+            h.functions()
+                .iter()
+                .zip(h.abbrs())
+                .map(|(f, a)| (a.clone(), f.image.code_bytes() as f64 / 1024.0)),
+        ),
+        Series::new(
+            "Static branches",
+            h.functions()
+                .iter()
+                .zip(h.abbrs())
+                .map(|(f, a)| (a.clone(), f.image.static_branches() as f64)),
+        ),
+        Series::new(
+            "Invocation [Kinstr]",
+            h.functions()
+                .iter()
+                .zip(h.abbrs())
+                .map(|(f, a)| (a.clone(), f.invocation_instrs as f64 / 1000.0)),
+        ),
+    ];
+    Figure {
+        id: "table1".to_string(),
+        caption: "Benchmark suite (synthetic stand-ins for the paper's vSwarm \
+                  functions; suffix P = Python, N = NodeJS, G = Go)"
+            .to_string(),
+        series,
+        notes: String::new(),
+    }
+}
+
+/// Table 2: simulated processor parameters.
+pub fn table2(h: &Harness) -> Figure {
+    let c = &h.uarch;
+    let points = vec![
+        ("L1-I size [KiB]".to_string(), c.hierarchy.l1i.size_bytes as f64 / 1024.0),
+        ("L1-I ways".to_string(), c.hierarchy.l1i.ways as f64),
+        ("L2 size [KiB]".to_string(), c.hierarchy.l2.size_bytes as f64 / 1024.0),
+        ("L2 ways".to_string(), c.hierarchy.l2.ways as f64),
+        ("L2 latency [cyc]".to_string(), c.hierarchy.l2_latency as f64),
+        ("LLC size [MiB]".to_string(), c.hierarchy.llc.size_bytes as f64 / (1024.0 * 1024.0)),
+        ("LLC latency [cyc]".to_string(), c.hierarchy.llc_latency as f64),
+        ("Memory latency [cyc]".to_string(), c.hierarchy.memory_latency as f64),
+        ("BTB entries".to_string(), c.btb.entries as f64),
+        ("BTB ways".to_string(), c.btb.ways as f64),
+        ("Bimodal [KiB]".to_string(), c.cbp.bimodal.size_bytes as f64 / 1024.0),
+        ("TAGE tables".to_string(), c.cbp.tage.tables as f64),
+        ("TAGE storage [KiB]".to_string(), c.cbp.tage.storage_bytes() as f64 / 1024.0),
+        ("FTQ entries".to_string(), c.frontend.ftq_entries as f64),
+        ("Fetch [B/cyc]".to_string(), c.frontend.fetch_bytes_per_cycle as f64),
+        ("ROB entries".to_string(), c.backend.rob_entries as f64),
+    ];
+    Figure {
+        id: "table2".to_string(),
+        caption: "Simulated processor parameters (paper Table 2)".to_string(),
+        series: vec![Series::new("Value", points)],
+        notes: String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_functions() {
+        let h = Harness::for_tests();
+        let fig = table1(&h);
+        assert_eq!(fig.series("Code [KiB]").unwrap().points.len(), 20);
+        assert!(fig.render().contains("RecO-P"));
+    }
+
+    #[test]
+    fn table2_matches_paper_parameters() {
+        let h = Harness::for_tests();
+        let fig = table2(&h);
+        let v = |k: &str| fig.series("Value").unwrap().value(k).unwrap();
+        assert_eq!(v("BTB entries"), 12.0 * 1024.0);
+        assert_eq!(v("L1-I size [KiB]"), 32.0);
+        assert_eq!(v("ROB entries"), 353.0);
+        assert_eq!(v("FTQ entries"), 32.0);
+    }
+}

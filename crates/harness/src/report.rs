@@ -1,0 +1,423 @@
+//! EXPERIMENTS.md generation: paper-vs-measured comparison for every
+//! reproduced table and figure, with automated shape verdicts.
+//!
+//! Each [`Claim`] is one quantitative statement from the paper's evaluation
+//! with the corresponding measurement from this reproduction and a verdict
+//! on whether the *shape* (ordering/crossover/direction) reproduces.
+
+use std::fmt::Write as _;
+
+use crate::figure::Figure;
+use crate::figures;
+use crate::runner::Harness;
+
+/// One paper claim checked against the reproduction.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// What the paper states.
+    pub paper: String,
+    /// What this reproduction measures.
+    pub measured: String,
+    /// Whether the qualitative shape reproduces.
+    pub holds: bool,
+}
+
+impl Claim {
+    fn new(paper: impl Into<String>, measured: impl Into<String>, holds: bool) -> Self {
+        Claim { paper: paper.into(), measured: measured.into(), holds }
+    }
+}
+
+/// A reproduced experiment plus its claim checklist.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The figure data.
+    pub figure: Figure,
+    /// Claims checked for this figure.
+    pub claims: Vec<Claim>,
+}
+
+fn v(fig: &Figure, series: &str, x: &str) -> f64 {
+    fig.series(series).and_then(|s| s.value(x)).unwrap_or(f64::NAN)
+}
+
+fn fig1_report(h: &Harness) -> Report {
+    let figure = figures::fig1::run(h);
+    let luke = v(&figure, "Interleaved CPI", "Mean");
+    let warm = v(&figure, "Back-to-back CPI", "Mean");
+    let d_fe = (v(&figure, "Interleaved Fetch Bound", "Mean")
+        + v(&figure, "Interleaved Bad Speculation", "Mean"))
+        - (v(&figure, "Back-to-back Fetch Bound", "Mean")
+            + v(&figure, "Back-to-back Bad Speculation", "Mean"));
+    let share = d_fe / (luke - warm);
+    Report {
+        claims: vec![
+            Claim::new(
+                "interleaving increases CPI by 100-294% (162% mean)",
+                format!("{:.0}% mean CPI increase", (luke / warm - 1.0) * 100.0),
+                luke / warm > 1.5,
+            ),
+            Claim::new(
+                "front-end stalls are ~2/3 of the degradation",
+                format!("{:.0}% of the degradation is front-end", share * 100.0),
+                share > 0.5,
+            ),
+        ],
+        figure,
+    }
+}
+
+fn fig2_report(h: &Harness) -> Report {
+    let figure = figures::fig2::run(h);
+    let instr = figure.series("Instruction WS [KiB]").expect("series");
+    let branch = figure.series("Branch WS [BTB entries]").expect("series");
+    let (imin, imax) = instr
+        .points
+        .iter()
+        .filter(|(k, _)| k != "Mean")
+        .fold((f64::MAX, 0f64), |(lo, hi), (_, v)| (lo.min(*v), hi.max(*v)));
+    let (bmin, bmax) = branch
+        .points
+        .iter()
+        .filter(|(k, _)| k != "Mean")
+        .fold((f64::MAX, 0f64), |(lo, hi), (_, v)| (lo.min(*v), hi.max(*v)));
+    Report {
+        claims: vec![
+            Claim::new(
+                "instruction working sets 240-620 KiB",
+                format!("{imin:.0}-{imax:.0} KiB"),
+                imin > 100.0 && imax > 300.0,
+            ),
+            Claim::new(
+                "branch working sets 5.4K (Auth-G) to ~14K (RecO-P) BTB entries",
+                format!("{bmin:.0}-{bmax:.0} entries"),
+                bmin > 3_000.0 && bmax > 8_000.0,
+            ),
+        ],
+        figure,
+    }
+}
+
+fn fig3_report(h: &Harness) -> Report {
+    let figure = figures::fig3::run(h);
+    let s = |name: &str| v(&figure, name, "Speedup");
+    Report {
+        claims: vec![
+            Claim::new(
+                "Boomerang +12%, Jukebox +16%, Boomerang+JB +20%, Ideal +61%",
+                format!(
+                    "Boomerang {:+.0}%, Jukebox {:+.0}%, B+JB {:+.0}%, Ideal {:+.0}%",
+                    (s("Boomerang") - 1.0) * 100.0,
+                    (s("Jukebox") - 1.0) * 100.0,
+                    (s("Boomerang + JB") - 1.0) * 100.0,
+                    (s("Ideal") - 1.0) * 100.0
+                ),
+                s("Jukebox") > s("Boomerang")
+                    && s("Boomerang + JB") > s("Jukebox") * 0.97
+                    && s("Ideal") > 1.4,
+            ),
+            Claim::new(
+                "Boomerang raises CBP mispredictions vs NL (cold-CBP exposure)",
+                format!(
+                    "CBP MPKI {:.1} (NL) -> {:.1} (Boomerang)",
+                    v(&figure, "NL", "CBP MPKI"),
+                    v(&figure, "Boomerang", "CBP MPKI")
+                ),
+                v(&figure, "Boomerang", "CBP MPKI") > v(&figure, "NL", "CBP MPKI"),
+            ),
+        ],
+        figure,
+    }
+}
+
+fn fig4_report(h: &Harness) -> Report {
+    let figure = figures::fig4::run(h);
+    let s = |name: &str| v(&figure, name, "Speedup");
+    let base = s("Boomerang + JB");
+    let btb = s("Boomerang + JB + warm BTB");
+    let bpu = s("Boomerang + JB + warm BTB + warm CBP");
+    Report {
+        claims: vec![Claim::new(
+            "warm BTB +4.2%; warm BTB+CBP a further +10%",
+            format!(
+                "warm BTB {:+.1}%; + warm CBP a further {:+.1}%",
+                (btb / base - 1.0) * 100.0,
+                (bpu / btb - 1.0) * 100.0
+            ),
+            btb > base && bpu > btb,
+        )],
+        figure,
+    }
+}
+
+fn fig5_report(h: &Harness) -> Report {
+    let figure = figures::fig5::run(h);
+    let c = |name: &str| v(&figure, name, "CBP MPKI");
+    let cold = c("Boomerang + JB (BTB warm, CBP cold)");
+    let bim = c("Boomerang + JB + BIM warm");
+    let full = c("Boomerang + JB + TAGE warm");
+    let fraction = (cold - bim) / (cold - full).max(1e-9);
+    Report {
+        claims: vec![Claim::new(
+            "warm BIM alone achieves ~51% of the full warm-CBP benefit (19.3 -> 14.5 -> 10 MPKI)",
+            format!("{cold:.1} -> {bim:.1} -> {full:.1} MPKI ({:.0}% from BIM)", fraction * 100.0),
+            bim < cold && full <= bim && fraction > 0.3,
+        )],
+        figure,
+    }
+}
+
+fn fig6_report(h: &Harness) -> Report {
+    let figure = figures::fig6::run(h);
+    let init = v(&figure, "Initial MPKI", "Mean");
+    let subs = v(&figure, "Subsequent MPKI", "Mean");
+    let frac = init / (init + subs);
+    Report {
+        claims: vec![Claim::new(
+            "12-49% (33% mean) of mispredictions are initial",
+            format!("{:.0}% mean initial fraction", frac * 100.0),
+            (0.05..0.8).contains(&frac),
+        )],
+        figure,
+    }
+}
+
+fn fig8_report(h: &Harness) -> Report {
+    let figure = figures::fig8::run(h);
+    let s = |name: &str| v(&figure, name, "Mean");
+    let ignite = s("Ignite");
+    let bjb = s("Boomerang + JB");
+    Report {
+        claims: vec![
+            Claim::new(
+                "Ignite +43% mean (21-62%); 2.2x Boomerang+JB's improvement",
+                format!(
+                    "Ignite {:+.0}%; {:.1}x Boomerang+JB's improvement",
+                    (ignite - 1.0) * 100.0,
+                    (ignite - 1.0) / (bjb - 1.0)
+                ),
+                ignite > bjb && (ignite - 1.0) / (bjb - 1.0) > 1.5,
+            ),
+            Claim::new(
+                "Ignite+TAGE +50%; Ideal +61%",
+                format!(
+                    "Ignite+TAGE {:+.0}%; Ideal {:+.0}%",
+                    (s("Ignite + TAGE") - 1.0) * 100.0,
+                    (s("Ideal") - 1.0) * 100.0
+                ),
+                s("Ignite + TAGE") >= ignite && s("Ideal") > s("Ignite + TAGE"),
+            ),
+        ],
+        figure,
+    }
+}
+
+fn fig9a_report(h: &Harness) -> Report {
+    let figure = figures::fig9::run_a(h);
+    let g = |cfg: &str, m: &str| v(&figure, cfg, m);
+    Report {
+        claims: vec![
+            Claim::new(
+                "Ignite halves L1-I MPKI vs Boomerang+JB (26 -> ~12)",
+                format!(
+                    "{:.1} -> {:.1} L1-I MPKI",
+                    g("Boomerang + JB", "L1I MPKI"),
+                    g("Ignite", "L1I MPKI")
+                ),
+                g("Ignite", "L1I MPKI") < g("Boomerang + JB", "L1I MPKI") * 0.85,
+            ),
+            Claim::new(
+                "BTB MPKI 13 -> 1.9 (over 5x)",
+                format!(
+                    "{:.1} -> {:.1} BTB MPKI ({:.1}x)",
+                    g("Boomerang + JB", "BTB MPKI"),
+                    g("Ignite", "BTB MPKI"),
+                    g("Boomerang + JB", "BTB MPKI") / g("Ignite", "BTB MPKI").max(1e-9)
+                ),
+                g("Ignite", "BTB MPKI") < g("Boomerang + JB", "BTB MPKI") * 0.65,
+            ),
+            Claim::new(
+                "CBP mispredictions nearly halve (19+ -> ~10); Ignite+TAGE -> 6.6",
+                format!(
+                    "{:.1} -> {:.1} -> {:.1} CBP MPKI",
+                    g("Boomerang + JB", "CBP MPKI"),
+                    g("Ignite", "CBP MPKI"),
+                    g("Ignite + TAGE", "CBP MPKI")
+                ),
+                g("Ignite", "CBP MPKI") < g("Boomerang + JB", "CBP MPKI")
+                    && g("Ignite + TAGE", "CBP MPKI") <= g("Ignite", "CBP MPKI"),
+            ),
+        ],
+        figure,
+    }
+}
+
+fn fig9b_report(h: &Harness) -> Report {
+    let figure = figures::fig9::run_b(h);
+    let ignite = v(&figure, "Ignite Initial MPKI", "Mean");
+    let background = v(&figure, "BJB+warmBTB Initial MPKI", "Mean");
+    Report {
+        claims: vec![Claim::new(
+            "Ignite covers 67% of initial mispredictions",
+            format!(
+                "{:.0}% of initial mispredictions covered ({background:.1} -> {ignite:.1} MPKI)",
+                (1.0 - ignite / background.max(1e-9)) * 100.0
+            ),
+            ignite < background * 0.6,
+        )],
+        figure,
+    }
+}
+
+fn fig9c_report(h: &Harness) -> Report {
+    let figure = figures::fig9::run_c(h);
+    let over = |row: &str| v(&figure, row, "Overpredicted");
+    Report {
+        claims: vec![Claim::new(
+            "only 1.4% of L2 prefetches and 3.9% of BTB restores unused; 6.2% induced mispredictions",
+            format!(
+                "L2 {:.1}%, BTB {:.1}%, CBP {:.1}% overpredicted",
+                over("L2 Misses") * 100.0,
+                over("BTB Misses") * 100.0,
+                over("CBP Misses") * 100.0
+            ),
+            over("L2 Misses") < 0.25 && over("BTB Misses") < 0.25,
+        )],
+        figure,
+    }
+}
+
+fn fig10_report(h: &Harness) -> Report {
+    let figure = figures::fig10::run(h);
+    let g = |cfg: &str, m: &str| v(&figure, cfg, m);
+    Report {
+        claims: vec![
+            Claim::new(
+                "25% of NL's traffic is useless; Boomerang(+JB) fetch even more wrong-path bytes",
+                format!(
+                    "useless: NL {:.0} KiB, Boomerang {:.0} KiB, B+JB {:.0} KiB",
+                    g("NL", "Useless Instructions [KiB]"),
+                    g("Boomerang", "Useless Instructions [KiB]"),
+                    g("Boomerang + JB", "Useless Instructions [KiB]")
+                ),
+                g("Boomerang", "Useless Instructions [KiB]")
+                    > g("NL", "Useless Instructions [KiB]"),
+            ),
+            Claim::new(
+                "Ignite uses 8.6% less total bandwidth than Boomerang, 17% less than B+JB",
+                format!(
+                    "Ignite total {:.0} KiB vs Boomerang {:.0} KiB vs B+JB {:.0} KiB",
+                    g("Ignite", "Total [KiB]"),
+                    g("Boomerang", "Total [KiB]"),
+                    g("Boomerang + JB", "Total [KiB]")
+                ),
+                g("Ignite", "Total [KiB]") < g("Boomerang + JB", "Total [KiB]"),
+            ),
+        ],
+        figure,
+    }
+}
+
+fn fig11_report(h: &Harness) -> Report {
+    let figure = figures::fig11::run(h);
+    let s = |name: &str| v(&figure, name, "Speedup");
+    Report {
+        claims: vec![Claim::new(
+            "wNT degrades by 3% vs BTB-only; wT gains 6% and rivals preserving the BIM",
+            format!(
+                "BTB-only {:.3}, wNT {:.3}, wT {:.3}, preserved {:.3}",
+                s("BTB only"),
+                s("BIM wNT"),
+                s("BIM wT"),
+                s("BIM preserved")
+            ),
+            s("BIM wT") > s("BTB only") && s("BIM wNT") <= s("BIM wT"),
+        )],
+        figure,
+    }
+}
+
+fn fig12_report(h: &Harness) -> Report {
+    let figure = figures::fig12::run(h);
+    let s = |name: &str| v(&figure, name, "Speedup");
+    Report {
+        claims: vec![Claim::new(
+            "Confluence alone gains little; +Ignite cuts L1-I ~28% and BPU ~50%; FDP+Ignite slightly ahead",
+            format!(
+                "Confluence {:.3}, Confluence+Ignite {:.3}, FDP+Ignite {:.3}",
+                s("Confluence"),
+                s("Confluence + Ignite"),
+                s("Ignite (FDP)")
+            ),
+            s("Confluence + Ignite") > s("Confluence")
+                && s("Ignite (FDP)") > s("Confluence"),
+        )],
+        figure,
+    }
+}
+
+/// Runs every experiment and renders the full EXPERIMENTS.md content.
+pub fn experiments_markdown(h: &Harness) -> String {
+    let reports: Vec<(&str, Report)> = vec![
+        ("Fig. 1", fig1_report(h)),
+        ("Fig. 2", fig2_report(h)),
+        ("Fig. 3", fig3_report(h)),
+        ("Fig. 4", fig4_report(h)),
+        ("Fig. 5", fig5_report(h)),
+        ("Fig. 6", fig6_report(h)),
+        ("Fig. 8", fig8_report(h)),
+        ("Fig. 9a", fig9a_report(h)),
+        ("Fig. 9b", fig9b_report(h)),
+        ("Fig. 9c", fig9c_report(h)),
+        ("Fig. 10", fig10_report(h)),
+        ("Fig. 11", fig11_report(h)),
+        ("Fig. 12", fig12_report(h)),
+    ];
+    let mut out = String::new();
+    out.push_str(
+        "# EXPERIMENTS — paper vs. measured\n\n\
+         Generated by `figures --experiments` (see README for the command).\n\
+         Each section reproduces one evaluation figure of the paper; claims\n\
+         are checked automatically against the measured data. ✅ = the\n\
+         qualitative shape reproduces; ⚠️ = it does not (discussed in\n\
+         DESIGN.md §7).\n",
+    );
+    let total: usize = reports.iter().map(|(_, r)| r.claims.len()).sum();
+    let held: usize =
+        reports.iter().flat_map(|(_, r)| &r.claims).filter(|c| c.holds).count();
+    let _ = writeln!(out, "\n**{held}/{total} paper claims reproduce in shape.**\n");
+    for (name, report) in &reports {
+        let _ = writeln!(out, "\n---\n\n# {name}\n");
+        for c in &report.claims {
+            let mark = if c.holds { "✅" } else { "⚠️" };
+            let _ = writeln!(out, "* {mark} paper: *{}*\n  * measured: {}", c.paper, c.measured);
+        }
+        out.push('\n');
+        out.push_str(&report.figure.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_generates_and_claims_mostly_hold() {
+        let h = Harness::for_tests();
+        // A cheap subset keeps the test fast; the full document is exercised
+        // by the `figures --experiments` binary run.
+        let r = fig8_report(&h);
+        assert_eq!(r.claims.len(), 2);
+        assert!(r.claims[0].holds, "headline claim: {}", r.claims[0].measured);
+        let md = {
+            let mut out = String::new();
+            for c in &r.claims {
+                out.push_str(&c.paper);
+                out.push_str(&c.measured);
+            }
+            out
+        };
+        assert!(md.contains('%'));
+    }
+}

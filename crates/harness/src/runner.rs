@@ -1,0 +1,166 @@
+//! Suite-wide experiment execution with thread parallelism.
+
+use std::sync::Mutex;
+
+use ignite_engine::config::FrontEndConfig;
+use ignite_engine::machine::PreparedFunction;
+use ignite_engine::metrics::InvocationResult;
+use ignite_engine::protocol::{run_function, RunOptions};
+use ignite_uarch::UarchConfig;
+use ignite_workloads::suite::Suite;
+
+/// The harness: a prepared suite plus run parameters.
+#[derive(Debug)]
+pub struct Harness {
+    /// Simulated machine parameters.
+    pub uarch: UarchConfig,
+    /// Run protocol (warm-up + measured invocations).
+    pub opts: RunOptions,
+    functions: Vec<PreparedFunction>,
+    abbrs: Vec<String>,
+    threads: usize,
+}
+
+impl Harness {
+    /// Builds a harness over the paper suite at the given scale
+    /// (1.0 = paper scale; smaller is faster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn new(scale: f64, opts: RunOptions) -> Self {
+        let suite = Suite::paper_suite_scaled(scale);
+        let functions: Vec<PreparedFunction> = suite
+            .functions()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| PreparedFunction::from_suite(f, i as u64))
+            .collect();
+        let abbrs = suite.functions().iter().map(|f| f.profile.abbr.clone()).collect();
+        Harness {
+            uarch: UarchConfig::ice_lake_like(),
+            opts,
+            functions,
+            abbrs,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+
+    /// Full paper-scale harness (the `figures` binary default).
+    pub fn paper() -> Self {
+        Harness::new(1.0, RunOptions::default())
+    }
+
+    /// A small, fast harness for integration tests (~6% scale, one
+    /// measured invocation).
+    pub fn for_tests() -> Self {
+        Harness::new(0.06, RunOptions::quick())
+    }
+
+    /// Function abbreviations, in Table 1 order.
+    pub fn abbrs(&self) -> &[String] {
+        &self.abbrs
+    }
+
+    /// The prepared functions.
+    pub fn functions(&self) -> &[PreparedFunction] {
+        &self.functions
+    }
+
+    /// Caps worker threads (for deterministic profiling).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Runs one front-end configuration over every suite function,
+    /// in parallel, returning per-function results in suite order.
+    pub fn run_config(&self, fe: &FrontEndConfig) -> Vec<InvocationResult> {
+        let next = Mutex::new(0usize);
+        let results: Mutex<Vec<Option<InvocationResult>>> =
+            Mutex::new(vec![None; self.functions.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(self.functions.len()).max(1) {
+                scope.spawn(|| loop {
+                    let i = {
+                        let mut n = next.lock().expect("worker queue poisoned");
+                        let i = *n;
+                        *n += 1;
+                        i
+                    };
+                    if i >= self.functions.len() {
+                        break;
+                    }
+                    let r = run_function(&self.uarch, fe, &self.functions[i], self.opts);
+                    results.lock().expect("results poisoned")[i] = Some(r);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("results poisoned")
+            .into_iter()
+            .map(|r| r.expect("every function ran"))
+            .collect()
+    }
+
+    /// Runs several configurations; returns results indexed
+    /// `[config][function]`.
+    pub fn run_matrix(&self, configs: &[FrontEndConfig]) -> Vec<Vec<InvocationResult>> {
+        configs.iter().map(|c| self.run_config(c)).collect()
+    }
+
+    /// Per-function speedups of `results` over `baseline` (equal-work
+    /// comparison: cycles are normalized by instructions executed).
+    pub fn speedups(
+        &self,
+        baseline: &[InvocationResult],
+        results: &[InvocationResult],
+    ) -> Vec<(String, f64)> {
+        self.abbrs
+            .iter()
+            .zip(baseline.iter().zip(results))
+            .map(|(abbr, (b, r))| {
+                let b_cpi = b.cpi();
+                let r_cpi = r.cpi();
+                let s = if r_cpi > 0.0 { b_cpi / r_cpi } else { 1.0 };
+                (abbr.clone(), s)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Harness {
+        let mut h = Harness::new(0.02, RunOptions::quick());
+        h.set_threads(2);
+        h
+    }
+
+    #[test]
+    fn runs_all_functions() {
+        let h = tiny();
+        let r = h.run_config(&FrontEndConfig::nl());
+        assert_eq!(r.len(), 20);
+        assert!(r.iter().all(|x| x.instructions > 0));
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let mut h = tiny();
+        let par = h.run_config(&FrontEndConfig::nl());
+        h.set_threads(1);
+        let ser = h.run_config(&FrontEndConfig::nl());
+        assert_eq!(par, ser, "thread count must not affect results");
+    }
+
+    #[test]
+    fn speedup_of_baseline_is_one() {
+        let h = tiny();
+        let r = h.run_config(&FrontEndConfig::nl());
+        let s = h.speedups(&r, &r);
+        assert!(s.iter().all(|(_, v)| (*v - 1.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,147 @@
+//! Predecode oracle: which branches live in a given cache line.
+//!
+//! Boomerang and Confluence fill the BTB by *predecoding* fetched cache
+//! blocks — scanning the raw bytes for branch instructions and extracting
+//! their targets. The simulator has no raw bytes, so this index plays the
+//! predecoder's role: it maps a cache line to the branches whose PCs fall in
+//! it. Only information a real predecoder could extract is exposed: branch
+//! PC, kind, and (for direct branches) the encoded target.
+
+use std::collections::HashMap;
+
+use ignite_uarch::addr::Addr;
+use ignite_uarch::btb::{BranchKind, BtbEntry};
+
+/// A branch as seen by a predecoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredecodedBranch {
+    /// Branch instruction address.
+    pub pc: Addr,
+    /// Branch kind.
+    pub kind: BranchKind,
+    /// Statically encoded target. `None` for indirect branches and returns,
+    /// whose targets a predecoder cannot know.
+    pub static_target: Option<Addr>,
+}
+
+impl PredecodedBranch {
+    /// Converts to a BTB entry, if the target is statically known.
+    pub fn to_btb_entry(self) -> Option<BtbEntry> {
+        self.static_target.map(|t| BtbEntry::new(self.pc, t, self.kind))
+    }
+}
+
+/// Line-granular index over all static branches of a code image.
+///
+/// # Example
+///
+/// ```
+/// use ignite_prefetch::branch_index::{BranchIndex, PredecodedBranch};
+/// use ignite_uarch::addr::Addr;
+/// use ignite_uarch::btb::BranchKind;
+///
+/// let index = BranchIndex::from_branches([PredecodedBranch {
+///     pc: Addr::new(0x1010),
+///     kind: BranchKind::Unconditional,
+///     static_target: Some(Addr::new(0x2000)),
+/// }]);
+/// assert_eq!(index.branches_in_line(Addr::new(0x1000)).len(), 1);
+/// assert!(index.branches_in_line(Addr::new(0x3000)).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BranchIndex {
+    by_line: HashMap<u64, Vec<PredecodedBranch>>,
+    total: usize,
+}
+
+impl BranchIndex {
+    /// Builds the index from an iterator of predecoded branches.
+    pub fn from_branches<I>(branches: I) -> Self
+    where
+        I: IntoIterator<Item = PredecodedBranch>,
+    {
+        let mut by_line: HashMap<u64, Vec<PredecodedBranch>> = HashMap::new();
+        let mut total = 0;
+        for b in branches {
+            by_line.entry(b.pc.line_number()).or_default().push(b);
+            total += 1;
+        }
+        for v in by_line.values_mut() {
+            v.sort_by_key(|b| b.pc);
+        }
+        BranchIndex { by_line, total }
+    }
+
+    /// Branches whose PC falls in the line containing `addr`, in PC order.
+    pub fn branches_in_line(&self, addr: Addr) -> &[PredecodedBranch] {
+        self.by_line.get(&addr.line_number()).map_or(&[], Vec::as_slice)
+    }
+
+    /// The branch at exactly `pc`, if any.
+    pub fn branch_at(&self, pc: Addr) -> Option<PredecodedBranch> {
+        self.branches_in_line(pc).iter().copied().find(|b| b.pc == pc)
+    }
+
+    /// Total indexed branches.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn branch(pc: u64, kind: BranchKind, target: Option<u64>) -> PredecodedBranch {
+        PredecodedBranch { pc: Addr::new(pc), kind, static_target: target.map(Addr::new) }
+    }
+
+    #[test]
+    fn groups_by_line() {
+        let idx = BranchIndex::from_branches([
+            branch(0x1004, BranchKind::Conditional, Some(0x1100)),
+            branch(0x103c, BranchKind::Call, Some(0x2000)),
+            branch(0x1040, BranchKind::Return, None),
+        ]);
+        assert_eq!(idx.branches_in_line(Addr::new(0x1000)).len(), 2);
+        assert_eq!(idx.branches_in_line(Addr::new(0x1040)).len(), 1);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn branches_sorted_by_pc() {
+        let idx = BranchIndex::from_branches([
+            branch(0x1030, BranchKind::Conditional, Some(0x1100)),
+            branch(0x1004, BranchKind::Conditional, Some(0x1200)),
+        ]);
+        let v = idx.branches_in_line(Addr::new(0x1000));
+        assert!(v[0].pc < v[1].pc);
+    }
+
+    #[test]
+    fn branch_at_exact_pc() {
+        let idx = BranchIndex::from_branches([branch(0x1004, BranchKind::Call, Some(0x9000))]);
+        assert!(idx.branch_at(Addr::new(0x1004)).is_some());
+        assert!(idx.branch_at(Addr::new(0x1005)).is_none());
+    }
+
+    #[test]
+    fn indirect_has_no_btb_entry() {
+        let b = branch(0x10, BranchKind::Indirect, None);
+        assert!(b.to_btb_entry().is_none());
+        let d = branch(0x10, BranchKind::Unconditional, Some(0x20));
+        assert_eq!(d.to_btb_entry().unwrap().target, Addr::new(0x20));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = BranchIndex::default();
+        assert!(idx.is_empty());
+        assert!(idx.branches_in_line(Addr::new(0)).is_empty());
+    }
+}

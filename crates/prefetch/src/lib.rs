@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Baseline front-end prefetchers evaluated against Ignite.
+//!
+//! Implements the prior art the paper compares with (§2.4, §5.3):
+//!
+//! * [`next_line::NextLine`] — the aggressive tagged next-line prefetcher
+//!   used as the baseline *and kept on in every configuration*.
+//! * [`boomerang::Boomerang`] — FDP augmented with BTB prefilling: BTB
+//!   misses discovered in the FTQ are resolved by predecoding the target
+//!   cache block (Kumar et al., HPCA'17).
+//! * [`jukebox::Jukebox`] — record-and-replay region prefetching of L2
+//!   instruction misses into the L2 (Schall et al., ISCA'22).
+//! * [`confluence::Confluence`] — unified temporal-streaming prefetching of
+//!   instruction blocks into the L1-I with predecode-driven BTB fill
+//!   (Kaynak et al., MICRO'15).
+//! * [`branch_index::BranchIndex`] — the predecode oracle: given a cache
+//!   line, which branches live in it (used by Boomerang and Confluence).
+//!
+//! The simulation engine owns fetch and FTQ policy; these types own the
+//! prefetcher-local state (buffers, metadata, latencies) and act on the
+//! shared [`ignite_uarch`] structures.
+
+pub mod boomerang;
+pub mod branch_index;
+pub mod confluence;
+pub mod jukebox;
+pub mod next_line;
+
+pub use boomerang::Boomerang;
+pub use branch_index::BranchIndex;
+pub use confluence::Confluence;
+pub use jukebox::Jukebox;
+pub use next_line::NextLine;

@@ -1,0 +1,283 @@
+//! Virtual addresses and alignment helpers.
+//!
+//! The simulator models 48-bit virtual addresses (as the paper assumes when
+//! sizing uncompressed metadata records: two 48-bit addresses = 96 bits).
+//! Cache lines are 64 bytes and pages 4 KiB throughout, matching the paper's
+//! simulated Ice Lake configuration.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Bytes per cache line (paper Table 2: 64 B lines at every level).
+pub const LINE_BYTES: u64 = 64;
+/// Bytes per virtual memory page.
+pub const PAGE_BYTES: u64 = 4096;
+/// Number of meaningful virtual-address bits.
+pub const VA_BITS: u32 = 48;
+/// Mask of the meaningful virtual-address bits.
+pub const VA_MASK: u64 = (1 << VA_BITS) - 1;
+
+/// A 48-bit virtual address.
+///
+/// `Addr` is a transparent newtype over `u64`; the upper 16 bits are always
+/// zero. Arithmetic saturates into the 48-bit space by masking.
+///
+/// # Example
+///
+/// ```
+/// use ignite_uarch::addr::{Addr, LINE_BYTES};
+///
+/// let a = Addr::new(0x1043);
+/// assert_eq!(a.line().as_u64(), 0x1040);
+/// assert_eq!(a.line_offset(), 3);
+/// assert_eq!((a + LINE_BYTES).line(), a.line().next_line());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address, masking to 48 bits.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw & VA_MASK)
+    }
+
+    /// The zero address.
+    pub const NULL: Addr = Addr(0);
+
+    /// Raw numeric value.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Address of the first byte of the containing cache line.
+    #[inline]
+    pub const fn line(self) -> Addr {
+        Addr(self.0 & !(LINE_BYTES - 1))
+    }
+
+    /// Byte offset within the containing cache line.
+    #[inline]
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+
+    /// Cache-line index (address divided by the line size).
+    #[inline]
+    pub const fn line_number(self) -> u64 {
+        self.0 / LINE_BYTES
+    }
+
+    /// Address of the first byte of the containing page.
+    #[inline]
+    pub const fn page(self) -> Addr {
+        Addr(self.0 & !(PAGE_BYTES - 1))
+    }
+
+    /// Address of the first byte of the containing power-of-two region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_bytes` is not a power of two.
+    #[inline]
+    pub fn region(self, region_bytes: u64) -> Addr {
+        assert!(region_bytes.is_power_of_two(), "region size must be a power of two");
+        Addr(self.0 & !(region_bytes - 1))
+    }
+
+    /// First byte of the next cache line.
+    #[inline]
+    pub const fn next_line(self) -> Addr {
+        Addr((self.0 & !(LINE_BYTES - 1)).wrapping_add(LINE_BYTES) & VA_MASK)
+    }
+
+    /// Signed distance `other - self` in bytes.
+    ///
+    /// Used by Ignite's metadata codec to compute branch-PC and target deltas.
+    #[inline]
+    pub const fn delta_to(self, other: Addr) -> i64 {
+        other.0 as i64 - self.0 as i64
+    }
+
+    /// Offsets the address by a signed byte delta, masking into 48 bits.
+    #[inline]
+    pub const fn offset(self, delta: i64) -> Addr {
+        Addr((self.0 as i64).wrapping_add(delta) as u64 & VA_MASK)
+    }
+
+    /// Whether `self` and `other` fall in the same cache line.
+    #[inline]
+    pub const fn same_line(self, other: Addr) -> bool {
+        self.line().0 == other.line().0
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr::new(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr::new(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = i64;
+    fn sub(self, rhs: Addr) -> i64 {
+        rhs.delta_to(self)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+/// Iterator over the cache lines overlapped by a byte range.
+///
+/// # Example
+///
+/// ```
+/// use ignite_uarch::addr::{lines_spanned, Addr};
+///
+/// let lines: Vec<_> = lines_spanned(Addr::new(0x10), 0x90).collect();
+/// assert_eq!(lines, vec![Addr::new(0x0), Addr::new(0x40), Addr::new(0x80)]);
+/// ```
+pub fn lines_spanned(start: Addr, bytes: u64) -> impl Iterator<Item = Addr> {
+    let first = start.line_number();
+    let last = if bytes == 0 { first } else { (start + (bytes - 1)).line_number() };
+    (first..=last).map(|n| Addr::new(n * LINE_BYTES))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_to_48_bits() {
+        let a = Addr::new(u64::MAX);
+        assert_eq!(a.as_u64(), VA_MASK);
+    }
+
+    #[test]
+    fn line_alignment() {
+        let a = Addr::new(0x1234_5678);
+        assert_eq!(a.line().as_u64() % LINE_BYTES, 0);
+        assert!(a.as_u64() - a.line().as_u64() < LINE_BYTES);
+        assert_eq!(a.line_offset(), a.as_u64() % LINE_BYTES);
+    }
+
+    #[test]
+    fn page_alignment() {
+        let a = Addr::new(0xdead_beef);
+        assert_eq!(a.page().as_u64() % PAGE_BYTES, 0);
+        assert_eq!(a.page().as_u64(), 0xdead_b000);
+    }
+
+    #[test]
+    fn region_alignment() {
+        let a = Addr::new(0x1457);
+        assert_eq!(a.region(1024).as_u64(), 0x1400);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn region_rejects_non_power_of_two() {
+        Addr::new(0).region(1000);
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let a = Addr::new(0x1000);
+        let b = Addr::new(0x10c0);
+        let d = a.delta_to(b);
+        assert_eq!(d, 0xc0);
+        assert_eq!(a.offset(d), b);
+        assert_eq!(b.offset(-d), a);
+    }
+
+    #[test]
+    fn negative_delta() {
+        let a = Addr::new(0x2000);
+        let b = Addr::new(0x1f00);
+        assert_eq!(a.delta_to(b), -0x100);
+        assert_eq!(a.offset(-0x100), b);
+    }
+
+    #[test]
+    fn same_line_detection() {
+        assert!(Addr::new(0x100).same_line(Addr::new(0x13f)));
+        assert!(!Addr::new(0x100).same_line(Addr::new(0x140)));
+    }
+
+    #[test]
+    fn lines_spanned_exact_line() {
+        let v: Vec<_> = lines_spanned(Addr::new(0x40), 64).collect();
+        assert_eq!(v, vec![Addr::new(0x40)]);
+    }
+
+    #[test]
+    fn lines_spanned_zero_bytes() {
+        let v: Vec<_> = lines_spanned(Addr::new(0x40), 0).collect();
+        assert_eq!(v, vec![Addr::new(0x40)]);
+    }
+
+    #[test]
+    fn lines_spanned_straddle() {
+        let v: Vec<_> = lines_spanned(Addr::new(0x7e), 4).collect();
+        assert_eq!(v, vec![Addr::new(0x40), Addr::new(0x80)]);
+    }
+
+    #[test]
+    fn add_and_sub() {
+        let a = Addr::new(0x1000);
+        assert_eq!((a + 0x40).as_u64(), 0x1040);
+        assert_eq!((a + 0x40) - a, 0x40);
+        let mut b = a;
+        b += 0x10;
+        assert_eq!(b.as_u64(), 0x1010);
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(format!("{}", Addr::new(0xabc)), "0xabc");
+        assert_eq!(format!("{:x}", Addr::new(0xabc)), "abc");
+        assert_eq!(format!("{:X}", Addr::new(0xabc)), "ABC");
+    }
+}

@@ -1,0 +1,214 @@
+//! Fetch target queue (FTQ) of a decoupled front-end.
+//!
+//! The branch-prediction unit pushes predicted fetch regions into the FTQ;
+//! the fetch engine (and the FDP prefetcher) consume from it. The queue is
+//! bounded (Table 2 / §5.3: 32 entries) and squashed wholesale on resteers.
+//! The entry payload is generic: the engine stores its own bookkeeping.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of predicted fetch work with squash accounting.
+///
+/// # Example
+///
+/// ```
+/// use ignite_uarch::ftq::Ftq;
+///
+/// let mut ftq: Ftq<u32> = Ftq::new(2);
+/// assert!(ftq.push(1).is_ok());
+/// assert!(ftq.push(2).is_ok());
+/// assert!(ftq.push(3).is_err(), "full");
+/// assert_eq!(ftq.pop(), Some(1));
+/// ftq.squash();
+/// assert!(ftq.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ftq<T> {
+    entries: VecDeque<T>,
+    capacity: usize,
+    squashes: u64,
+    squashed_entries: u64,
+    pushed: u64,
+}
+
+/// Error returned when pushing to a full FTQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtqFull;
+
+impl std::fmt::Display for FtqFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fetch target queue is full")
+    }
+}
+
+impl std::error::Error for FtqFull {}
+
+impl<T> Ftq<T> {
+    /// Creates an empty FTQ with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FTQ capacity must be positive");
+        Ftq {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            squashes: 0,
+            squashed_entries: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is full.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtqFull`] (with the rejected value untouched in the error
+    /// path) when the queue is at capacity.
+    pub fn push(&mut self, entry: T) -> Result<(), FtqFull> {
+        if self.is_full() {
+            return Err(FtqFull);
+        }
+        self.entries.push_back(entry);
+        self.pushed += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop(&mut self) -> Option<T> {
+        self.entries.pop_front()
+    }
+
+    /// The oldest entry, if any.
+    pub fn front(&self) -> Option<&T> {
+        self.entries.front()
+    }
+
+    /// Iterates oldest-to-youngest (the FDP prefetcher scans ahead this way).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration, oldest-to-youngest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.entries.iter_mut()
+    }
+
+    /// Discards all entries (front-end resteer).
+    pub fn squash(&mut self) {
+        self.squashes += 1;
+        self.squashed_entries += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
+    /// Number of squashes performed.
+    pub fn squashes(&self) -> u64 {
+        self.squashes
+    }
+
+    /// Total entries discarded by squashes.
+    pub fn squashed_entries(&self) -> u64 {
+        self.squashed_entries
+    }
+
+    /// Total entries ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Clears entries and statistics.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.squashes = 0;
+        self.squashed_entries = 0;
+        self.pushed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = Ftq::new(4);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = Ftq::new(1);
+        q.push(1).unwrap();
+        assert_eq!(q.push(2), Err(FtqFull));
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn squash_accounting() {
+        let mut q = Ftq::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        q.pop();
+        q.squash();
+        assert_eq!(q.squashes(), 1);
+        assert_eq!(q.squashed_entries(), 4);
+        assert!(q.is_empty());
+        assert_eq!(q.pushed(), 5);
+    }
+
+    #[test]
+    fn iter_is_oldest_first() {
+        let mut q = Ftq::new(4);
+        q.push(10).unwrap();
+        q.push(20).unwrap();
+        let v: Vec<_> = q.iter().copied().collect();
+        assert_eq!(v, vec![10, 20]);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let mut q = Ftq::new(4);
+        q.push(1).unwrap();
+        q.squash();
+        q.reset();
+        assert_eq!(q.squashes(), 0);
+        assert_eq!(q.pushed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Ftq::<u8>::new(0);
+    }
+
+    #[test]
+    fn error_is_displayable() {
+        assert!(!format!("{FtqFull}").is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Loop predictor (the "L" in L-TAGE).
+//!
+//! Seznec's L-TAGE pairs TAGE with a small loop predictor that learns
+//! constant trip counts: a branch that exits a loop after exactly N
+//! iterations is predicted with perfect accuracy once N has been confirmed
+//! a few times. The paper's CBP budget is "64 KiB L-TAGE"; this component
+//! completes the structure (the reproduction's default configuration keeps
+//! it disabled to match the calibrated baseline — enable via
+//! [`crate::cbp::CbpConfig::loop_predictor`]).
+//!
+//! Convention: a *loop branch* here is the loop's back-edge — taken to
+//! iterate, not-taken to exit. The predictor learns the taken-run length.
+
+use crate::addr::Addr;
+
+/// Loop predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopPredictorConfig {
+    /// Number of entries (direct-mapped, tagged).
+    pub entries: usize,
+    /// Tag bits.
+    pub tag_bits: u32,
+    /// Confirmations required before predictions are used.
+    pub confidence_threshold: u8,
+}
+
+impl Default for LoopPredictorConfig {
+    fn default() -> Self {
+        LoopPredictorConfig { entries: 256, tag_bits: 14, confidence_threshold: 3 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LoopEntry {
+    tag: u16,
+    valid: bool,
+    /// Learned trip count (taken iterations before the not-taken exit).
+    trip_count: u16,
+    /// Iterations seen in the current execution of the loop.
+    current: u16,
+    /// Confirmations of `trip_count` (saturating).
+    confidence: u8,
+}
+
+/// Prediction from the loop predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopPrediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Whether the entry is confident enough to override TAGE/bimodal.
+    pub confident: bool,
+}
+
+/// A tagged, direct-mapped loop predictor.
+///
+/// # Example
+///
+/// ```
+/// use ignite_uarch::addr::Addr;
+/// use ignite_uarch::loop_pred::{LoopPredictor, LoopPredictorConfig};
+///
+/// let mut lp = LoopPredictor::new(&LoopPredictorConfig::default());
+/// let pc = Addr::new(0x100);
+/// // Train a loop with a constant trip count of 3.
+/// for _ in 0..8 {
+///     for _ in 0..3 {
+///         lp.update(pc, true);
+///     }
+///     lp.update(pc, false);
+/// }
+/// // Predicts taken, taken, taken, then the exit.
+/// assert!(lp.predict(pc).unwrap().confident);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopPredictor {
+    cfg: LoopPredictorConfig,
+    entries: Vec<LoopEntry>,
+    hits: u64,
+    confident_predictions: u64,
+}
+
+impl LoopPredictor {
+    /// Creates an empty predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(cfg: &LoopPredictorConfig) -> Self {
+        assert!(cfg.entries > 0, "loop predictor needs entries");
+        LoopPredictor {
+            cfg: *cfg,
+            entries: vec![LoopEntry::default(); cfg.entries],
+            hits: 0,
+            confident_predictions: 0,
+        }
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        ((pc.as_u64() >> 2) % self.entries.len() as u64) as usize
+    }
+
+    fn tag(&self, pc: Addr) -> u16 {
+        (((pc.as_u64() >> 2) / self.entries.len() as u64)
+            & ((1 << self.cfg.tag_bits.min(16)) - 1)) as u16
+    }
+
+    /// Predicts the branch at `pc`, if it is being tracked.
+    pub fn predict(&mut self, pc: Addr) -> Option<LoopPrediction> {
+        let tag = self.tag(pc);
+        let e = &self.entries[self.index(pc)];
+        if !e.valid || e.tag != tag {
+            return None;
+        }
+        self.hits += 1;
+        let confident = e.confidence >= self.cfg.confidence_threshold;
+        if confident {
+            self.confident_predictions += 1;
+        }
+        // Taken while below the learned trip count; not-taken at the exit.
+        Some(LoopPrediction { taken: e.current < e.trip_count, confident })
+    }
+
+    /// Trains with a resolved outcome.
+    pub fn update(&mut self, pc: Addr, taken: bool) {
+        let tag = self.tag(pc);
+        let idx = self.index(pc);
+        let e = &mut self.entries[idx];
+        if !e.valid || e.tag != tag {
+            // Allocate on a loop exit (a not-taken after some takens would
+            // be ideal, but allocation on any branch keeps logic simple;
+            // useless entries lose confidence and get replaced).
+            if !taken {
+                *e = LoopEntry { tag, valid: true, trip_count: 0, current: 0, confidence: 0 };
+            }
+            return;
+        }
+        if taken {
+            e.current = e.current.saturating_add(1);
+            if e.confidence >= self.cfg.confidence_threshold && e.current > e.trip_count {
+                // Ran past the learned trip count: the loop changed.
+                e.confidence = 0;
+            }
+            return;
+        }
+        // Loop exit: confirm or re-learn the trip count.
+        if e.current == e.trip_count {
+            e.confidence = e.confidence.saturating_add(1).min(15);
+        } else {
+            e.trip_count = e.current;
+            e.confidence = 0;
+        }
+        e.current = 0;
+    }
+
+    /// Tracked-branch hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Predictions made with full confidence.
+    pub fn confident_predictions(&self) -> u64 {
+        self.confident_predictions
+    }
+
+    /// Clears all entries (lukewarm flush).
+    pub fn flush(&mut self) {
+        self.entries.fill(LoopEntry::default());
+    }
+
+    /// Clears statistics.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.confident_predictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_loop(lp: &mut LoopPredictor, pc: Addr, trips: usize, rounds: usize) {
+        for _ in 0..rounds {
+            for _ in 0..trips {
+                lp.update(pc, true);
+            }
+            lp.update(pc, false);
+        }
+    }
+
+    #[test]
+    fn learns_constant_trip_count() {
+        let mut lp = LoopPredictor::new(&LoopPredictorConfig::default());
+        let pc = Addr::new(0x400);
+        train_loop(&mut lp, pc, 5, 6);
+        // Now simulate a fresh loop execution, predicting each iteration.
+        let mut correct = 0;
+        for i in 0..6 {
+            let p = lp.predict(pc).expect("tracked");
+            let actual = i < 5;
+            if p.confident && p.taken == actual {
+                correct += 1;
+            }
+            lp.update(pc, actual);
+        }
+        assert_eq!(correct, 6, "a confirmed constant-trip loop predicts perfectly");
+    }
+
+    #[test]
+    fn untracked_branch_returns_none() {
+        let mut lp = LoopPredictor::new(&LoopPredictorConfig::default());
+        assert!(lp.predict(Addr::new(0x999)).is_none());
+    }
+
+    #[test]
+    fn changing_trip_count_drops_confidence() {
+        let mut lp = LoopPredictor::new(&LoopPredictorConfig::default());
+        let pc = Addr::new(0x200);
+        train_loop(&mut lp, pc, 4, 5);
+        assert!(lp.predict(pc).unwrap().confident);
+        // Different trip count: confidence resets, then rebuilds.
+        train_loop(&mut lp, pc, 7, 1);
+        // predict() advanced no state; re-check after the irregular round.
+        let p = lp.predict(pc).unwrap();
+        assert!(!p.confident, "trip-count change must clear confidence");
+        train_loop(&mut lp, pc, 7, 5);
+        assert!(lp.predict(pc).unwrap().confident);
+    }
+
+    #[test]
+    fn tag_mismatch_is_a_miss() {
+        let cfg = LoopPredictorConfig { entries: 4, tag_bits: 14, confidence_threshold: 3 };
+        let mut lp = LoopPredictor::new(&cfg);
+        let a = Addr::new(0x10);
+        let b = Addr::new(0x10 + 4 * 4); // same index, different tag
+        train_loop(&mut lp, a, 3, 5);
+        assert!(lp.predict(b).is_none());
+    }
+
+    #[test]
+    fn flush_forgets() {
+        let mut lp = LoopPredictor::new(&LoopPredictorConfig::default());
+        let pc = Addr::new(0x300);
+        train_loop(&mut lp, pc, 3, 5);
+        lp.flush();
+        assert!(lp.predict(pc).is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! Return address stack (RAS).
+//!
+//! Returns are predicted from a small hardware stack pushed by calls. The
+//! paper's front-end identifies returns through the BTB and supplies their
+//! targets from the RAS; Ignite restores return *identification* (the BTB
+//! entry) while the RAS itself refills naturally from the call stream.
+//!
+//! The model is a circular buffer: pushing beyond capacity overwrites the
+//! oldest entry, so call chains deeper than the RAS mispredict on the way
+//! back out, as in hardware.
+
+use crate::addr::Addr;
+
+/// RAS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RasConfig {
+    /// Number of entries (typical hardware: 16–64).
+    pub entries: usize,
+}
+
+impl Default for RasConfig {
+    fn default() -> Self {
+        RasConfig { entries: 32 }
+    }
+}
+
+/// A circular return address stack.
+///
+/// # Example
+///
+/// ```
+/// use ignite_uarch::addr::Addr;
+/// use ignite_uarch::ras::{Ras, RasConfig};
+///
+/// let mut ras = Ras::new(&RasConfig { entries: 4 });
+/// ras.push(Addr::new(0x100));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x100)));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ras {
+    ring: Vec<Addr>,
+    /// Next slot to write.
+    top: usize,
+    /// Number of live entries (≤ capacity).
+    len: usize,
+    pushes: u64,
+    pops: u64,
+    overflows: u64,
+    underflows: u64,
+}
+
+impl Ras {
+    /// Creates an empty stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(cfg: &RasConfig) -> Self {
+        assert!(cfg.entries > 0, "RAS needs at least one entry");
+        Ras {
+            ring: vec![Addr::NULL; cfg.entries],
+            top: 0,
+            len: 0,
+            pushes: 0,
+            pops: 0,
+            overflows: 0,
+            underflows: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes a return address (on a call). Overwrites the oldest entry
+    /// when full.
+    pub fn push(&mut self, return_to: Addr) {
+        self.pushes += 1;
+        self.ring[self.top] = return_to;
+        self.top = (self.top + 1) % self.ring.len();
+        if self.len < self.ring.len() {
+            self.len += 1;
+        } else {
+            self.overflows += 1;
+        }
+    }
+
+    /// Pops the predicted return target (on a return). `None` when empty
+    /// (the front-end then has no prediction — a guaranteed resteer).
+    pub fn pop(&mut self) -> Option<Addr> {
+        self.pops += 1;
+        if self.len == 0 {
+            self.underflows += 1;
+            return None;
+        }
+        self.top = (self.top + self.ring.len() - 1) % self.ring.len();
+        self.len -= 1;
+        Some(self.ring[self.top])
+    }
+
+    /// Pushes counted.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Pops counted.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Pushes that overwrote a live entry (deep call chains).
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Pops from an empty stack.
+    pub fn underflows(&self) -> u64 {
+        self.underflows
+    }
+
+    /// Clears the stack (context switch / lukewarm flush).
+    pub fn flush(&mut self) {
+        self.top = 0;
+        self.len = 0;
+    }
+
+    /// Clears statistics, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.pushes = 0;
+        self.pops = 0;
+        self.overflows = 0;
+        self.underflows = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ras(n: usize) -> Ras {
+        Ras::new(&RasConfig { entries: n })
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ras(8);
+        r.push(Addr::new(1));
+        r.push(Addr::new(2));
+        r.push(Addr::new(3));
+        assert_eq!(r.pop(), Some(Addr::new(3)));
+        assert_eq!(r.pop(), Some(Addr::new(2)));
+        assert_eq!(r.pop(), Some(Addr::new(1)));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut r = ras(2);
+        r.push(Addr::new(1));
+        r.push(Addr::new(2));
+        r.push(Addr::new(3)); // overwrites 1
+        assert_eq!(r.overflows(), 1);
+        assert_eq!(r.pop(), Some(Addr::new(3)));
+        assert_eq!(r.pop(), Some(Addr::new(2)));
+        assert_eq!(r.pop(), None, "the overwritten entry is gone");
+    }
+
+    #[test]
+    fn underflow_counted() {
+        let mut r = ras(2);
+        assert_eq!(r.pop(), None);
+        assert_eq!(r.underflows(), 1);
+    }
+
+    #[test]
+    fn wraparound_is_consistent() {
+        let mut r = ras(3);
+        for round in 0..5u64 {
+            r.push(Addr::new(round * 2 + 1));
+            assert_eq!(r.pop(), Some(Addr::new(round * 2 + 1)));
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.overflows(), 0);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut r = ras(4);
+        r.push(Addr::new(1));
+        r.flush();
+        assert!(r.is_empty());
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        ras(0);
+    }
+}

@@ -1,0 +1,570 @@
+//! TAGE conditional branch predictor component.
+//!
+//! A standard TAGE (TAgged GEometric history length) predictor: a set of
+//! tagged tables indexed by hashes of the branch PC and geometrically
+//! increasing slices of global history, with usefulness counters steering
+//! allocation. Together with the bimodal base ([`crate::bimodal`]) this
+//! forms the paper's L-TAGE-style CBP (Table 2: 64 KiB TAGE + 5 KiB BIM).
+//! The loop predictor of full L-TAGE is omitted (see DESIGN.md §5).
+//!
+//! Following the paper's §5.3 (citing the IBM z15 and AMD Zen 4), the
+//! global history is *taken-only*: only taken branches shift bits in.
+
+use crate::addr::Addr;
+use crate::rng::SplitMix64;
+
+/// TAGE configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TageConfig {
+    /// Number of tagged tables.
+    pub tables: usize,
+    /// Entries per tagged table (power of two).
+    pub entries_per_table: usize,
+    /// Tag width in bits.
+    pub tag_bits: u32,
+    /// Shortest history length.
+    pub min_history: u32,
+    /// Longest history length.
+    pub max_history: u32,
+    /// Updates between usefulness-counter decays.
+    pub u_reset_period: u64,
+}
+
+impl TageConfig {
+    /// Geometric history length for table `i` (0 = shortest).
+    pub fn history_length(&self, i: usize) -> u32 {
+        if self.tables == 1 {
+            return self.min_history;
+        }
+        let ratio = (self.max_history as f64 / self.min_history as f64)
+            .powf(1.0 / (self.tables as f64 - 1.0));
+        (self.min_history as f64 * ratio.powi(i as i32)).round() as u32
+    }
+
+    /// Approximate storage cost in bytes (tag + 3-bit counter + 2-bit u).
+    pub fn storage_bytes(&self) -> usize {
+        let bits_per_entry = self.tag_bits as usize + 3 + 2;
+        self.tables * self.entries_per_table * bits_per_entry / 8
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TageEntry {
+    tag: u16,
+    /// Signed 3-bit counter in `[-4, 3]`; `>= 0` predicts taken.
+    ctr: i8,
+    /// 2-bit usefulness counter.
+    useful: u8,
+    valid: bool,
+}
+
+/// Cyclically folded history register (Seznec's CSR construction).
+#[derive(Debug, Clone, Copy)]
+struct Folded {
+    comp: u64,
+    comp_len: u32,
+    orig_len: u32,
+}
+
+impl Folded {
+    fn new(orig_len: u32, comp_len: u32) -> Self {
+        Folded { comp: 0, comp_len: comp_len.max(1), orig_len }
+    }
+
+    /// Shifts in `new_bit` and removes `old_bit` (the bit leaving the
+    /// `orig_len`-bit window).
+    fn update(&mut self, new_bit: u64, old_bit: u64) {
+        self.comp = (self.comp << 1) | new_bit;
+        self.comp ^= old_bit << (self.orig_len % self.comp_len);
+        self.comp ^= self.comp >> self.comp_len;
+        self.comp &= (1u64 << self.comp_len) - 1;
+    }
+
+    fn value(&self) -> u64 {
+        self.comp
+    }
+}
+
+/// Taken-only global history ring buffer.
+#[derive(Debug, Clone)]
+struct History {
+    bits: Vec<u8>,
+    pos: usize,
+}
+
+impl History {
+    fn new(capacity: usize) -> Self {
+        History { bits: vec![0; capacity.max(1)], pos: 0 }
+    }
+
+    /// The i-th most recent bit (0 = newest).
+    fn bit(&self, i: usize) -> u64 {
+        let n = self.bits.len();
+        self.bits[(self.pos + n - 1 - (i % n)) % n] as u64
+    }
+
+    fn push(&mut self, bit: u64) {
+        self.bits[self.pos] = bit as u8;
+        self.pos = (self.pos + 1) % self.bits.len();
+    }
+
+    fn clear(&mut self) {
+        self.bits.fill(0);
+        self.pos = 0;
+    }
+}
+
+/// Prediction metadata threaded from [`Tage::predict`] to [`Tage::update`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagePrediction {
+    /// Table index of the hit with the longest history, if any.
+    provider: Option<usize>,
+    /// Direction from the provider (meaningless if `provider` is `None`).
+    provider_pred: bool,
+    /// Alternate prediction: next-longest hit, if any.
+    alt: Option<bool>,
+    /// Per-table indices computed at prediction time.
+    indices: [usize; Tage::MAX_TABLES],
+    /// Per-table tags computed at prediction time.
+    tags: [u16; Tage::MAX_TABLES],
+    /// The provider entry was weak (newly allocated).
+    weak_provider: bool,
+}
+
+impl TagePrediction {
+    /// The tagged prediction, if any table hit.
+    ///
+    /// `None` means the composed predictor must fall back to its base
+    /// (bimodal) prediction.
+    pub fn direction(&self) -> Option<bool> {
+        self.provider.map(|_| self.provider_pred)
+    }
+
+    /// The alternate (next-longest-hit) prediction, if any.
+    pub fn alt_direction(&self) -> Option<bool> {
+        self.alt
+    }
+
+    /// Whether the provider entry looked newly allocated.
+    pub fn weak_provider(&self) -> bool {
+        self.weak_provider
+    }
+}
+
+/// A TAGE predictor.
+///
+/// # Example
+///
+/// ```
+/// use ignite_uarch::addr::Addr;
+/// use ignite_uarch::tage::{Tage, TageConfig};
+///
+/// let mut tage = Tage::new(&TageConfig {
+///     tables: 4, entries_per_table: 256, tag_bits: 9,
+///     min_history: 4, max_history: 64, u_reset_period: 1 << 18,
+/// });
+/// let pc = Addr::new(0x1000);
+/// let p = tage.predict(pc);
+/// assert!(p.direction().is_none(), "cold TAGE has no tagged hit");
+/// tage.update(pc, true, &p, false, false);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tage {
+    cfg: TageConfig,
+    tables: Vec<Vec<TageEntry>>,
+    history: History,
+    folded_index: Vec<Folded>,
+    folded_tag: [Vec<Folded>; 2],
+    update_count: u64,
+    rng: SplitMix64,
+    allocations: u64,
+    tagged_hits: u64,
+    predictions: u64,
+}
+
+impl Tage {
+    /// Upper bound on `tables` supported by the fixed-size metadata arrays.
+    pub const MAX_TABLES: usize = 16;
+
+    /// Creates an empty predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate: zero tables, more than
+    /// [`Tage::MAX_TABLES`] tables, a non-power-of-two table size, or
+    /// `min_history > max_history`.
+    pub fn new(cfg: &TageConfig) -> Self {
+        assert!(cfg.tables > 0 && cfg.tables <= Self::MAX_TABLES, "1..=16 tables supported");
+        assert!(cfg.entries_per_table.is_power_of_two(), "table size must be a power of two");
+        assert!(cfg.min_history <= cfg.max_history, "min history exceeds max");
+        let index_bits = cfg.entries_per_table.trailing_zeros();
+        let folded_index =
+            (0..cfg.tables).map(|i| Folded::new(cfg.history_length(i), index_bits)).collect();
+        let folded_tag = [
+            (0..cfg.tables).map(|i| Folded::new(cfg.history_length(i), cfg.tag_bits)).collect(),
+            (0..cfg.tables)
+                .map(|i| Folded::new(cfg.history_length(i), cfg.tag_bits.saturating_sub(1).max(1)))
+                .collect(),
+        ];
+        Tage {
+            cfg: *cfg,
+            tables: vec![vec![TageEntry::default(); cfg.entries_per_table]; cfg.tables],
+            history: History::new(cfg.max_history as usize),
+            folded_index,
+            folded_tag,
+            update_count: 0,
+            rng: SplitMix64::new(0x7A6E_5EED),
+            allocations: 0,
+            tagged_hits: 0,
+            predictions: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TageConfig {
+        &self.cfg
+    }
+
+    /// Entries allocated so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Predictions served by a tagged table.
+    pub fn tagged_hits(&self) -> u64 {
+        self.tagged_hits
+    }
+
+    /// Total predictions made.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    fn index(&self, table: usize, pc: Addr) -> usize {
+        let pcv = pc.as_u64();
+        let mask = self.cfg.entries_per_table as u64 - 1;
+        let h = pcv
+            ^ (pcv >> (self.cfg.entries_per_table.trailing_zeros() as u64 + table as u64 + 1))
+            ^ self.folded_index[table].value();
+        (h & mask) as usize
+    }
+
+    fn tag(&self, table: usize, pc: Addr) -> u16 {
+        let pcv = pc.as_u64();
+        let mask = (1u64 << self.cfg.tag_bits) - 1;
+        ((pcv ^ self.folded_tag[0][table].value() ^ (self.folded_tag[1][table].value() << 1))
+            & mask) as u16
+    }
+
+    /// Computes the prediction for `pc`.
+    pub fn predict(&mut self, pc: Addr) -> TagePrediction {
+        self.predictions += 1;
+        let mut indices = [0usize; Self::MAX_TABLES];
+        let mut tags = [0u16; Self::MAX_TABLES];
+        let mut provider = None;
+        let mut provider_pred = false;
+        let mut weak_provider = false;
+        let mut alt = None;
+        // Scan from longest history (highest table) down.
+        for t in (0..self.cfg.tables).rev() {
+            indices[t] = self.index(t, pc);
+            tags[t] = self.tag(t, pc);
+        }
+        for t in (0..self.cfg.tables).rev() {
+            let e = &self.tables[t][indices[t]];
+            if e.valid && e.tag == tags[t] {
+                if provider.is_none() {
+                    provider = Some(t);
+                    provider_pred = e.ctr >= 0;
+                    weak_provider = e.useful == 0 && (e.ctr == 0 || e.ctr == -1);
+                } else {
+                    alt = Some(e.ctr >= 0);
+                    break;
+                }
+            }
+        }
+        if provider.is_some() {
+            self.tagged_hits += 1;
+        }
+        TagePrediction { provider, provider_pred, alt, indices, tags, weak_provider }
+    }
+
+    /// Trains the predictor with the resolved outcome.
+    ///
+    /// `mispredicted` is the *final* (composed) predictor outcome, which
+    /// gates new-entry allocation as in standard TAGE. `alt_pred` is the
+    /// direction the alternate predictor (next-longest hit, or the bimodal
+    /// base) produced — it drives usefulness-counter training.
+    pub fn update(
+        &mut self,
+        _pc: Addr,
+        taken: bool,
+        pred: &TagePrediction,
+        mispredicted: bool,
+        alt_pred: bool,
+    ) {
+        self.update_count += 1;
+        // Periodic graceful decay of usefulness counters.
+        if self.cfg.u_reset_period > 0 && self.update_count.is_multiple_of(self.cfg.u_reset_period) {
+            for table in &mut self.tables {
+                for e in table.iter_mut() {
+                    e.useful >>= 1;
+                }
+            }
+        }
+        if let Some(p) = pred.provider {
+            let correct = pred.provider_pred == taken;
+            let e = &mut self.tables[p][pred.indices[p]];
+            e.ctr = if taken { (e.ctr + 1).min(3) } else { (e.ctr - 1).max(-4) };
+            // Usefulness trains only when provider and alternate disagree.
+            if pred.provider_pred != alt_pred {
+                if correct {
+                    e.useful = (e.useful + 1).min(3);
+                } else {
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+        }
+        // Allocate on misprediction in a table with longer history.
+        if mispredicted {
+            let start = pred.provider.map_or(0, |p| p + 1);
+            if start < self.cfg.tables {
+                // Choose randomly among allocatable (u == 0) candidates,
+                // biased toward shorter histories as in Seznec's TAGE.
+                let mut allocated = false;
+                let mut t = start;
+                // Random skip: with probability 1/2 start one table higher.
+                if t + 1 < self.cfg.tables && self.rng.chance(0.5) {
+                    t += 1;
+                }
+                while t < self.cfg.tables {
+                    let idx = pred.indices[t];
+                    if self.tables[t][idx].useful == 0 {
+                        self.tables[t][idx] = TageEntry {
+                            tag: pred.tags[t],
+                            ctr: if taken { 0 } else { -1 },
+                            useful: 0,
+                            valid: true,
+                        };
+                        self.allocations += 1;
+                        allocated = true;
+                        break;
+                    }
+                    t += 1;
+                }
+                if !allocated {
+                    // Decay usefulness so future allocations can succeed.
+                    for t in start..self.cfg.tables {
+                        let idx = pred.indices[t];
+                        let e = &mut self.tables[t][idx];
+                        e.useful = e.useful.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances the taken-only global history after a *taken* branch.
+    ///
+    /// Call for every committed taken branch (any kind); not-taken branches
+    /// leave the history untouched.
+    pub fn push_history(&mut self, pc: Addr, target: Addr) {
+        let bit = (pc.as_u64() >> 2 ^ target.as_u64() >> 3) & 1;
+        // The bit falling out of each folded window is the one at index
+        // orig_len - 1 *before* the push.
+        for t in 0..self.cfg.tables {
+            let olen = self.cfg.history_length(t) as usize;
+            let old = self.history.bit(olen - 1);
+            self.folded_index[t].update(bit, old);
+            self.folded_tag[0][t].update(bit, old);
+            self.folded_tag[1][t].update(bit, old);
+        }
+        self.history.push(bit);
+    }
+
+    /// Clears all tables and history (lukewarm flush).
+    pub fn flush(&mut self) {
+        for table in &mut self.tables {
+            table.fill(TageEntry::default());
+        }
+        self.history.clear();
+        for f in &mut self.folded_index {
+            f.comp = 0;
+        }
+        for side in &mut self.folded_tag {
+            for f in side.iter_mut() {
+                f.comp = 0;
+            }
+        }
+        self.update_count = 0;
+    }
+
+    /// Clears statistics, keeping predictor state.
+    pub fn reset_stats(&mut self) {
+        self.allocations = 0;
+        self.tagged_hits = 0;
+        self.predictions = 0;
+    }
+
+    /// Fraction of valid entries across all tables (inspection).
+    pub fn occupancy(&self) -> f64 {
+        let total = self.cfg.tables * self.cfg.entries_per_table;
+        let valid: usize =
+            self.tables.iter().map(|t| t.iter().filter(|e| e.valid).count()).sum();
+        valid as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> TageConfig {
+        TageConfig {
+            tables: 6,
+            entries_per_table: 1024,
+            tag_bits: 11,
+            min_history: 4,
+            max_history: 256,
+            u_reset_period: 1 << 18,
+        }
+    }
+
+    fn tage() -> Tage {
+        Tage::new(&config())
+    }
+
+    #[test]
+    fn history_lengths_are_geometric() {
+        let cfg = config();
+        assert_eq!(cfg.history_length(0), cfg.min_history);
+        assert_eq!(cfg.history_length(cfg.tables - 1), cfg.max_history);
+        for i in 1..cfg.tables {
+            assert!(cfg.history_length(i) > cfg.history_length(i - 1));
+        }
+    }
+
+    #[test]
+    fn storage_estimate_reasonable() {
+        // Paper-scale config: 8 tables x 2048 entries x (12+5) bits ~ 34 KiB.
+        let cfg = TageConfig {
+            tables: 8,
+            entries_per_table: 2048,
+            tag_bits: 12,
+            min_history: 4,
+            max_history: 512,
+            u_reset_period: 1 << 18,
+        };
+        let kib = cfg.storage_bytes() / 1024;
+        assert!((30..=40).contains(&kib), "storage = {kib} KiB");
+    }
+
+    #[test]
+    fn cold_predictor_has_no_tagged_hit() {
+        let mut t = tage();
+        let p = t.predict(Addr::new(0x1234));
+        assert!(p.direction().is_none());
+    }
+
+    #[test]
+    fn allocation_on_mispredict_enables_tagged_hits() {
+        let mut t = tage();
+        let pc = Addr::new(0x4000);
+        // Mispredict repeatedly; allocations should start providing.
+        for _ in 0..20 {
+            let p = t.predict(pc);
+            t.update(pc, true, &p, p.direction() != Some(true), false);
+            t.push_history(pc, Addr::new(0x5000));
+        }
+        assert!(t.allocations() > 0);
+    }
+
+    #[test]
+    fn learns_history_correlated_branch() {
+        // A branch whose direction equals the direction of the previous
+        // branch is unlearnable by bimodal alone but learnable by TAGE.
+        let mut t = tage();
+        let pc = Addr::new(0x8000);
+        let other = Addr::new(0x9000);
+        let mut correct_late = 0;
+        let mut total_late = 0;
+        let mut pattern = SplitMix64::new(3);
+        for i in 0..4000 {
+            let dir = pattern.chance(0.5);
+            // "other" branch feeds the history a bit equal to `dir`
+            // (push_history hashes pc >> 2, so +4 flips the bit).
+            if dir {
+                t.push_history(other + 4, Addr::NULL);
+            } else {
+                t.push_history(other, Addr::NULL);
+            }
+            let p = t.predict(pc);
+            let predicted = p.direction().unwrap_or(false);
+            if i > 3000 {
+                total_late += 1;
+                if predicted == dir {
+                    correct_late += 1;
+                }
+            }
+            t.update(pc, dir, &p, predicted != dir, false);
+            if dir {
+                t.push_history(pc, Addr::new(0xc000));
+            }
+        }
+        let acc = correct_late as f64 / total_late as f64;
+        assert!(acc > 0.80, "late accuracy {acc}");
+    }
+
+    #[test]
+    fn flush_forgets_everything() {
+        let mut t = tage();
+        let pc = Addr::new(0x4000);
+        for _ in 0..50 {
+            let p = t.predict(pc);
+            t.update(pc, true, &p, p.direction() != Some(true), false);
+            t.push_history(pc, Addr::new(0x5000));
+        }
+        t.flush();
+        let p = t.predict(pc);
+        assert!(p.direction().is_none());
+        assert!(t.occupancy() < 1e-9);
+    }
+
+    #[test]
+    fn clone_snapshot_restores_state() {
+        let mut t = tage();
+        let pc = Addr::new(0x4000);
+        for _ in 0..50 {
+            let p = t.predict(pc);
+            t.update(pc, true, &p, p.direction() != Some(true), false);
+            t.push_history(pc, Addr::new(0x5000));
+        }
+        let snapshot = t.clone();
+        t.flush();
+        let restored = snapshot.clone();
+        let mut r = restored;
+        let p = r.predict(pc);
+        assert!(p.direction().is_some(), "snapshot preserves tagged entries");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_tables() {
+        let mut cfg = config();
+        cfg.entries_per_table = 1000;
+        Tage::new(&cfg);
+    }
+
+    #[test]
+    fn folded_history_changes_index() {
+        let mut t = tage();
+        let pc = Addr::new(0x7777);
+        let before = t.index(t.cfg.tables - 1, pc);
+        for i in 0..64 {
+            // pc >> 2 alternates its low bit, producing a 0101... history.
+            t.push_history(Addr::new(i * 4), Addr::NULL);
+        }
+        let after = t.index(t.cfg.tables - 1, pc);
+        assert_ne!(before, after, "long-history index must depend on history");
+    }
+}

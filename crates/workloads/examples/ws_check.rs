@@ -1,0 +1,23 @@
+//! Prints each suite function's measured working sets against its
+//! calibration targets (paper Fig. 2).
+//!
+//! Run with `cargo run --release -p ignite-workloads --example ws_check`.
+
+use ignite_workloads::suite::Suite;
+use ignite_workloads::trace::measure_working_set;
+
+fn main() {
+    let s = Suite::paper_suite();
+    for f in s.functions() {
+        let ws = measure_working_set(&f.image, 0, f.profile.invocation_instrs);
+        println!(
+            "{:8} code={:4}KiB ws_instr={:4}KiB btb_ws={:6} (target {:6}) instrs={}",
+            f.profile.abbr,
+            f.image.code_bytes() / 1024,
+            ws.instruction_bytes / 1024,
+            ws.btb_entries,
+            f.profile.branch_ws,
+            ws.instructions
+        );
+    }
+}

@@ -1,0 +1,444 @@
+//! Control-flow-graph representation of a synthetic function image.
+//!
+//! A [`CodeImage`] is the code of one serverless function *container*: a set
+//! of functions laid out contiguously in the virtual address space, each a
+//! run of basic blocks. Control flow is explicit: every block ends in a
+//! terminator, and conditional fall-through is the next block in layout
+//! order.
+
+use ignite_uarch::addr::Addr;
+use ignite_uarch::btb::BranchKind;
+
+/// How a basic block ends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Conditional branch: taken → `target` (global block index), not taken
+    /// → fall through to the next block. `bias` is the probability the
+    /// branch is taken on a given execution.
+    Cond {
+        /// Global index of the taken-path block.
+        target: u32,
+        /// Probability of the branch being taken.
+        bias: f64,
+    },
+    /// Unconditional direct jump to a block in the same function.
+    Jump {
+        /// Global index of the target block.
+        target: u32,
+    },
+    /// Direct call; control continues in the callee and falls through to the
+    /// next block after the callee returns.
+    Call {
+        /// Index of the callee function.
+        callee: u32,
+    },
+    /// Return to the caller (or end of the invocation at the root).
+    Ret,
+    /// Indirect jump: each execution picks one of `targets` (interpreter
+    /// dispatch, virtual calls, JIT stubs).
+    Indirect {
+        /// Global indices of possible target blocks (non-empty).
+        targets: Vec<u32>,
+    },
+}
+
+impl Terminator {
+    /// The branch kind this terminator presents to the BTB.
+    pub fn branch_kind(&self) -> BranchKind {
+        match self {
+            Terminator::Cond { .. } => BranchKind::Conditional,
+            Terminator::Jump { .. } => BranchKind::Unconditional,
+            Terminator::Call { .. } => BranchKind::Call,
+            Terminator::Ret => BranchKind::Return,
+            Terminator::Indirect { .. } => BranchKind::Indirect,
+        }
+    }
+}
+
+/// A straight-line run of instructions ended by a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: Addr,
+    /// Total code bytes, including the terminating branch instruction.
+    pub bytes: u32,
+    /// Number of instructions.
+    pub instrs: u32,
+    /// How the block ends.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// Address of the terminating branch instruction (modelled as the last
+    /// four bytes of the block).
+    pub fn branch_pc(&self) -> Addr {
+        self.start + u64::from(self.bytes.saturating_sub(4))
+    }
+
+    /// Address of the first byte after the block (conditional fall-through).
+    pub fn fallthrough(&self) -> Addr {
+        self.start + u64::from(self.bytes)
+    }
+}
+
+/// One function: a contiguous range of blocks, entered at the first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Function {
+    /// Global index of the entry block.
+    pub first_block: u32,
+    /// Number of blocks (all at `first_block..first_block + block_count`).
+    pub block_count: u32,
+    /// Whether the function is reachable. Dead functions model the cold
+    /// code real binaries interleave with hot code (error handlers,
+    /// unused library paths); wrong-path fetches run into them.
+    pub live: bool,
+}
+
+impl Function {
+    /// Global block index range.
+    pub fn blocks(&self) -> std::ops::Range<u32> {
+        self.first_block..self.first_block + self.block_count
+    }
+}
+
+/// Errors detected when assembling a [`CodeImage`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImageError {
+    /// A block's terminator targets a block outside its own function.
+    TargetOutOfFunction {
+        /// Offending block.
+        block: u32,
+    },
+    /// A call appears in a function's last block (no fall-through to return
+    /// to).
+    CallWithoutFallthrough {
+        /// Offending block.
+        block: u32,
+    },
+    /// A callee index exceeds the function count.
+    BadCallee {
+        /// Offending block.
+        block: u32,
+    },
+    /// A conditional bias is outside `[0, 1]`.
+    BadBias {
+        /// Offending block.
+        block: u32,
+    },
+    /// An indirect terminator has no targets.
+    EmptyIndirect {
+        /// Offending block.
+        block: u32,
+    },
+    /// Blocks are not laid out contiguously in ascending address order.
+    BadLayout {
+        /// First offending block.
+        block: u32,
+    },
+    /// A function has no blocks.
+    EmptyFunction {
+        /// Offending function index.
+        function: u32,
+    },
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::TargetOutOfFunction { block } => {
+                write!(f, "block {block} targets a block outside its function")
+            }
+            ImageError::CallWithoutFallthrough { block } => {
+                write!(f, "block {block} is a call in its function's last block")
+            }
+            ImageError::BadCallee { block } => write!(f, "block {block} calls a missing function"),
+            ImageError::BadBias { block } => write!(f, "block {block} has a bias outside [0, 1]"),
+            ImageError::EmptyIndirect { block } => {
+                write!(f, "block {block} has an indirect branch with no targets")
+            }
+            ImageError::BadLayout { block } => {
+                write!(f, "block {block} is not contiguous with its predecessor")
+            }
+            ImageError::EmptyFunction { function } => write!(f, "function {function} has no blocks"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// The code of one serverless function container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeImage {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    functions: Vec<Function>,
+    /// Index of the function the invocation enters first.
+    entry_function: u32,
+}
+
+impl CodeImage {
+    /// Assembles an image from parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ImageError`] found: non-contiguous layout,
+    /// targets escaping their function, calls without fall-through, bad
+    /// biases, empty indirect target lists, or empty functions.
+    pub fn new(
+        name: impl Into<String>,
+        blocks: Vec<BasicBlock>,
+        functions: Vec<Function>,
+        entry_function: u32,
+    ) -> Result<Self, ImageError> {
+        let image = CodeImage { name: name.into(), blocks, functions, entry_function };
+        image.validate()?;
+        Ok(image)
+    }
+
+    fn validate(&self) -> Result<(), ImageError> {
+        for (fi, func) in self.functions.iter().enumerate() {
+            if func.block_count == 0 {
+                return Err(ImageError::EmptyFunction { function: fi as u32 });
+            }
+            let range = func.blocks();
+            for bi in range.clone() {
+                let block = &self.blocks[bi as usize];
+                // Layout contiguity within a function.
+                if bi > range.start {
+                    let prev = &self.blocks[bi as usize - 1];
+                    if prev.fallthrough() != block.start {
+                        return Err(ImageError::BadLayout { block: bi });
+                    }
+                }
+                let in_function =
+                    |t: u32| t >= range.start && t < range.end;
+                match &block.term {
+                    Terminator::Cond { target, bias } => {
+                        if !in_function(*target) {
+                            return Err(ImageError::TargetOutOfFunction { block: bi });
+                        }
+                        if !(0.0..=1.0).contains(bias) {
+                            return Err(ImageError::BadBias { block: bi });
+                        }
+                        // Conditional fall-through must stay in the function.
+                        if bi + 1 >= range.end {
+                            return Err(ImageError::TargetOutOfFunction { block: bi });
+                        }
+                    }
+                    Terminator::Jump { target } => {
+                        if !in_function(*target) {
+                            return Err(ImageError::TargetOutOfFunction { block: bi });
+                        }
+                    }
+                    Terminator::Call { callee } => {
+                        if *callee as usize >= self.functions.len() {
+                            return Err(ImageError::BadCallee { block: bi });
+                        }
+                        if bi + 1 >= range.end {
+                            return Err(ImageError::CallWithoutFallthrough { block: bi });
+                        }
+                    }
+                    Terminator::Ret => {}
+                    Terminator::Indirect { targets } => {
+                        if targets.is_empty() {
+                            return Err(ImageError::EmptyIndirect { block: bi });
+                        }
+                        for t in targets {
+                            if !in_function(*t) {
+                                return Err(ImageError::TargetOutOfFunction { block: bi });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Container name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All basic blocks, in layout order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// All functions.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Index of the invocation entry function.
+    pub fn entry_function(&self) -> u32 {
+        self.entry_function
+    }
+
+    /// The block a given global index refers to.
+    pub fn block(&self, index: u32) -> &BasicBlock {
+        &self.blocks[index as usize]
+    }
+
+    /// Total static code size in bytes (live + dead).
+    pub fn code_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.bytes)).sum()
+    }
+
+    /// Static code size of reachable functions only.
+    pub fn live_code_bytes(&self) -> u64 {
+        self.functions
+            .iter()
+            .filter(|f| f.live)
+            .flat_map(|f| f.blocks())
+            .map(|bi| u64::from(self.blocks[bi as usize].bytes))
+            .sum()
+    }
+
+    /// Indices of reachable functions.
+    pub fn live_functions(&self) -> impl Iterator<Item = u32> + '_ {
+        self.functions.iter().enumerate().filter(|(_, f)| f.live).map(|(i, _)| i as u32)
+    }
+
+    /// Number of static branches (one per block).
+    pub fn static_branches(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Lowest code address.
+    pub fn base(&self) -> Addr {
+        self.blocks.first().map_or(Addr::NULL, |b| b.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal valid image: one function, three blocks.
+    ///
+    /// ```text
+    /// b0: cond -> b2 (bias 0.5), fallthrough b1
+    /// b1: jump -> b2
+    /// b2: ret
+    /// ```
+    pub(crate) fn tiny_image() -> CodeImage {
+        let base = 0x1000u64;
+        let blocks = vec![
+            BasicBlock {
+                start: Addr::new(base),
+                bytes: 32,
+                instrs: 7,
+                term: Terminator::Cond { target: 2, bias: 0.5 },
+            },
+            BasicBlock {
+                start: Addr::new(base + 32),
+                bytes: 16,
+                instrs: 4,
+                term: Terminator::Jump { target: 2 },
+            },
+            BasicBlock {
+                start: Addr::new(base + 48),
+                bytes: 24,
+                instrs: 5,
+                term: Terminator::Ret,
+            },
+        ];
+        let functions = vec![Function { first_block: 0, block_count: 3, live: true }];
+        CodeImage::new("tiny", blocks, functions, 0).expect("valid image")
+    }
+
+    #[test]
+    fn tiny_image_valid() {
+        let img = tiny_image();
+        assert_eq!(img.code_bytes(), 72);
+        assert_eq!(img.static_branches(), 3);
+        assert_eq!(img.base(), Addr::new(0x1000));
+        assert_eq!(img.name(), "tiny");
+    }
+
+    #[test]
+    fn branch_pc_is_near_block_end() {
+        let img = tiny_image();
+        let b = img.block(0);
+        assert_eq!(b.branch_pc(), Addr::new(0x1000 + 28));
+        assert_eq!(b.fallthrough(), Addr::new(0x1020));
+    }
+
+    #[test]
+    fn rejects_target_outside_function() {
+        let mut img = tiny_image();
+        let blocks = {
+            let mut b = img.blocks.clone();
+            b[1].term = Terminator::Jump { target: 99 };
+            b
+        };
+        let err = CodeImage::new("bad", blocks, img.functions.clone(), 0).unwrap_err();
+        assert_eq!(err, ImageError::TargetOutOfFunction { block: 1 });
+        img.name.clear(); // silence unused-mut lint by using img
+    }
+
+    #[test]
+    fn rejects_bad_bias() {
+        let img = tiny_image();
+        let mut blocks = img.blocks.clone();
+        blocks[0].term = Terminator::Cond { target: 2, bias: 1.5 };
+        let err = CodeImage::new("bad", blocks, img.functions.clone(), 0).unwrap_err();
+        assert_eq!(err, ImageError::BadBias { block: 0 });
+    }
+
+    #[test]
+    fn rejects_call_in_last_block() {
+        let img = tiny_image();
+        let mut blocks = img.blocks.clone();
+        blocks[2].term = Terminator::Call { callee: 0 };
+        let err = CodeImage::new("bad", blocks, img.functions.clone(), 0).unwrap_err();
+        assert_eq!(err, ImageError::CallWithoutFallthrough { block: 2 });
+    }
+
+    #[test]
+    fn rejects_gap_in_layout() {
+        let img = tiny_image();
+        let mut blocks = img.blocks.clone();
+        blocks[2].start = Addr::new(0x9000);
+        let err = CodeImage::new("bad", blocks, img.functions.clone(), 0).unwrap_err();
+        assert_eq!(err, ImageError::BadLayout { block: 2 });
+    }
+
+    #[test]
+    fn rejects_empty_indirect() {
+        let img = tiny_image();
+        let mut blocks = img.blocks.clone();
+        blocks[1].term = Terminator::Indirect { targets: vec![] };
+        let err = CodeImage::new("bad", blocks, img.functions.clone(), 0).unwrap_err();
+        assert_eq!(err, ImageError::EmptyIndirect { block: 1 });
+    }
+
+    #[test]
+    fn rejects_conditional_in_last_block() {
+        let img = tiny_image();
+        let mut blocks = img.blocks.clone();
+        blocks[2].term = Terminator::Cond { target: 0, bias: 0.5 };
+        let err = CodeImage::new("bad", blocks, img.functions.clone(), 0).unwrap_err();
+        assert_eq!(err, ImageError::TargetOutOfFunction { block: 2 });
+    }
+
+    #[test]
+    fn terminator_branch_kinds() {
+        use ignite_uarch::btb::BranchKind;
+        assert_eq!(Terminator::Ret.branch_kind(), BranchKind::Return);
+        assert_eq!(Terminator::Jump { target: 0 }.branch_kind(), BranchKind::Unconditional);
+        assert_eq!(
+            Terminator::Cond { target: 0, bias: 0.5 }.branch_kind(),
+            BranchKind::Conditional
+        );
+        assert_eq!(Terminator::Call { callee: 0 }.branch_kind(), BranchKind::Call);
+        assert_eq!(Terminator::Indirect { targets: vec![0] }.branch_kind(), BranchKind::Indirect);
+    }
+
+    #[test]
+    fn error_display_non_empty() {
+        let e = ImageError::BadBias { block: 3 };
+        assert!(!format!("{e}").is_empty());
+    }
+}

@@ -1,0 +1,367 @@
+//! Synthesizes calibrated [`CodeImage`]s.
+//!
+//! The generator turns a small set of knobs (total code size, static branch
+//! count, language-flavour fractions) into a concrete CFG. Since every basic
+//! block ends in exactly one branch, the static block count directly targets
+//! the branch working set, and code size divided by block count sets the
+//! block size — which is how the paper's per-language character (Go has
+//! longer straight-line runs than NodeJS) is expressed.
+
+use ignite_uarch::addr::Addr;
+use ignite_uarch::rng::SplitMix64;
+
+use crate::cfg::{BasicBlock, CodeImage, Function, Terminator};
+
+/// Knobs controlling image synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenParams {
+    /// Container name.
+    pub name: String,
+    /// Seed for all structural randomness (layout is deterministic per seed).
+    pub seed: u64,
+    /// Base virtual address of the code.
+    pub base: Addr,
+    /// Target total code bytes.
+    pub target_code_bytes: u64,
+    /// Target static branch count (≈ BTB working-set size).
+    pub target_branches: u32,
+    /// Fraction of blocks ending in an indirect branch.
+    pub indirect_fraction: f64,
+    /// Fraction of blocks ending in a call.
+    pub call_fraction: f64,
+    /// Fraction of blocks ending in a conditional branch.
+    pub cond_fraction: f64,
+    /// Of conditionals, the fraction that are backward (loop) edges.
+    pub backward_fraction: f64,
+    /// Of forward conditionals, the fraction that are heavily biased taken.
+    pub high_bias_fraction: f64,
+    /// Blocks per function.
+    pub blocks_per_function: u32,
+    /// Dead (never-executed) code appended after each function, as a
+    /// fraction of its block count — the cold code wrong paths run into.
+    pub dead_code_fraction: f64,
+}
+
+impl GenParams {
+    /// Reasonable defaults for a mid-sized Go-like function.
+    pub fn example(name: impl Into<String>) -> Self {
+        GenParams {
+            name: name.into(),
+            seed: 1,
+            base: Addr::new(0x0040_0000),
+            target_code_bytes: 300 * 1024,
+            target_branches: 8_000,
+            indirect_fraction: 0.02,
+            call_fraction: 0.10,
+            cond_fraction: 0.65,
+            backward_fraction: 0.20,
+            high_bias_fraction: 0.80,
+            blocks_per_function: 64,
+            dead_code_fraction: 0.6,
+        }
+    }
+}
+
+/// Generates a [`CodeImage`] from the parameters.
+///
+/// The same parameters always produce the same image.
+///
+/// # Panics
+///
+/// Panics if the parameters are degenerate (zero branches, zero code bytes,
+/// or fractions that do not fit in `[0, 1]`).
+pub fn generate(params: &GenParams) -> CodeImage {
+    assert!(params.target_branches >= 8, "need at least 8 branches");
+    assert!(params.target_code_bytes > 0, "code size must be positive");
+    let frac_sum = params.indirect_fraction + params.call_fraction + params.cond_fraction;
+    assert!(
+        (0.0..=1.0).contains(&frac_sum),
+        "terminator fractions must sum to at most 1 (rest become jumps)"
+    );
+
+    let mut rng = SplitMix64::new(params.seed);
+    let n_blocks = params.target_branches;
+    let avg_block_bytes = (params.target_code_bytes / u64::from(n_blocks)).max(8);
+    let logic_blocks = params.blocks_per_function.clamp(8, n_blocks);
+
+    // Function plan: every third function is a "logic" function (large,
+    // makes calls); the rest are small utility "leaves" (no calls). This
+    // mirrors real call profiles — most dynamic calls hit small helpers —
+    // and bounds the dynamic call amplification, so one invocation can
+    // actually cover the working set the way the paper's functions do.
+    let mut plan: Vec<u32> = Vec::new(); // block counts per function
+    let mut planned: u32 = 0;
+    while planned < n_blocks {
+        let count = if plan.len().is_multiple_of(3) {
+            logic_blocks
+        } else {
+            rng.range_inclusive(8, 16) as u32
+        };
+        let count = count.min(n_blocks.saturating_sub(planned).max(4));
+        plan.push(count);
+        planned += count;
+    }
+    let n_live = plan.len() as u32;
+    let is_leaf = |f: u32| !f.is_multiple_of(3) || f + 1 == n_live;
+    // Each live function is followed by one dead function in the emitted
+    // layout, so live function `i` lands at emitted index `2 * i`.
+    let leaves: Vec<u32> = (0..n_live).filter(|&f| is_leaf(f)).map(|f| 2 * f).collect();
+
+    let mut blocks: Vec<BasicBlock> = Vec::with_capacity(planned as usize);
+    let mut functions: Vec<Function> = Vec::with_capacity(plan.len() * 2);
+    let mut cursor = params.base;
+
+    for (f, &count) in plan.iter().enumerate() {
+        let f = f as u32;
+        let first_block = blocks.len() as u32;
+        for local in 0..count {
+            let global = first_block + local;
+            let is_last = local == count - 1;
+            // Size: average ± 50%, at least 8 bytes (2 instructions).
+            let bytes =
+                rng.range_inclusive(avg_block_bytes / 2, avg_block_bytes * 3 / 2).max(8) as u32;
+            let instrs = (f64::from(bytes) / 4.5).round().max(2.0) as u32;
+            let term = if is_last {
+                Terminator::Ret
+            } else {
+                let local_last = count - 1;
+                let roll = rng.next_f64();
+                let want_call = roll >= params.cond_fraction
+                    && roll < params.cond_fraction + params.call_fraction
+                    && !is_leaf(f);
+                if roll < params.cond_fraction {
+                    make_conditional(&mut rng, params, local, local_last, first_block)
+                } else if want_call {
+                    let callee = leaves[rng.next_below(leaves.len() as u64) as usize];
+                    Terminator::Call { callee }
+                } else if roll < frac_sum && roll >= params.cond_fraction + params.call_fraction {
+                    make_indirect(&mut rng, local, local_last, first_block)
+                } else {
+                    // Unconditional jump (also the leaf substitute for a
+                    // call), short forward hop.
+                    let hop = rng.range_inclusive(1, 3).min(u64::from(local_last - local));
+                    Terminator::Jump { target: global + hop.max(1) as u32 }
+                }
+            };
+            blocks.push(BasicBlock { start: cursor, bytes, instrs, term });
+            cursor += u64::from(bytes);
+        }
+        functions.push(Function { first_block, block_count: count, live: true });
+        // Pad between functions (symbol alignment); keeps layout contiguity
+        // *within* functions only, so bump the cursor to a fresh line.
+        cursor = cursor.next_line();
+
+        // Dead code region: a never-called function directly after the hot
+        // one, as in real binaries (cold error paths, unused library code).
+        // Wrong-path sequential fetches run off the live function's end
+        // into these lines.
+        let dead_count =
+            ((f64::from(count) * params.dead_code_fraction).round() as u32).max(2);
+        let dead_first = blocks.len() as u32;
+        for local in 0..dead_count {
+            let bytes =
+                rng.range_inclusive(avg_block_bytes / 2, avg_block_bytes * 3 / 2).max(8) as u32;
+            let instrs = (f64::from(bytes) / 4.5).round().max(2.0) as u32;
+            let term = if local == dead_count - 1 {
+                Terminator::Ret
+            } else {
+                Terminator::Cond { target: dead_first + local + 1, bias: 0.5 }
+            };
+            blocks.push(BasicBlock { start: cursor, bytes, instrs, term });
+            cursor += u64::from(bytes);
+        }
+        functions.push(Function { first_block: dead_first, block_count: dead_count, live: false });
+        cursor = cursor.next_line();
+    }
+
+    CodeImage::new(params.name.clone(), blocks, functions, 0)
+        .expect("generator must produce a valid image")
+}
+
+fn make_conditional(
+    rng: &mut SplitMix64,
+    params: &GenParams,
+    local: u32,
+    local_last: u32,
+    first_block: u32,
+) -> Terminator {
+    let global = first_block + local;
+    let backward = local > 2 && rng.chance(params.backward_fraction);
+    if backward {
+        // Loop back-edge: taken keeps looping. Biased taken so loops run
+        // ~2-4 iterations; spans stay short to bound nesting amplification.
+        let span = rng.range_inclusive(1, u64::from(local.min(3)));
+        let bias = 0.50 + rng.next_f64() * 0.25;
+        Terminator::Cond { target: global - span as u32, bias }
+    } else {
+        let remaining = u64::from(local_last - local).max(1);
+        // Forward branches follow real-code shape: mostly not-taken
+        // (error checks, slow paths), so the fall-through path covers the
+        // code; the taken direction skips a short span. A minority are
+        // mostly-taken with a minimal span so coverage survives.
+        let (bias, max_span) = if rng.chance(params.high_bias_fraction) {
+            if rng.chance(0.7) {
+                (0.02 + rng.next_f64() * 0.08, 6) // almost never taken
+            } else {
+                (0.90 + rng.next_f64() * 0.08, 1) // almost always taken
+            }
+        } else if rng.chance(0.7) {
+            (0.10 + rng.next_f64() * 0.25, 3) // leaning not-taken
+        } else {
+            (0.35 + rng.next_f64() * 0.40, 1) // genuinely unpredictable
+        };
+        let span = rng.range_inclusive(1, max_span.min(remaining));
+        Terminator::Cond { target: global + span as u32, bias }
+    }
+}
+
+fn make_indirect(
+    rng: &mut SplitMix64,
+    local: u32,
+    local_last: u32,
+    first_block: u32,
+) -> Terminator {
+    // Switch-table shape: all targets are forward, so dispatch cannot form
+    // cycles (loops come only from conditional back-edges).
+    let fan = rng.range_inclusive(3, 10) as u32;
+    let mut targets = Vec::with_capacity(fan as usize);
+    for _ in 0..fan {
+        let t = rng.range_inclusive(u64::from(local) + 1, u64::from(local_last)) as u32;
+        targets.push(first_block + t);
+    }
+    Terminator::Indirect { targets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Terminator;
+
+    #[test]
+    fn generated_image_is_deterministic() {
+        let p = GenParams::example("det");
+        let a = generate(&p);
+        let b = generate(&p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p = GenParams::example("x");
+        let a = generate(&p);
+        p.seed = 999;
+        let b = generate(&p);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn code_size_near_target() {
+        let p = GenParams::example("size");
+        let img = generate(&p);
+        let live = img.live_code_bytes() as f64;
+        let target = p.target_code_bytes as f64;
+        assert!((live / target - 1.0).abs() < 0.15, "live bytes {live} vs target {target}");
+        // Dead code adds roughly the configured fraction on top.
+        let dead = img.code_bytes() as f64 - live;
+        let frac = dead / live;
+        assert!(
+            (frac - p.dead_code_fraction).abs() < 0.15,
+            "dead fraction {frac} vs {}",
+            p.dead_code_fraction
+        );
+    }
+
+    #[test]
+    fn branch_count_matches_target() {
+        let p = GenParams::example("branches");
+        let img = generate(&p);
+        let live: i64 = img
+            .functions()
+            .iter()
+            .filter(|f| f.live)
+            .map(|f| i64::from(f.block_count))
+            .sum();
+        let t = i64::from(p.target_branches);
+        assert!((live - t).abs() <= i64::from(p.blocks_per_function), "{live} vs {t}");
+    }
+
+    #[test]
+    fn terminator_mix_respects_fractions() {
+        let p = GenParams::example("mix");
+        let img = generate(&p);
+        // Measure the mix over live code only (dead filler is cond-chained).
+        let live: Vec<_> = img
+            .functions()
+            .iter()
+            .filter(|f| f.live)
+            .flat_map(|f| f.blocks())
+            .map(|bi| img.block(bi))
+            .collect();
+        let n = live.len() as f64;
+        let conds =
+            live.iter().filter(|b| matches!(b.term, Terminator::Cond { .. })).count() as f64;
+        let calls =
+            live.iter().filter(|b| matches!(b.term, Terminator::Call { .. })).count() as f64;
+        assert!((conds / n - p.cond_fraction).abs() < 0.05, "cond fraction {}", conds / n);
+        // Leaves make no calls, so the overall call fraction is below the
+        // knob but must still be material.
+        assert!(calls / n > 0.02 && calls / n <= p.call_fraction + 0.02, "call fraction {}", calls / n);
+    }
+
+    #[test]
+    fn dead_functions_have_no_calls_or_indirects() {
+        let img = generate(&GenParams::example("dead"));
+        assert!(img.functions().iter().any(|f| !f.live), "dead code generated");
+        for func in img.functions().iter().filter(|f| !f.live) {
+            for bi in func.blocks() {
+                assert!(matches!(
+                    img.block(bi).term,
+                    Terminator::Cond { .. } | Terminator::Ret
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn calls_target_live_leaves_only() {
+        let img = generate(&GenParams::example("call-targets"));
+        for b in img.blocks() {
+            if let Terminator::Call { callee } = b.term {
+                let func = &img.functions()[callee as usize];
+                assert!(func.live, "call to dead function {callee}");
+                // Leaves make no calls themselves.
+                for bi in func.blocks() {
+                    assert!(!matches!(img.block(bi).term, Terminator::Call { .. }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn functions_start_line_aligned() {
+        let img = generate(&GenParams::example("align"));
+        for f in img.functions() {
+            let entry = img.block(f.first_block);
+            assert_eq!(entry.start.line_offset() % 64, entry.start.line_offset());
+        }
+        // First function exactly at base.
+        assert_eq!(img.base(), Addr::new(0x0040_0000));
+    }
+
+    #[test]
+    fn small_image_generates() {
+        let mut p = GenParams::example("small");
+        p.target_branches = 32;
+        p.target_code_bytes = 2048;
+        let img = generate(&p);
+        assert!(img.static_branches() >= 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8 branches")]
+    fn rejects_tiny_branch_target() {
+        let mut p = GenParams::example("bad");
+        p.target_branches = 2;
+        generate(&p);
+    }
+}

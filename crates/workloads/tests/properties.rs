@@ -1,0 +1,154 @@
+//! Property-based tests for workload generation and tracing.
+
+use proptest::prelude::*;
+
+use ignite_uarch::addr::Addr;
+use ignite_uarch::btb::BranchKind;
+use ignite_workloads::gen::{generate, GenParams};
+use ignite_workloads::trace::TraceWalker;
+
+fn arb_params() -> impl Strategy<Value = GenParams> {
+    (
+        64u32..2000,                 // target_branches
+        8u64..48,                    // avg block bytes (via code size)
+        0.0f64..0.08,                // indirect fraction
+        0.0f64..0.15,                // call fraction
+        0.4f64..0.75,                // cond fraction
+        0.0f64..0.4,                 // backward fraction
+        0.3f64..0.95,                // high bias fraction
+        8u32..96,                    // blocks per function
+        0.0f64..0.8,                 // dead code fraction
+        any::<u64>(),                // seed
+    )
+        .prop_map(
+            |(branches, avg_bytes, ind, call, cond, back, hb, bpf, dead, seed)| GenParams {
+                name: format!("prop-{seed}"),
+                seed,
+                base: Addr::new(0x0040_0000),
+                target_code_bytes: u64::from(branches) * avg_bytes,
+                target_branches: branches,
+                indirect_fraction: ind,
+                call_fraction: call,
+                cond_fraction: cond,
+                backward_fraction: back,
+                high_bias_fraction: hb,
+                blocks_per_function: bpf,
+                dead_code_fraction: dead,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generator must produce a valid image for any parameter point —
+    /// `generate` panics internally if `CodeImage::new` rejects it.
+    #[test]
+    fn generator_always_produces_valid_images(p in arb_params()) {
+        let img = generate(&p);
+        prop_assert!(img.static_branches() > 0);
+        prop_assert!(img.functions().iter().any(|f| f.live));
+    }
+
+    /// Trace continuity: each block begins where the previous block's
+    /// branch said control goes. This is the core walker invariant the
+    /// whole simulation relies on.
+    #[test]
+    fn traces_are_continuous(p in arb_params(), invocation in 0u64..8) {
+        let img = generate(&p);
+        let blocks: Vec<_> = TraceWalker::new(&img, invocation, 5_000).collect();
+        for pair in blocks.windows(2) {
+            prop_assert_eq!(pair[1].start, pair[0].next_pc());
+        }
+    }
+
+    /// The walker never emits blocks from dead functions.
+    #[test]
+    fn dead_code_never_executes(p in arb_params(), invocation in 0u64..4) {
+        let img = generate(&p);
+        let dead_ranges: Vec<_> = img
+            .functions()
+            .iter()
+            .filter(|f| !f.live)
+            .map(|f| {
+                let first = img.block(f.first_block).start;
+                let last = img.block(f.first_block + f.block_count - 1);
+                (first, last.fallthrough())
+            })
+            .collect();
+        for b in TraceWalker::new(&img, invocation, 3_000) {
+            for &(lo, hi) in &dead_ranges {
+                prop_assert!(
+                    b.start < lo || b.start >= hi,
+                    "executed dead block at {}",
+                    b.start
+                );
+            }
+        }
+    }
+
+    /// Returns match their calls (call-stack integrity).
+    #[test]
+    fn call_stack_integrity(p in arb_params(), invocation in 0u64..4) {
+        let img = generate(&p);
+        let blocks: Vec<_> = TraceWalker::new(&img, invocation, 5_000).collect();
+        let mut stack: Vec<Addr> = Vec::new();
+        for pair in blocks.windows(2) {
+            let b = &pair[0];
+            match b.branch.kind {
+                BranchKind::Call if pair[1].start == b.branch.target => {
+                    stack.push(b.fallthrough());
+                }
+                BranchKind::Return => {
+                    if let Some(expect) = stack.pop() {
+                        prop_assert_eq!(b.branch.target, expect);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The dynamic budget is respected within one block's worth of slack.
+    #[test]
+    fn budget_respected(p in arb_params(), budget in 100u64..20_000) {
+        let img = generate(&p);
+        let mut walker = TraceWalker::new(&img, 0, budget);
+        let mut last_block_instrs = 0;
+        for b in walker.by_ref() {
+            last_block_instrs = u64::from(b.instrs);
+        }
+        let emitted = walker.instructions();
+        prop_assert!(emitted >= budget.min(1));
+        prop_assert!(emitted < budget + last_block_instrs.max(1) + 64);
+    }
+
+    /// Same invocation index ⇒ identical trace; the walk is a pure
+    /// function of (image, invocation, budget).
+    #[test]
+    fn walker_is_pure(p in arb_params(), invocation in 0u64..16) {
+        let img = generate(&p);
+        let a: Vec<_> = TraceWalker::new(&img, invocation, 2_000).collect();
+        let b: Vec<_> = TraceWalker::new(&img, invocation, 2_000).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Cross-invocation commonality: executed-block overlap stays high for
+    /// all generated workloads (the property Ignite depends on). The budget
+    /// scales with the image so both walks complete full passes — with a
+    /// too-small budget, overlap measures where the walk frontier stopped
+    /// rather than which blocks the function executes.
+    #[test]
+    fn invocations_share_most_blocks(p in arb_params()) {
+        let img = generate(&p);
+        let budget = u64::from(p.target_branches) * 5 * 4;
+        let collect = |inv| -> std::collections::HashSet<Addr> {
+            TraceWalker::new(&img, inv, budget).map(|b| b.start).collect()
+        };
+        let a = collect(0);
+        let b = collect(1);
+        let inter = a.intersection(&b).count() as f64;
+        let union = a.union(&b).count() as f64;
+        prop_assert!(inter / union > 0.6, "overlap {}", inter / union);
+    }
+}

@@ -1,0 +1,51 @@
+//! Lukewarm-invocation study (paper §2.2, Fig. 1): CPI stacks of
+//! interleaved vs back-to-back invocations for every suite function.
+//!
+//! ```text
+//! cargo run --release -p ignite-harness --example lukewarm_study
+//! ```
+
+use ignite_engine::config::{FrontEndConfig, StatePolicy};
+use ignite_engine::machine::PreparedFunction;
+use ignite_engine::protocol::{run_function, RunOptions};
+use ignite_engine::topdown::Category;
+use ignite_uarch::UarchConfig;
+use ignite_workloads::suite::Suite;
+
+fn main() {
+    let suite = Suite::paper_suite_scaled(0.25);
+    let uarch = UarchConfig::ice_lake_like();
+    let opts = RunOptions::quick();
+    let lukewarm = FrontEndConfig::nl();
+    let warm = FrontEndConfig::nl().with_policy("(warm)", StatePolicy::back_to_back());
+
+    println!(
+        "{:<9} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>7} {:>9}",
+        "function", "CPI", "ret", "fetch", "badspec", "backend", "warmCPI", "slowdown"
+    );
+    let mut ratios = Vec::new();
+    for (i, f) in suite.functions().iter().enumerate() {
+        let prepared = PreparedFunction::from_suite(f, i as u64);
+        let luke = run_function(&uarch, &lukewarm, &prepared, opts);
+        let btb = run_function(&uarch, &warm, &prepared, opts);
+        let n = luke.instructions as f64;
+        let ratio = luke.cpi() / btb.cpi();
+        ratios.push(ratio);
+        println!(
+            "{:<9} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} | {:>7.3} {:>8.0}%",
+            f.profile.abbr,
+            luke.cpi(),
+            luke.topdown.get(Category::Retiring) / n,
+            luke.topdown.get(Category::FetchBound) / n,
+            luke.topdown.get(Category::BadSpeculation) / n,
+            luke.topdown.get(Category::BackendBound) / n,
+            btb.cpi(),
+            (ratio - 1.0) * 100.0,
+        );
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!(
+        "\ninterleaving slows execution by {:.0}% on average (paper: 162% on hardware)",
+        (mean - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: simulate one serverless function with and without Ignite.
+//!
+//! ```text
+//! cargo run --release -p ignite-harness --example quickstart
+//! ```
+//!
+//! Builds one function from the paper suite, runs it under the lukewarm
+//! protocol with the next-line baseline and with Ignite, and prints the
+//! headline comparison.
+
+use ignite_engine::config::FrontEndConfig;
+use ignite_engine::machine::PreparedFunction;
+use ignite_engine::protocol::{run_function, RunOptions};
+use ignite_uarch::UarchConfig;
+use ignite_workloads::suite::Suite;
+
+fn main() {
+    // A scaled-down suite keeps the example fast; pass 1.0 for paper scale.
+    let suite = Suite::paper_suite_scaled(0.25);
+    let function = suite.by_abbr("Auth-N").expect("Auth-N is in the suite");
+    println!(
+        "function {} ({}): {} KiB code, {} dynamic instructions/invocation\n",
+        function.profile.abbr,
+        function.profile.language,
+        function.image.code_bytes() / 1024,
+        function.profile.invocation_instrs,
+    );
+
+    let prepared = PreparedFunction::from_suite(function, 0);
+    let uarch = UarchConfig::ice_lake_like();
+    let opts = RunOptions::default();
+
+    let baseline = run_function(&uarch, &FrontEndConfig::nl(), &prepared, opts);
+    let ignite = run_function(&uarch, &FrontEndConfig::ignite(), &prepared, opts);
+
+    println!("{:<22} {:>10} {:>10}", "", "NL", "Ignite");
+    println!("{:<22} {:>10.3} {:>10.3}", "CPI", baseline.cpi(), ignite.cpi());
+    println!("{:<22} {:>10.1} {:>10.1}", "L1-I MPKI", baseline.l1i_mpki(), ignite.l1i_mpki());
+    println!("{:<22} {:>10.1} {:>10.1}", "BTB MPKI", baseline.btb_mpki(), ignite.btb_mpki());
+    println!("{:<22} {:>10.1} {:>10.1}", "CBP MPKI", baseline.cbp_mpki(), ignite.cbp_mpki());
+    println!(
+        "\nIgnite speedup over the next-line baseline: {:.2}x",
+        baseline.cpi() / ignite.cpi()
+    );
+}

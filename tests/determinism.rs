@@ -1,0 +1,65 @@
+//! Reproducibility: every layer of the stack is deterministic — identical
+//! inputs produce bit-identical results, regardless of thread count.
+
+use ignite_engine::config::FrontEndConfig;
+use ignite_engine::machine::PreparedFunction;
+use ignite_engine::protocol::{run_function, RunOptions};
+use ignite_harness::Harness;
+use ignite_uarch::UarchConfig;
+use ignite_workloads::suite::Suite;
+use ignite_workloads::trace::TraceWalker;
+
+#[test]
+fn suite_generation_is_deterministic() {
+    let a = Suite::paper_suite_scaled(0.05);
+    let b = Suite::paper_suite_scaled(0.05);
+    for (fa, fb) in a.functions().iter().zip(b.functions()) {
+        assert_eq!(fa.image, fb.image, "{}", fa.profile.abbr);
+    }
+}
+
+#[test]
+fn traces_are_deterministic_per_invocation() {
+    let suite = Suite::paper_suite_scaled(0.05);
+    let image = &suite.functions()[3].image;
+    let a: Vec<_> = TraceWalker::new(image, 7, 20_000).collect();
+    let b: Vec<_> = TraceWalker::new(image, 7, 20_000).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn full_simulation_is_deterministic() {
+    let suite = Suite::paper_suite_scaled(0.05);
+    let f = PreparedFunction::from_suite(&suite.functions()[0], 0);
+    let uarch = UarchConfig::ice_lake_like();
+    for fe in [FrontEndConfig::nl(), FrontEndConfig::ignite(), FrontEndConfig::confluence()] {
+        let a = run_function(&uarch, &fe, &f, RunOptions::default());
+        let b = run_function(&uarch, &fe, &f, RunOptions::default());
+        assert_eq!(a, b, "{} diverged", fe.name);
+    }
+}
+
+#[test]
+fn harness_results_independent_of_thread_count() {
+    let mut h = Harness::new(0.02, RunOptions::quick());
+    h.set_threads(1);
+    let serial = h.run_config(&FrontEndConfig::ignite());
+    h.set_threads(8);
+    let parallel = h.run_config(&FrontEndConfig::ignite());
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn different_invocations_differ_but_only_slightly() {
+    let suite = Suite::paper_suite_scaled(0.05);
+    let image = &suite.functions()[0].image;
+    let a: Vec<_> = TraceWalker::new(image, 0, 30_000).collect();
+    let b: Vec<_> = TraceWalker::new(image, 1, 30_000).collect();
+    assert_ne!(a, b, "invocations must not be identical (divergence exists)");
+    // But the executed block sets overlap strongly (commonality).
+    let sa: std::collections::HashSet<_> = a.iter().map(|x| x.start).collect();
+    let sb: std::collections::HashSet<_> = b.iter().map(|x| x.start).collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    assert!(inter / union > 0.85, "block overlap {}", inter / union);
+}

@@ -1,0 +1,85 @@
+//! End-to-end integration: the full stack (workload generation → trace →
+//! engine → metrics) reproduces the paper's headline ordering on a single
+//! function, and the public API composes as documented.
+
+use ignite_engine::config::FrontEndConfig;
+use ignite_engine::machine::PreparedFunction;
+use ignite_engine::protocol::{run_function, RunOptions};
+use ignite_engine::InvocationResult;
+use ignite_uarch::UarchConfig;
+use ignite_workloads::suite::Suite;
+
+fn run(fe: &FrontEndConfig, f: &PreparedFunction) -> InvocationResult {
+    run_function(&UarchConfig::ice_lake_like(), fe, f, RunOptions::quick())
+}
+
+fn function() -> PreparedFunction {
+    let suite = Suite::paper_suite_scaled(0.1);
+    PreparedFunction::from_suite(suite.by_abbr("Auth-N").expect("suite function"), 0)
+}
+
+#[test]
+fn headline_config_ordering() {
+    let f = function();
+    let nl = run(&FrontEndConfig::nl(), &f);
+    let boomerang = run(&FrontEndConfig::boomerang(), &f);
+    let bjb = run(&FrontEndConfig::boomerang_jukebox(), &f);
+    let ignite = run(&FrontEndConfig::ignite(), &f);
+    let ideal = run(&FrontEndConfig::ideal(), &f);
+
+    assert!(boomerang.cpi() < nl.cpi(), "Boomerang beats NL");
+    assert!(ignite.cpi() < bjb.cpi(), "Ignite beats Boomerang+JB");
+    assert!(ideal.cpi() < ignite.cpi(), "Ideal is the upper bound");
+}
+
+#[test]
+fn ignite_reduces_all_three_frontend_miss_rates() {
+    let f = function();
+    let bjb = run(&FrontEndConfig::boomerang_jukebox(), &f);
+    let ignite = run(&FrontEndConfig::ignite(), &f);
+    assert!(ignite.l1i_mpki() < bjb.l1i_mpki(), "L1-I");
+    assert!(ignite.btb_mpki() < bjb.btb_mpki(), "BTB");
+    assert!(ignite.cbp_mpki() < bjb.cbp_mpki(), "CBP");
+}
+
+#[test]
+fn ignite_covers_initial_mispredictions() {
+    let f = function();
+    let bjb = run(&FrontEndConfig::boomerang_jukebox(), &f);
+    let ignite = run(&FrontEndConfig::ignite(), &f);
+    assert!(
+        ignite.initial_mpki() < bjb.initial_mpki() * 0.6,
+        "Ignite initial {} vs B+JB initial {}",
+        ignite.initial_mpki(),
+        bjb.initial_mpki()
+    );
+}
+
+#[test]
+fn metrics_are_internally_consistent() {
+    let f = function();
+    let r = run(&FrontEndConfig::ignite(), &f);
+    // Top-down cycles reconcile with total cycles.
+    let diff = (r.topdown.total() - r.cycles as f64).abs() / r.cycles as f64;
+    assert!(diff < 0.02, "topdown drift {diff}");
+    // Misprediction split sums to the total.
+    assert_eq!(r.initial_mispredictions + r.subsequent_mispredictions, r.cbp_mispredictions);
+    // Traffic categories are all populated for Ignite.
+    assert!(r.traffic.useful_instruction_bytes > 0);
+    assert!(r.traffic.record_metadata_bytes > 0);
+    assert!(r.traffic.replay_metadata_bytes > 0);
+}
+
+#[test]
+fn per_language_character_shows_up() {
+    // NodeJS functions are branch-dense, so their conditional branch count
+    // per kilo-instruction exceeds Go's (Table 1 / Fig. 2 character).
+    let suite = Suite::paper_suite_scaled(0.1);
+    let node = PreparedFunction::from_suite(suite.by_abbr("Auth-N").unwrap(), 0);
+    let go = PreparedFunction::from_suite(suite.by_abbr("Auth-G").unwrap(), 1);
+    let rn = run(&FrontEndConfig::nl(), &node);
+    let rg = run(&FrontEndConfig::nl(), &go);
+    let node_density = rn.conditional_branches as f64 / rn.instructions as f64;
+    let go_density = rg.conditional_branches as f64 / rg.instructions as f64;
+    assert!(node_density > go_density, "node {node_density} vs go {go_density}");
+}
