@@ -19,11 +19,112 @@
 //! the empirical compression optimum for this repository's workloads — see
 //! the `codec_widths` ablation bench.
 
+use std::fmt;
+
 use ignite_uarch::addr::{Addr, VA_BITS};
 use ignite_uarch::btb::{BranchKind, BtbEntry};
 
 /// Number of bits used to encode the branch kind.
 const KIND_BITS: u32 = 3;
+
+/// Magic bytes opening a serialized metadata region.
+const MAGIC: [u8; 4] = *b"IGNT";
+/// Serialization format version.
+const VERSION: u8 = 1;
+/// Serialized header size in bytes (magic, version, widths, reserved,
+/// entry count, checksum, payload length).
+const HEADER_LEN: usize = 20;
+
+/// Why a metadata region could not be decoded.
+///
+/// The replay engine treats every variant the same way — drop the remainder
+/// of the region and fall back to demand misses — but the distinction is
+/// kept for diagnostics and fault-injection experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodecError {
+    /// The serialized image is too short, or its magic, version, delta
+    /// widths, or payload length are structurally invalid.
+    BadHeader,
+    /// The stored checksum does not match the payload contents.
+    ChecksumMismatch {
+        /// Checksum carried in the header.
+        stored: u32,
+        /// Checksum recomputed over the payload.
+        computed: u32,
+    },
+    /// The header claims more records than the payload could possibly hold.
+    ImplausibleEntryCount {
+        /// Entry count carried in the header.
+        claimed: u64,
+        /// Upper bound given the payload size and record widths.
+        max: u64,
+    },
+    /// The bit stream ended in the middle of a record.
+    Truncated {
+        /// Index of the record that could not be completed.
+        entry: usize,
+    },
+    /// A record carries an undefined branch-kind code.
+    BadKind {
+        /// Index of the offending record.
+        entry: usize,
+        /// The undefined kind code.
+        code: u8,
+    },
+    /// A delta-compressed record appeared with no previous target to
+    /// expand its source delta against.
+    BrokenChain {
+        /// Index of the offending record.
+        entry: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadHeader => write!(f, "structurally invalid metadata header"),
+            CodecError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "metadata checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+                )
+            }
+            CodecError::ImplausibleEntryCount { claimed, max } => {
+                write!(f, "header claims {claimed} records but payload holds at most {max}")
+            }
+            CodecError::Truncated { entry } => {
+                write!(f, "metadata stream truncated inside record {entry}")
+            }
+            CodecError::BadKind { entry, code } => {
+                write!(f, "record {entry} carries undefined branch-kind code {code}")
+            }
+            CodecError::BrokenChain { entry } => {
+                write!(f, "compressed record {entry} has no previous target to delta from")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a over the payload plus the header fields that govern decoding, so
+/// corruption of either is caught by [`Metadata::validate`].
+fn checksum(payload: &[u8], entries: u32, src_bits: u32, tgt_bits: u32) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    let mut eat = |b: u8| {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    };
+    for &b in payload {
+        eat(b);
+    }
+    for b in entries.to_le_bytes() {
+        eat(b);
+    }
+    eat(src_bits as u8);
+    eat(tgt_bits as u8);
+    h
+}
 
 /// Delta widths for the compressed record format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +230,11 @@ pub struct Metadata {
     entries: usize,
     cfg_src_bits: u32,
     cfg_tgt_bits: u32,
+    /// Checksum claimed for the payload. Equals the recomputed checksum for
+    /// metadata built by [`Encoder::finish`]; may disagree for metadata
+    /// parsed from a (possibly corrupted) serialized image — that is what
+    /// [`Metadata::validate`] detects.
+    checksum: u32,
 }
 
 impl Metadata {
@@ -147,16 +253,104 @@ impl Metadata {
         self.entries == 0
     }
 
+    /// The delta widths this metadata was encoded with.
+    pub fn codec_config(&self) -> CodecConfig {
+        CodecConfig { src_delta_bits: self.cfg_src_bits, tgt_delta_bits: self.cfg_tgt_bits }
+    }
+
+    /// Serializes to the in-memory region image the OS stores: a fixed
+    /// header (magic, version, delta widths, entry count, checksum, payload
+    /// length) followed by the bit-packed payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.bytes.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.cfg_src_bits as u8);
+        out.push(self.cfg_tgt_bits as u8);
+        out.push(0); // reserved
+        out.extend_from_slice(&(self.entries as u32).to_le_bytes());
+        out.extend_from_slice(&self.checksum.to_le_bytes());
+        out.extend_from_slice(&(self.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.bytes);
+        out
+    }
+
+    /// Parses a serialized region image, performing the structural checks
+    /// that do not require walking the payload (magic, version, widths,
+    /// length, entry-count plausibility). Checksum verification is separate
+    /// — see [`Metadata::validate`] — because replay may be configured to
+    /// skip it.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Metadata, CodecError> {
+        if bytes.len() < HEADER_LEN || bytes[..4] != MAGIC || bytes[4] != VERSION {
+            return Err(CodecError::BadHeader);
+        }
+        let src_bits = u32::from(bytes[5]);
+        let tgt_bits = u32::from(bytes[6]);
+        if !(1..=VA_BITS).contains(&src_bits) || !(1..=VA_BITS).contains(&tgt_bits) {
+            return Err(CodecError::BadHeader);
+        }
+        let word = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let entries = word(8) as usize;
+        let stored_checksum = word(12);
+        let payload_len = word(16) as usize;
+        if bytes.len() - HEADER_LEN != payload_len {
+            return Err(CodecError::BadHeader);
+        }
+        let cfg = CodecConfig { src_delta_bits: src_bits, tgt_delta_bits: tgt_bits };
+        let min_record_bits = cfg.compressed_bits().min(cfg.full_bits()) as u64;
+        let max = payload_len as u64 * 8 / min_record_bits;
+        if entries as u64 > max {
+            return Err(CodecError::ImplausibleEntryCount { claimed: entries as u64, max });
+        }
+        Ok(Metadata {
+            bytes: bytes[HEADER_LEN..].to_vec(),
+            entries,
+            cfg_src_bits: src_bits,
+            cfg_tgt_bits: tgt_bits,
+            checksum: stored_checksum,
+        })
+    }
+
+    /// Verifies the payload against the claimed checksum.
+    ///
+    /// This is the cheap first line of defence replay runs before trusting
+    /// a region: bit flips and truncation anywhere in the payload (or in
+    /// the decode-governing header fields) surface here, before any record
+    /// is expanded.
+    pub fn validate(&self) -> Result<(), CodecError> {
+        let computed =
+            checksum(&self.bytes, self.entries as u32, self.cfg_src_bits, self.cfg_tgt_bits);
+        if computed != self.checksum {
+            return Err(CodecError::ChecksumMismatch { stored: self.checksum, computed });
+        }
+        Ok(())
+    }
+
     /// Decodes all records.
     ///
-    /// Mirrors the replay engine's sequential read of the stream.
+    /// Mirrors the replay engine's sequential read of the stream. On
+    /// corruption the iterator simply ends early; use
+    /// [`Metadata::decode_checked`] to observe *why*.
     pub fn decode(&self) -> Decoder<'_> {
-        Decoder {
+        Decoder(self.decode_checked())
+    }
+
+    /// Decodes records fallibly: yields `Ok` entries until the first
+    /// corruption, then yields that error once and fuses.
+    ///
+    /// A corrupt stream can never produce more than [`Metadata::entries`]
+    /// items, and never invents records past the first undecodable one —
+    /// delta expansion means everything downstream of a bad record is
+    /// untrustworthy.
+    pub fn decode_checked(&self) -> CheckedDecoder<'_> {
+        CheckedDecoder {
             reader: BitReader::new(&self.bytes),
+            index: 0,
             remaining: self.entries,
             last_target: None,
             src_bits: self.cfg_src_bits,
             tgt_bits: self.cfg_tgt_bits,
+            failed: false,
         }
     }
 }
@@ -190,7 +384,14 @@ pub struct Encoder {
 impl Encoder {
     /// Creates an empty encoder.
     pub fn new(cfg: CodecConfig) -> Self {
-        Encoder { cfg, writer: BitWriter::default(), last_target: None, entries: 0, compressed: 0, full: 0 }
+        Encoder {
+            cfg,
+            writer: BitWriter::default(),
+            last_target: None,
+            entries: 0,
+            compressed: 0,
+            full: 0,
+        }
     }
 
     /// Appends one BTB-insertion record.
@@ -246,52 +447,111 @@ impl Encoder {
 
     /// Finalizes into immutable metadata.
     pub fn finish(self) -> Metadata {
+        let check = checksum(
+            &self.writer.bytes,
+            self.entries as u32,
+            self.cfg.src_delta_bits,
+            self.cfg.tgt_delta_bits,
+        );
         Metadata {
             bytes: self.writer.bytes,
             entries: self.entries,
             cfg_src_bits: self.cfg.src_delta_bits,
             cfg_tgt_bits: self.cfg.tgt_delta_bits,
+            checksum: check,
         }
     }
 }
 
-/// Iterator over decoded records.
+/// Fallible iterator over decoded records (see
+/// [`Metadata::decode_checked`]).
 #[derive(Debug, Clone)]
-pub struct Decoder<'a> {
+pub struct CheckedDecoder<'a> {
     reader: BitReader<'a>,
+    index: usize,
     remaining: usize,
     last_target: Option<Addr>,
     src_bits: u32,
     tgt_bits: u32,
+    failed: bool,
 }
+
+impl CheckedDecoder<'_> {
+    fn fail(&mut self, err: CodecError) -> Option<Result<BtbEntry, CodecError>> {
+        self.failed = true;
+        Some(Err(err))
+    }
+}
+
+impl Iterator for CheckedDecoder<'_> {
+    type Item = Result<BtbEntry, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.remaining == 0 {
+            return None;
+        }
+        let Some(format) = self.reader.read(1) else {
+            return self.fail(CodecError::Truncated { entry: self.index });
+        };
+        let Some(code) = self.reader.read(KIND_BITS) else {
+            return self.fail(CodecError::Truncated { entry: self.index });
+        };
+        let Some(kind) = BranchKind::from_code(code as u8) else {
+            return self.fail(CodecError::BadKind { entry: self.index, code: code as u8 });
+        };
+        let entry = if format == 1 {
+            let (Some(src), Some(tgt)) =
+                (self.reader.read_signed(self.src_bits), self.reader.read_signed(self.tgt_bits))
+            else {
+                return self.fail(CodecError::Truncated { entry: self.index });
+            };
+            let Some(last) = self.last_target else {
+                return self.fail(CodecError::BrokenChain { entry: self.index });
+            };
+            let pc = last.offset(src);
+            BtbEntry::new(pc, pc.offset(tgt), kind)
+        } else {
+            let (Some(pc), Some(target)) = (self.reader.read(VA_BITS), self.reader.read(VA_BITS))
+            else {
+                return self.fail(CodecError::Truncated { entry: self.index });
+            };
+            BtbEntry::new(Addr::new(pc), Addr::new(target), kind)
+        };
+        self.last_target = Some(entry.target);
+        self.remaining -= 1;
+        self.index += 1;
+        Some(Ok(entry))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.failed {
+            (0, Some(0))
+        } else {
+            // An extra slot for the terminal error; `remaining` itself is an
+            // upper bound on yielded entries.
+            (0, Some(self.remaining + 1))
+        }
+    }
+}
+
+impl std::iter::FusedIterator for CheckedDecoder<'_> {}
+
+/// Iterator over decoded records, stopping silently at the first
+/// corruption.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a>(CheckedDecoder<'a>);
 
 impl Iterator for Decoder<'_> {
     type Item = BtbEntry;
 
     fn next(&mut self) -> Option<BtbEntry> {
-        if self.remaining == 0 {
-            return None;
-        }
-        let format = self.reader.read(1)?;
-        let kind = BranchKind::from_code(self.reader.read(KIND_BITS)? as u8)?;
-        let entry = if format == 1 {
-            let src = self.reader.read_signed(self.src_bits)?;
-            let tgt = self.reader.read_signed(self.tgt_bits)?;
-            let last = self.last_target?;
-            let pc = last.offset(src);
-            BtbEntry::new(pc, pc.offset(tgt), kind)
-        } else {
-            let pc = Addr::new(self.reader.read(VA_BITS)?);
-            let target = Addr::new(self.reader.read(VA_BITS)?);
-            BtbEntry::new(pc, target, kind)
-        };
-        self.last_target = Some(entry.target);
-        self.remaining -= 1;
-        Some(entry)
+        self.0.next()?.ok()
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.remaining, Some(self.remaining))
+        // Exact for well-formed metadata (the common case); corruption only
+        // ever shortens the stream.
+        (self.0.remaining, Some(self.0.remaining))
     }
 }
 

@@ -53,6 +53,7 @@
 //! ```
 
 pub mod codec;
+pub mod fault;
 pub mod os;
 pub mod record;
 pub mod replay;
@@ -63,7 +64,8 @@ use ignite_uarch::hierarchy::Hierarchy;
 use ignite_uarch::tlb::Itlb;
 use ignite_uarch::Cycle;
 
-pub use codec::CodecConfig;
+pub use codec::{CodecConfig, CodecError};
+pub use fault::FaultPlan;
 pub use replay::{ReplayConfig, ReplayStats, ReplayStep};
 
 use record::Recorder;
@@ -78,6 +80,9 @@ pub struct IgniteConfig {
     pub metadata_budget_bytes: usize,
     /// Replay pacing, throttling and restoration policy.
     pub replay: ReplayConfig,
+    /// Fault injection applied to stored regions between invocations
+    /// (inert by default; used by the robustness experiments).
+    pub faults: FaultPlan,
 }
 
 impl Default for IgniteConfig {
@@ -86,6 +91,7 @@ impl Default for IgniteConfig {
             codec: CodecConfig::default(),
             metadata_budget_bytes: 120 * 1024,
             replay: ReplayConfig::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -112,17 +118,24 @@ pub struct Ignite {
     recorder: Option<Recorder>,
     replayer: Option<Replayer>,
     active: Option<u64>,
+    /// Degradation events observed outside the replayer proper (unreadable
+    /// regions, stale restorations noticed at commit); folded into the
+    /// replay stats at `end_invocation`.
+    fault_stats: ReplayStats,
 }
 
 impl Ignite {
     /// Creates an Ignite instance with no recorded metadata.
     pub fn new(cfg: IgniteConfig) -> Self {
+        let mut os = os::IgniteOs::new(cfg.metadata_budget_bytes);
+        os.set_faults(cfg.faults);
         Ignite {
             cfg,
-            os: os::IgniteOs::new(cfg.metadata_budget_bytes),
+            os,
             recorder: None,
             replayer: None,
             active: None,
+            fault_stats: ReplayStats::default(),
         }
     }
 
@@ -145,12 +158,23 @@ impl Ignite {
     /// sets the control bits as the function is scheduled).
     pub fn begin_invocation(&mut self, container: u64) {
         let plan = self.os.function_started(container);
-        self.recorder = plan
-            .record
-            .then(|| Recorder::new(self.cfg.codec, self.cfg.metadata_budget_bytes));
-        self.replayer =
-            plan.replay_metadata.as_ref().map(|md| Replayer::new(md, self.cfg.replay));
+        self.recorder =
+            plan.record.then(|| Recorder::new(self.cfg.codec, self.cfg.metadata_budget_bytes));
+        self.replayer = plan.replay_metadata.as_ref().map(|md| Replayer::new(md, self.cfg.replay));
+        self.fault_stats = ReplayStats::default();
+        if let Some((_, claimed)) = plan.replay_error {
+            // The region existed but was destroyed before it could be read;
+            // account its records as dropped so degradation is observable.
+            self.fault_stats.decode_errors += 1;
+            self.fault_stats.entries_dropped += claimed as u64;
+        }
         self.active = Some(container);
+    }
+
+    /// Notes that a restored BTB entry resteered at commit (its recorded
+    /// target was stale). Called by the simulation engine.
+    pub fn note_stale_restored(&mut self) {
+        self.fault_stats.stale_restored += 1;
     }
 
     /// Whether replay still has records to restore.
@@ -204,6 +228,7 @@ impl Ignite {
             stats.replay_unfinished =
                 (replayer.total_entries() as u64).saturating_sub(stats.replay.entries_restored);
         }
+        stats.replay.merge(&std::mem::take(&mut self.fault_stats));
         if let Some(recorder) = self.recorder.take() {
             stats.entries_recorded = recorder.entries() as u64;
             stats.record_bytes = recorder.streamed_bytes();

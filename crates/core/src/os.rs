@@ -9,7 +9,8 @@
 
 use std::collections::HashMap;
 
-use crate::codec::Metadata;
+use crate::codec::{CodecError, Metadata};
+use crate::fault::FaultPlan;
 
 /// Control-register state for one Ignite engine pair (record + replay have
 /// independent register sets; §4.3).
@@ -37,6 +38,10 @@ pub struct InvocationPlan {
     pub replay_metadata: Option<Metadata>,
     /// Whether recording should run during this invocation.
     pub record: bool,
+    /// Set when a stored region existed but injected faults destroyed its
+    /// structure before it could be read: the error, and how many records
+    /// the region held before corruption.
+    pub replay_error: Option<(CodecError, usize)>,
 }
 
 /// The modelled host OS managing Ignite metadata regions.
@@ -56,13 +61,33 @@ pub struct IgniteOs {
     regions: HashMap<u64, Metadata>,
     control: ControlRegisters,
     region_bytes: usize,
+    faults: FaultPlan,
+    /// Completed read-backs per container, indexing fault streams so each
+    /// invocation draws independent (but reproducible) faults.
+    read_counts: HashMap<u64, u64>,
 }
 
 impl IgniteOs {
     /// Creates an OS managing metadata regions of `region_bytes` each
     /// (paper: 120 KiB).
     pub fn new(region_bytes: usize) -> Self {
-        IgniteOs { regions: HashMap::new(), control: ControlRegisters::default(), region_bytes }
+        IgniteOs {
+            regions: HashMap::new(),
+            control: ControlRegisters::default(),
+            region_bytes,
+            faults: FaultPlan::none(),
+            read_counts: HashMap::new(),
+        }
+    }
+
+    /// Installs a fault plan applied to every region read-back.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The active fault plan.
+    pub fn faults(&self) -> FaultPlan {
+        self.faults
     }
 
     /// Metadata region size (the record budget).
@@ -81,16 +106,35 @@ impl IgniteOs {
     }
 
     /// Called when the scheduler places `container` on a core: returns the
-    /// invocation plan per the control registers (§4.3).
+    /// invocation plan per the control registers (§4.3), applying the fault
+    /// plan (if any) to the stored region as it is read back.
     pub fn function_started(&mut self, container: u64) -> InvocationPlan {
-        InvocationPlan {
-            replay_metadata: if self.control.replay {
-                self.regions.get(&container).cloned()
-            } else {
-                None
-            },
+        let mut plan = InvocationPlan {
+            replay_metadata: None,
             record: self.control.record,
+            replay_error: None,
+        };
+        if !self.control.replay {
+            return plan;
         }
+        let Some(stored) = self.regions.get(&container) else {
+            return plan;
+        };
+        if !self.faults.is_active() {
+            plan.replay_metadata = Some(stored.clone());
+            return plan;
+        }
+        let invocation = {
+            let c = self.read_counts.entry(container).or_insert(0);
+            let v = *c;
+            *c += 1;
+            v
+        };
+        match self.faults.apply(stored, container, invocation) {
+            Ok(md) => plan.replay_metadata = md,
+            Err(e) => plan.replay_error = Some((e, stored.entries())),
+        }
+        plan
     }
 
     /// Called when the invocation finishes with freshly recorded metadata:
@@ -158,6 +202,12 @@ impl IgniteOs {
     /// Stored metadata size for a container, in bytes.
     pub fn metadata_bytes(&self, container: u64) -> Option<usize> {
         self.regions.get(&container).map(Metadata::byte_len)
+    }
+
+    /// The stored metadata region for a container, if any — the read path
+    /// experiments use to inspect what recording produced.
+    pub fn metadata(&self, container: u64) -> Option<&Metadata> {
+        self.regions.get(&container)
     }
 
     /// Frees a container's metadata region (function instance shut down).
@@ -228,5 +278,36 @@ mod tests {
         assert!(os.metadata_bytes(1).is_some());
         os.release(1);
         assert!(os.metadata_bytes(1).is_none());
+    }
+
+    #[test]
+    fn metadata_accessor_exposes_stored_region() {
+        let mut os = IgniteOs::new(120 * 1024);
+        assert!(os.metadata(1).is_none());
+        os.function_finished(1, Some(sample_metadata()));
+        assert_eq!(os.metadata(1).unwrap().entries(), 1);
+    }
+
+    #[test]
+    fn certain_loss_faults_suppress_replay_metadata() {
+        let mut os = IgniteOs::new(120 * 1024);
+        os.set_faults(FaultPlan { loss_ppm: crate::fault::PPM_SCALE, ..FaultPlan::none() });
+        os.function_finished(1, Some(sample_metadata()));
+        let plan = os.function_started(1);
+        assert!(plan.replay_metadata.is_none());
+        assert!(plan.replay_error.is_none(), "loss is silent, not an error");
+        // The stored region itself is untouched.
+        assert_eq!(os.metadata(1).unwrap().entries(), 1);
+    }
+
+    #[test]
+    fn structural_corruption_reports_replay_error() {
+        let mut os = IgniteOs::new(120 * 1024);
+        os.set_faults(FaultPlan { bit_flip_ppm: crate::fault::PPM_SCALE, ..FaultPlan::none() });
+        os.function_finished(1, Some(sample_metadata()));
+        let plan = os.function_started(1);
+        assert!(plan.replay_metadata.is_none());
+        let (_, entries) = plan.replay_error.expect("total corruption must surface");
+        assert_eq!(entries, 1);
     }
 }

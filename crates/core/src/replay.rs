@@ -43,6 +43,14 @@ pub struct ReplayConfig {
     /// Whether to issue L2 instruction prefetches (disabled in the
     /// BTB/BIM-only ablations).
     pub prefetch_instructions: bool,
+    /// Verify the region checksum before trusting it; a failing region is
+    /// dropped wholesale (counted in [`ReplayStats::decode_errors`]).
+    pub validate_metadata: bool,
+    /// Watchdog: abandon replay after this many consecutive cycles with no
+    /// restoration or prefetch progress (generalizes the §5.3 throttle — a
+    /// replay that can never catch fetch up must not stall the invocation
+    /// forever). `0` disables the watchdog.
+    pub watchdog_stall_steps: u64,
 }
 
 impl Default for ReplayConfig {
@@ -53,6 +61,8 @@ impl Default for ReplayConfig {
             bim_policy: BimInitPolicy::WeaklyTaken,
             max_chain_bytes: 4_096,
             prefetch_instructions: true,
+            validate_metadata: true,
+            watchdog_stall_steps: 20_000,
         }
     }
 }
@@ -85,6 +95,34 @@ pub struct ReplayStats {
     pub metadata_bytes: u64,
     /// Cycles on which replay was throttled.
     pub throttled_steps: u64,
+    /// Corruption events encountered while reading metadata (a failed
+    /// checksum, an unreadable region, or a mid-stream decode error each
+    /// count once).
+    pub decode_errors: u64,
+    /// Records that were recorded but never restored because corruption or
+    /// the watchdog dropped them.
+    pub entries_dropped: u64,
+    /// Restored BTB entries whose target turned out to be wrong at commit
+    /// (stale metadata corrected by the normal resteer path).
+    pub stale_restored: u64,
+    /// Times the watchdog abandoned a stalled replay.
+    pub watchdog_abandons: u64,
+}
+
+impl ReplayStats {
+    /// Accumulates `other` into `self`, field by field.
+    pub fn merge(&mut self, other: &ReplayStats) {
+        self.entries_restored += other.entries_restored;
+        self.bim_initialized += other.bim_initialized;
+        self.l2_prefetches += other.l2_prefetches;
+        self.itlb_warmed += other.itlb_warmed;
+        self.metadata_bytes += other.metadata_bytes;
+        self.throttled_steps += other.throttled_steps;
+        self.decode_errors += other.decode_errors;
+        self.entries_dropped += other.entries_dropped;
+        self.stale_restored += other.stale_restored;
+        self.watchdog_abandons += other.watchdog_abandons;
+    }
 }
 
 /// A replay session for one invocation.
@@ -128,13 +166,42 @@ pub struct Replayer {
     pending_lines: std::collections::VecDeque<Addr>,
     /// Metadata bytes per record (amortized), for streaming accounting.
     bytes_per_entry: f64,
+    /// Consecutive steps with neither restoration nor prefetch progress.
+    stall_steps: u64,
     stats: ReplayStats,
 }
 
 impl Replayer {
     /// Creates a replay session over recorded metadata.
+    ///
+    /// The region is read defensively: if checksum validation is enabled
+    /// and fails, every record is dropped; otherwise records are decoded
+    /// until the first corruption and the remainder of the region is
+    /// dropped. Either way the session itself always constructs — corrupted
+    /// metadata degrades to fewer restorations, never to a panic.
     pub fn new(metadata: &Metadata, cfg: ReplayConfig) -> Self {
-        let entries: Vec<BtbEntry> = metadata.decode().collect();
+        let mut stats = ReplayStats::default();
+        let claimed = metadata.entries();
+        let mut entries: Vec<BtbEntry> = Vec::new();
+        let validation = if cfg.validate_metadata { metadata.validate() } else { Ok(()) };
+        match validation {
+            Err(_) => {
+                stats.decode_errors = 1;
+                stats.entries_dropped = claimed as u64;
+            }
+            Ok(()) => {
+                for record in metadata.decode_checked() {
+                    match record {
+                        Ok(e) => entries.push(e),
+                        Err(_) => {
+                            stats.decode_errors = 1;
+                            stats.entries_dropped = claimed.saturating_sub(entries.len()) as u64;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
         let bytes_per_entry = if entries.is_empty() {
             0.0
         } else {
@@ -147,8 +214,19 @@ impl Replayer {
             prev_target: None,
             pending_lines: std::collections::VecDeque::new(),
             bytes_per_entry,
-            stats: ReplayStats::default(),
+            stall_steps: 0,
+            stats,
         }
+    }
+
+    /// Creates a session for a region that could not be read at all
+    /// (structural corruption or loss detected before decode): it is
+    /// immediately done and carries the drop accounting.
+    pub fn unreadable(claimed_entries: usize, cfg: ReplayConfig) -> Self {
+        let mut r = Replayer::new(&crate::codec::Encoder::new(Default::default()).finish(), cfg);
+        r.stats.decode_errors = 1;
+        r.stats.entries_dropped = claimed_entries as u64;
+        r
     }
 
     /// Whether every record has been replayed and every queued instruction
@@ -180,17 +258,53 @@ impl Replayer {
         if self.is_done() {
             return out;
         }
+        let step_result = self.step_inner(now, btb, cbp, itlb, hierarchy, &mut out);
+        // Watchdog (generalized §5.3 throttle): if replay makes no progress
+        // for long enough — permanently throttled, or starved of prefetch
+        // slots — abandon it rather than stall the invocation. The dropped
+        // records degrade to ordinary demand misses.
+        if step_result {
+            self.stall_steps = 0;
+        } else {
+            self.stall_steps += 1;
+            if self.cfg.watchdog_stall_steps > 0
+                && self.stall_steps >= self.cfg.watchdog_stall_steps
+            {
+                let dropped = (self.entries.len().saturating_sub(self.cursor)) as u64;
+                self.stats.entries_dropped += dropped;
+                self.stats.watchdog_abandons += 1;
+                self.cursor = self.entries.len();
+                self.pending_lines.clear();
+            }
+        }
+        out
+    }
+
+    /// The pre-watchdog body of [`Replayer::step`]; returns whether any
+    /// progress was made this cycle.
+    fn step_inner(
+        &mut self,
+        now: Cycle,
+        btb: &mut Btb,
+        cbp: &mut Cbp,
+        itlb: &mut Itlb,
+        hierarchy: &mut Hierarchy,
+        out: &mut ReplayStep,
+    ) -> bool {
+        let mut progress = false;
         // Drain queued instruction prefetches first, as DRAM bandwidth
         // (modelled by the L2 prefetch MSHRs) allows.
         while let Some(&line) = self.pending_lines.front() {
             if hierarchy.probe_l2(line) {
                 self.pending_lines.pop_front();
+                progress = true;
                 continue;
             }
             if hierarchy.l2_prefetch_capacity(now) == 0 {
                 break;
             }
             self.pending_lines.pop_front();
+            progress = true;
             if let Some(r) = hierarchy.prefetch_l2(line, now, FillKind::Restore) {
                 out.instruction_bytes += r.bytes_from_memory;
                 self.stats.l2_prefetches += 1;
@@ -200,10 +314,12 @@ impl Replayer {
         if btb.restored_untouched() > self.cfg.throttle_threshold {
             self.stats.throttled_steps += 1;
             out.throttled = true;
-            return out;
+            return progress;
         }
         for _ in 0..self.cfg.entries_per_cycle {
-            let Some(&entry) = self.entries.get(self.cursor) else { break };
+            let Some(&entry) = self.entries.get(self.cursor) else {
+                break;
+            };
             self.cursor += 1;
             // 1-2. Restore the BTB entry.
             btb.insert(entry, true);
@@ -250,8 +366,9 @@ impl Replayer {
             let md = self.bytes_per_entry.ceil() as u64;
             out.metadata_bytes += md;
             self.stats.metadata_bytes += md;
+            progress = true;
         }
-        out
+        progress
     }
 }
 
@@ -428,5 +545,108 @@ mod tests {
         let md = metadata(&[]);
         let replay = Replayer::new(&md, ReplayConfig::default());
         assert!(replay.is_done());
+    }
+
+    #[test]
+    fn corrupt_region_dropped_wholesale_by_validation() {
+        let entries: Vec<_> = (0..30u64)
+            .map(|i| {
+                BtbEntry::new(
+                    Addr::new(0x1000 + i * 32),
+                    Addr::new(0x1000 + i * 32 + 8),
+                    BranchKind::Conditional,
+                )
+            })
+            .collect();
+        let md = metadata(&entries);
+        let mut image = md.to_bytes();
+        let last = image.len() - 1;
+        image[last] ^= 0x10; // flip a payload bit
+        let corrupt = Metadata::from_bytes(&image).expect("structurally intact");
+        let replay = Replayer::new(&corrupt, ReplayConfig::default());
+        assert!(replay.is_done(), "invalid region must be dropped wholesale");
+        assert_eq!(replay.stats().decode_errors, 1);
+        assert_eq!(replay.stats().entries_dropped, 30);
+    }
+
+    #[test]
+    fn without_validation_decode_stops_at_first_error() {
+        let entries: Vec<_> = (0..30u64)
+            .map(|i| {
+                BtbEntry::new(
+                    Addr::new(0x1000 + i * 32),
+                    Addr::new(0x1000 + i * 32 + 8),
+                    BranchKind::Conditional,
+                )
+            })
+            .collect();
+        let md = metadata(&entries);
+        let mut image = md.to_bytes();
+        let cut = image.len() - 8;
+        image.truncate(cut);
+        // Patch the payload length so the header stays structurally valid:
+        // this models a partial write that the checksum would catch.
+        let payload = (cut - 20) as u32;
+        image[16..20].copy_from_slice(&payload.to_le_bytes());
+        let corrupt = Metadata::from_bytes(&image).expect("structurally intact");
+        let cfg = ReplayConfig { validate_metadata: false, ..ReplayConfig::default() };
+        let replay = Replayer::new(&corrupt, cfg);
+        let kept = replay.total_entries();
+        assert!(kept < 30, "truncated stream must lose records");
+        assert_eq!(replay.stats().decode_errors, 1);
+        assert_eq!(replay.stats().entries_dropped, 30 - kept as u64);
+    }
+
+    #[test]
+    fn watchdog_abandons_permanently_throttled_replay() {
+        let mut m = machine();
+        let entries: Vec<_> = (0..40u64)
+            .map(|i| {
+                BtbEntry::new(
+                    Addr::new(0x1000 + i * 32),
+                    Addr::new(0x1000 + i * 32 + 8),
+                    BranchKind::Conditional,
+                )
+            })
+            .collect();
+        let md = metadata(&entries);
+        let cfg = ReplayConfig {
+            throttle_threshold: 0,
+            watchdog_stall_steps: 8,
+            prefetch_instructions: false,
+            ..ReplayConfig::default()
+        };
+        let mut replay = Replayer::new(&md, cfg);
+        // Nothing ever consumes the restored entries, so after the first
+        // productive step replay is throttled forever — the watchdog must
+        // terminate it within a bounded number of cycles.
+        for now in 0..100 {
+            replay.step(now, &mut m.btb, &mut m.cbp, &mut m.itlb, &mut m.hierarchy);
+            if replay.is_done() {
+                break;
+            }
+        }
+        assert!(replay.is_done(), "watchdog must end a stalled replay");
+        assert_eq!(replay.stats().watchdog_abandons, 1);
+        assert!(replay.stats().entries_dropped > 0);
+        assert!(replay.stats().entries_restored < 40);
+    }
+
+    #[test]
+    fn unreadable_region_accounts_drops() {
+        let replay = Replayer::unreadable(17, ReplayConfig::default());
+        assert!(replay.is_done());
+        assert_eq!(replay.stats().decode_errors, 1);
+        assert_eq!(replay.stats().entries_dropped, 17);
+    }
+
+    #[test]
+    fn stats_merge_sums_fields() {
+        let mut a = ReplayStats { entries_restored: 1, decode_errors: 2, ..Default::default() };
+        let b = ReplayStats { entries_restored: 3, stale_restored: 4, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.entries_restored, 4);
+        assert_eq!(a.decode_errors, 2);
+        assert_eq!(a.stale_restored, 4);
     }
 }

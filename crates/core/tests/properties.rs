@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use ignite_core::codec::{CodecConfig, Encoder};
+use ignite_core::codec::{CodecConfig, Encoder, Metadata};
 use ignite_core::record::Recorder;
 use ignite_core::replay::{ReplayConfig, Replayer};
 use ignite_core::{Ignite, IgniteConfig};
@@ -41,8 +41,8 @@ fn arb_entries() -> impl Strategy<Value = Vec<BtbEntry>> {
 /// after the previous branch's target (the structure Ignite's recorder
 /// sees, and what the delta format is designed around).
 fn arb_chain() -> impl Strategy<Value = Vec<BtbEntry>> {
-    (0u64..(1 << 40), prop::collection::vec((1u64..64, 4u64..2048, arb_kind()), 1..128))
-        .prop_map(|(base, steps)| {
+    (0u64..(1 << 40), prop::collection::vec((1u64..64, 4u64..2048, arb_kind()), 1..128)).prop_map(
+        |(base, steps)| {
             let mut cursor = base;
             steps
                 .into_iter()
@@ -53,12 +53,12 @@ fn arb_chain() -> impl Strategy<Value = Vec<BtbEntry>> {
                     BtbEntry::new(Addr::new(pc), Addr::new(target), kind)
                 })
                 .collect()
-        })
+        },
+    )
 }
 
 fn arb_widths() -> impl Strategy<Value = CodecConfig> {
-    (4u32..32, 4u32..32)
-        .prop_map(|(s, t)| CodecConfig { src_delta_bits: s, tgt_delta_bits: t })
+    (4u32..32, 4u32..32).prop_map(|(s, t)| CodecConfig { src_delta_bits: s, tgt_delta_bits: t })
 }
 
 proptest! {
@@ -181,6 +181,62 @@ proptest! {
         }
         for pc in &unique {
             prop_assert!(btb.probe(*pc).is_some());
+        }
+    }
+
+    /// Hardened decode, property 1: completely arbitrary byte soup never
+    /// panics, and whatever parses never yields more entries than its
+    /// header claims. Half the cases are stamped with a plausible header
+    /// (magic, version, default widths) so the fuzz reaches the payload
+    /// decoder rather than dying at the magic check.
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        mut bytes in prop::collection::vec(any::<u8>(), 0..512),
+        stamp_header in any::<bool>(),
+    ) {
+        if stamp_header && bytes.len() >= 8 {
+            bytes[..4].copy_from_slice(b"IGNT");
+            bytes[4] = 1; // version
+            bytes[5] = 9; // src_delta_bits
+            bytes[6] = 21; // tgt_delta_bits
+        }
+        if let Ok(md) = Metadata::from_bytes(&bytes) {
+            let claimed = md.entries();
+            prop_assert!(md.decode().count() <= claimed);
+            let _ = md.validate();
+            let mut yielded = 0usize;
+            for r in md.decode_checked() {
+                match r {
+                    Ok(_) => yielded += 1,
+                    Err(_) => break,
+                }
+            }
+            prop_assert!(yielded <= claimed);
+        }
+    }
+
+    /// Hardened decode, property 2: a valid image with a handful of bits
+    /// flipped either fails structural parsing, fails validation, or
+    /// decodes to at most the claimed entry count — never a panic, never
+    /// invented entries.
+    #[test]
+    fn mutated_image_never_yields_excess_entries(
+        entries in arb_chain(),
+        flips in prop::collection::vec((any::<usize>(), 0u32..8), 1..16),
+    ) {
+        let mut enc = Encoder::new(CodecConfig::default());
+        for e in &entries {
+            enc.push(e);
+        }
+        let mut bytes = enc.finish().to_bytes();
+        for (pos, bit) in flips {
+            let i = pos % bytes.len();
+            bytes[i] ^= 1 << bit;
+        }
+        if let Ok(md) = Metadata::from_bytes(&bytes) {
+            let claimed = md.entries();
+            prop_assert!(md.decode().count() <= claimed);
+            let _ = md.validate();
         }
     }
 }

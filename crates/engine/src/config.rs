@@ -211,6 +211,22 @@ impl FrontEndConfig {
         self
     }
 
+    /// Installs a metadata fault-injection plan on the config's Ignite
+    /// instance (robustness ablations). The name is suffixed so swept
+    /// configurations stay distinguishable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this configuration does not include Ignite.
+    pub fn with_faults(mut self, suffix: &str, faults: ignite_core::FaultPlan) -> Self {
+        let ignite = self.select.ignite.as_mut().expect("fault plans apply to Ignite configs only");
+        ignite.faults = faults;
+        if !suffix.is_empty() {
+            self.name = format!("{} [{}]", self.name, suffix);
+        }
+        self
+    }
+
     /// Overrides Ignite's BIM initialization policy (Fig. 11 ablations).
     ///
     /// # Panics
@@ -282,6 +298,20 @@ mod tests {
     #[should_panic(expected = "Ignite configs only")]
     fn bim_policy_requires_ignite() {
         FrontEndConfig::nl().with_bim_policy(BimInitPolicy::WeaklyTaken);
+    }
+
+    #[test]
+    fn fault_plan_override() {
+        let plan = ignite_core::FaultPlan::bit_flips(0.01, 42);
+        let c = FrontEndConfig::ignite().with_faults("flip 1e-2", plan);
+        assert_eq!(c.select.ignite.unwrap().faults, plan);
+        assert!(c.name.contains("flip 1e-2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "Ignite configs only")]
+    fn fault_plan_requires_ignite() {
+        FrontEndConfig::fdp().with_faults("", ignite_core::FaultPlan::none());
     }
 
     #[test]

@@ -247,8 +247,8 @@ mod tests {
     #[test]
     fn back_to_back_policy_preserves_state() {
         let uarch = UarchConfig::tiny_for_tests();
-        let fe = FrontEndConfig::nl()
-            .with_policy("warm", crate::config::StatePolicy::back_to_back());
+        let fe =
+            FrontEndConfig::nl().with_policy("warm", crate::config::StatePolicy::back_to_back());
         let mut m = Machine::new(&uarch, &fe);
         m.hierarchy.fetch(Addr::new(0x1000), 0);
         m.between_invocations();

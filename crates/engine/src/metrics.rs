@@ -1,5 +1,6 @@
 //! Per-invocation and aggregated measurement results.
 
+use ignite_core::ReplayStats;
 use ignite_uarch::stats::mpki;
 
 use crate::topdown::TopDown;
@@ -109,6 +110,10 @@ pub struct InvocationResult {
     pub accuracy_btb: RestoreAccuracy,
     /// Ignite restore accuracy for the CBP (BIM initialization).
     pub accuracy_cbp: RestoreAccuracy,
+    /// Ignite replay statistics, including the degradation counters
+    /// (`decode_errors`, `entries_dropped`, `stale_restored`,
+    /// `watchdog_abandons`) — zero when Ignite is not configured.
+    pub replay: ReplayStats,
 }
 
 impl InvocationResult {
@@ -169,6 +174,7 @@ impl InvocationResult {
         self.accuracy_l2.merge(&other.accuracy_l2);
         self.accuracy_btb.merge(&other.accuracy_btb);
         self.accuracy_cbp.merge(&other.accuracy_cbp);
+        self.replay.merge(&other.replay);
     }
 }
 

@@ -64,11 +64,7 @@ struct Pending {
 ///
 /// `invocation` seeds the trace walker; consecutive invocations of the same
 /// function share most control flow (the commonality Ignite exploits).
-pub fn run_invocation(
-    m: &mut Machine,
-    f: &PreparedFunction,
-    invocation: u64,
-) -> InvocationResult {
+pub fn run_invocation(m: &mut Machine, f: &PreparedFunction, invocation: u64) -> InvocationResult {
     let mut res = InvocationResult::default();
     let start_cycle = m.now;
     let ideal = m.fe.select.ideal;
@@ -86,8 +82,7 @@ pub fn run_invocation(
         ig.begin_invocation(f.container);
     }
 
-    let mut walker =
-        TraceWalker::with_noise(&f.image, invocation, f.invocation_instrs, f.noise);
+    let mut walker = TraceWalker::with_noise(&f.image, invocation, f.invocation_instrs, f.noise);
     let mut buf: VecDeque<Pending> = VecDeque::new();
     let mut walker_done = false;
     // Number of leading `buf` entries considered "in the FTQ" (their lines
@@ -101,8 +96,7 @@ pub fn run_invocation(
     let mut cycle_carry: f64 = 0.0;
     let mut mech_clock = m.now;
     // Cold-data pool for the back-end stall model.
-    let mut data_pool: f64 =
-        if m.fe.policy.warm_data { 0.0 } else { f.data_ws_lines as f64 };
+    let mut data_pool: f64 = if m.fe.policy.warm_data { 0.0 } else { f.data_ws_lines as f64 };
 
     loop {
         // Keep the lookahead buffer stocked.
@@ -231,7 +225,8 @@ pub fn run_invocation(
         let cold = (loads * m.uarch.backend.cold_touch_rate).min(data_pool);
         data_pool -= cold;
         let data_stall = cold * m.uarch.backend.cold_miss_penalty as f64
-            + (loads - cold) * m.uarch.backend.warm_miss_rate
+            + (loads - cold)
+                * m.uarch.backend.warm_miss_rate
                 * m.uarch.backend.data_miss_penalty as f64;
         res.topdown.add(Category::BackendBound, data_stall);
         block_cycles += data_stall;
@@ -299,6 +294,7 @@ pub fn run_invocation(
     if let Some(ig) = &mut m.ignite {
         let stats = ig.end_invocation(f.container);
         res.traffic.record_metadata_bytes += stats.record_bytes;
+        res.replay = stats.replay;
         res.accuracy_l2 = RestoreAccuracy {
             covered: stats.replay.l2_prefetches.saturating_sub(l2_over),
             uncovered: res.accuracy_l2.uncovered,
@@ -335,12 +331,7 @@ fn step_mechanisms(m: &mut Machine, f: &PreparedFunction, now: Cycle, res: &mut 
 ///
 /// `lookahead` is the block's distance (in blocks) from the fetch point —
 /// 0 means demand-time (no run-ahead slack for Boomerang fills).
-fn evaluate(
-    m: &mut Machine,
-    f: &PreparedFunction,
-    block: &BlockExec,
-    lookahead: usize,
-) -> Eval {
+fn evaluate(m: &mut Machine, f: &PreparedFunction, block: &BlockExec, lookahead: usize) -> Eval {
     let br = block.branch;
     let ideal = m.fe.select.ideal;
     let actual_next = block.next_pc();
@@ -349,7 +340,19 @@ fn evaluate(
         // Perfect BTB: every branch identified with its current target.
         Some(BtbEntry::new(br.pc, br.target, br.kind))
     } else {
-        m.btb.lookup(br.pc)
+        let hit = m.btb.lookup_traced(br.pc);
+        // A replayed entry whose recorded target no longer matches the
+        // branch is stale metadata: it flows through prediction and is
+        // corrected by the ordinary resteer path below, but Ignite counts
+        // it so degradation experiments can observe staleness end-to-end.
+        if let Some((entry, true)) = hit {
+            if br.taken && entry.target != br.target {
+                if let Some(ig) = &mut m.ignite {
+                    ig.note_stale_restored();
+                }
+            }
+        }
+        hit.map(|(entry, _)| entry)
     };
 
     let mut btb_hit = btb_entry.is_some();
@@ -363,13 +366,8 @@ fn evaluate(
             // Blocks take ~5 cycles each to drain at typical CPI, giving
             // the fill that much slack per block of run-ahead.
             let needed_at = m.now + lookahead as Cycle * 5;
-            let fill = boomerang.request_fill(
-                br.pc,
-                m.now,
-                &mut m.hierarchy,
-                &f.branch_index,
-                &mut m.btb,
-            );
+            let fill =
+                boomerang.request_fill(br.pc, m.now, &mut m.hierarchy, &f.branch_index, &mut m.btb);
             match fill {
                 Some(outcome) if outcome.ready_at <= needed_at => {
                     identified = m.btb.probe(br.pc);
@@ -380,12 +378,9 @@ fn evaluate(
                     // target; the RAS then supplies the target. Model the
                     // identification with the same line-fetch+predecode
                     // latency.
-                    if let Some(r) =
-                        m.hierarchy.prefetch_l1i(br.pc, m.now, FillKind::Prefetch)
-                    {
+                    if let Some(r) = m.hierarchy.prefetch_l1i(br.pc, m.now, FillKind::Prefetch) {
                         if r.ready_at + 6 <= needed_at {
-                            identified =
-                                Some(BtbEntry::new(br.pc, br.target, BranchKind::Return));
+                            identified = Some(BtbEntry::new(br.pc, br.target, BranchKind::Return));
                         }
                     } else {
                         identified = Some(BtbEntry::new(br.pc, br.target, BranchKind::Return));
@@ -418,8 +413,7 @@ fn evaluate(
         Some(entry) => match br.kind {
             BranchKind::Conditional => {
                 let pred = m.cbp.predict(br.pc);
-                let predicted_next =
-                    if pred.taken { entry.target } else { block.fallthrough() };
+                let predicted_next = if pred.taken { entry.target } else { block.fallthrough() };
                 let outcome = if predicted_next == actual_next {
                     Outcome::Correct
                 } else {
@@ -551,10 +545,7 @@ mod tests {
         let (first, _) = run(FrontEndConfig::nl());
         let total = first.topdown.total();
         let cycles = first.cycles as f64;
-        assert!(
-            (total - cycles).abs() / cycles < 0.02,
-            "topdown {total} vs cycles {cycles}"
-        );
+        assert!((total - cycles).abs() / cycles < 0.02, "topdown {total} vs cycles {cycles}");
     }
 
     #[test]
@@ -584,12 +575,7 @@ mod tests {
     fn fdp_outperforms_nl_on_lukewarm() {
         let (_, nl) = run(FrontEndConfig::nl());
         let (_, fdp) = run(FrontEndConfig::fdp());
-        assert!(
-            fdp.cycles < nl.cycles,
-            "FDP {} cycles vs NL {} cycles",
-            fdp.cycles,
-            nl.cycles
-        );
+        assert!(fdp.cycles < nl.cycles, "FDP {} cycles vs NL {} cycles", fdp.cycles, nl.cycles);
     }
 
     #[test]
@@ -627,10 +613,8 @@ mod tests {
     #[test]
     fn warm_btb_reduces_resteers() {
         let (_, luke) = run(FrontEndConfig::boomerang_jukebox());
-        let (_, warm_btb) = run(
-            FrontEndConfig::boomerang_jukebox()
-                .with_policy("+ warm BTB", StatePolicy::lukewarm_warm_btb()),
-        );
+        let (_, warm_btb) = run(FrontEndConfig::boomerang_jukebox()
+            .with_policy("+ warm BTB", StatePolicy::lukewarm_warm_btb()));
         assert!(warm_btb.btb_misses < luke.btb_misses / 2);
     }
 

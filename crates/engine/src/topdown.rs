@@ -21,8 +21,12 @@ pub enum Category {
 
 impl Category {
     /// All categories in display order.
-    pub const ALL: [Category; 4] =
-        [Category::Retiring, Category::FetchBound, Category::BadSpeculation, Category::BackendBound];
+    pub const ALL: [Category; 4] = [
+        Category::Retiring,
+        Category::FetchBound,
+        Category::BadSpeculation,
+        Category::BackendBound,
+    ];
 }
 
 impl std::fmt::Display for Category {

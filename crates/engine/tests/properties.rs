@@ -28,8 +28,7 @@ fn arb_function() -> impl Strategy<Value = PreparedFunction> {
                 blocks_per_function: 32,
                 dead_code_fraction: 0.4,
             };
-            let mut f =
-                PreparedFunction::from_image(generate(&params), 0, 6_000);
+            let mut f = PreparedFunction::from_image(generate(&params), 0, 6_000);
             f.noise = noise;
             f
         },

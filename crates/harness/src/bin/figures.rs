@@ -23,8 +23,24 @@ use ignite_engine::protocol::RunOptions;
 use ignite_harness::{figures, Figure, Harness};
 
 const ALL_IDS: [&str; 18] = [
-    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9a",
-    "fig9b", "fig9c", "fig10", "fig11", "fig12", "ext-adaptation", "ext-metadata", "ext-interleaving",
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ext-adaptation",
+    "ext-metadata",
+    "ext-interleaving",
 ];
 
 fn run_one(h: &Harness, id: &str) -> Option<Figure> {
@@ -98,23 +114,44 @@ fn main() {
         }
     }
 
-    let harness =
-        Harness::new(scale, RunOptions { warmup_invocations: 1, measured_invocations: invocations });
+    let harness = Harness::new(
+        scale,
+        RunOptions { warmup_invocations: 1, measured_invocations: invocations },
+    );
     if let Some(path) = experiments {
         let md = ignite_harness::report::experiments_markdown(&harness);
         std::fs::write(&path, md).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("[wrote {path}]");
         return;
     }
+    // Each figure runs under catch_unwind so one broken experiment does
+    // not cost the rest of a (potentially hours-long) paper-scale run.
+    // Failures are summarised at the end and reflected in the exit code.
     let mut rendered = String::new();
+    let mut failures: Vec<(String, String)> = Vec::new();
     for id in &ids {
         let t = std::time::Instant::now();
-        let fig = run_one(&harness, id).expect("validated above");
-        let text = fig.render();
-        println!("{text}");
-        eprintln!("[{} done in {:.1?}]", id, t.elapsed());
-        rendered.push_str(&text);
-        rendered.push('\n');
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_one(&harness, id).expect("validated above")
+        }));
+        match outcome {
+            Ok(fig) => {
+                let text = fig.render();
+                println!("{text}");
+                eprintln!("[{} done in {:.1?}]", id, t.elapsed());
+                rendered.push_str(&text);
+                rendered.push('\n');
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                eprintln!("[{} FAILED after {:.1?}: {}]", id, t.elapsed(), msg);
+                failures.push((id.clone(), msg));
+            }
+        }
     }
     if let Some(path) = out {
         let mut f = std::fs::OpenOptions::new()
@@ -124,6 +161,13 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
         f.write_all(rendered.as_bytes()).expect("write failed");
         eprintln!("[appended to {path}]");
+    }
+    if !failures.is_empty() {
+        eprintln!("\n{} of {} figure(s) failed:", failures.len(), ids.len());
+        for (id, msg) in &failures {
+            eprintln!("  {id}: {msg}");
+        }
+        std::process::exit(1);
     }
 }
 

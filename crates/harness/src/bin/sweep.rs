@@ -7,12 +7,19 @@
 //! "overall trends ... not affected"), cross-invocation divergence (§4.2),
 //! and Ignite stacked on Boomerang instead of FDP.
 //!
+//! The `faults` sweep additionally injects metadata faults (bit flips and
+//! stale entries) at increasing rates, demonstrating that hardened decode
+//! degrades Ignite gracefully toward its record-only floor instead of
+//! crashing or mis-simulating.
+//!
 //! ```text
 //! sweep [--scale F] [SWEEPS...]
-//! sweeps: codec budget throttle btb-size divergence host | all
+//! sweeps: codec budget throttle btb-size divergence host loop ittage
+//!         faults | all
 //! ```
 
 use ignite_core::codec::CodecConfig;
+use ignite_core::FaultPlan;
 use ignite_engine::config::FrontEndConfig;
 use ignite_engine::protocol::{run_function, RunOptions};
 use ignite_harness::Harness;
@@ -24,42 +31,32 @@ fn header(title: &str) {
 }
 
 /// Mean speedup of `fe` over NL across the suite.
-fn mean_speedup(h: &Harness, fe: &FrontEndConfig, baseline: &[ignite_engine::InvocationResult]) -> f64 {
+fn mean_speedup(
+    h: &Harness,
+    fe: &FrontEndConfig,
+    baseline: &[ignite_engine::InvocationResult],
+) -> f64 {
     let results = h.run_config(fe);
-    baseline
-        .iter()
-        .zip(&results)
-        .map(|(b, r)| b.cpi() / r.cpi())
-        .sum::<f64>()
+    baseline.iter().zip(&results).map(|(b, r)| b.cpi() / r.cpi()).sum::<f64>()
         / results.len() as f64
 }
 
 fn sweep_codec(h: &Harness) {
     header("Codec delta widths (bits source/target; §4.1 vs §5.3 disagree)");
     // Record real metadata by running one function, then re-encode the
-    // decoded stream under each width pair.
+    // decoded stream under each width pair. The recorded region is read
+    // back through the OS model, exactly as replay would see it.
     let f = &h.functions()[0];
     let mut machine = ignite_engine::machine::Machine::new(&h.uarch, &FrontEndConfig::ignite());
     ignite_engine::sim::run_invocation(&mut machine, f, 0);
-    let ignite = machine.ignite.as_ref().expect("ignite");
-    let _ = ignite;
-    // Reconstruct the recorded entries by replaying the stored metadata.
-    // (The OS store is private; record again through the public codec.)
-    let mut btb = ignite_uarch::btb::Btb::new(&h.uarch.btb);
-    let mut recorder =
-        ignite_core::record::Recorder::new(CodecConfig::default(), usize::MAX >> 1);
-    for block in ignite_workloads::trace::TraceWalker::new(&f.image, 0, f.invocation_instrs) {
-        if block.branch.taken && btb.lookup(block.branch.pc).is_none() {
-            let entry = ignite_uarch::btb::BtbEntry::new(
-                block.branch.pc,
-                block.branch.target,
-                block.branch.kind,
-            );
-            btb.insert(entry, false);
-            recorder.observe(&entry);
-        }
-    }
-    let reference = recorder.finish();
+    let reference = machine
+        .ignite
+        .as_ref()
+        .expect("ignite")
+        .os()
+        .metadata(f.container)
+        .expect("recording stored a metadata region")
+        .clone();
     let entries: Vec<_> = reference.decode().collect();
     println!("{:>6} {:>6} {:>12} {:>12} {:>10}", "src", "tgt", "bytes", "bits/entry", "fallback%");
     for (src, tgt) in [(7, 21), (9, 21), (13, 13), (21, 7), (16, 16), (5, 27), (12, 24)] {
@@ -102,21 +99,14 @@ fn sweep_throttle(h: &Harness) {
         let mut fe = FrontEndConfig::ignite();
         fe.select.ignite.as_mut().expect("ignite").replay.throttle_threshold = threshold;
         fe.name = format!("Ignite thr={threshold}");
-        let label = if threshold == u64::MAX {
-            "off".to_string()
-        } else {
-            threshold.to_string()
-        };
+        let label = if threshold == u64::MAX { "off".to_string() } else { threshold.to_string() };
         println!("{label:>12} {:>10.3}", mean_speedup(h, &fe, &baseline));
     }
 }
 
 fn sweep_btb_size(h: &Harness) {
     header("BTB size (5K = Ice Lake, 12K = Sapphire Rapids; §5.3)");
-    println!(
-        "{:>10} {:>12} {:>12} {:>12}",
-        "entries", "NL", "B+JB", "Ignite"
-    );
+    println!("{:>10} {:>12} {:>12} {:>12}", "entries", "NL", "B+JB", "Ignite");
     for entries in [5 * 1024 + 128, 12 * 1024] {
         // 5 K is not divisible by 6 ways; round to the nearest valid size.
         let mut uarch = UarchConfig::ice_lake_like();
@@ -203,8 +193,7 @@ fn sweep_ittage(h: &Harness) {
     println!("{:>10} {:>12} {:>12} {:>14}", "ittage", "NL CPI", "Ignite CPI", "Ignite BTB MPKI");
     for enabled in [false, true] {
         let mut uarch = h.uarch;
-        uarch.indirect_predictor =
-            enabled.then(ignite_uarch::ittage::IttageConfig::default);
+        uarch.indirect_predictor = enabled.then(ignite_uarch::ittage::IttageConfig::default);
         let mut nl_cpi = Vec::new();
         let mut ig_cpi = Vec::new();
         let mut ig_btb = Vec::new();
@@ -225,12 +214,58 @@ fn sweep_ittage(h: &Harness) {
     }
 }
 
+fn sweep_faults(h: &Harness) {
+    header("Metadata fault injection (hardened decode; DESIGN.md fault model)");
+    let baseline = h.run_config(&FrontEndConfig::nl());
+    let fdp = mean_speedup(h, &FrontEndConfig::fdp(), &baseline);
+    println!("record-only floor (FDP): {fdp:.3}");
+    println!(
+        "{:>10} {:>8} {:>10} {:>12} {:>10} {:>8} {:>10}",
+        "fault", "rate", "speedup", "decode errs", "dropped", "stale", "watchdog"
+    );
+    type Mk = fn(f64, u64) -> FaultPlan;
+    for (kind, mk) in [("bit-flip", FaultPlan::bit_flips as Mk), ("stale", FaultPlan::stale as Mk)]
+    {
+        for rate in [0.0, 0.001, 0.01, 0.1, 1.0] {
+            let fe = FrontEndConfig::ignite()
+                .with_faults(&format!("{kind} {rate}"), mk(rate, 0x0016_117E));
+            let results = h.run_config(&fe);
+            let speedup =
+                baseline.iter().zip(&results).map(|(b, r)| b.cpi() / r.cpi()).sum::<f64>()
+                    / results.len() as f64;
+            let replay = results.iter().fold(ignite_core::ReplayStats::default(), |mut acc, r| {
+                acc.merge(&r.replay);
+                acc
+            });
+            println!(
+                "{:>10} {:>8} {:>10.3} {:>12} {:>10} {:>8} {:>10}",
+                kind,
+                rate,
+                speedup,
+                replay.decode_errors,
+                replay.entries_dropped,
+                replay.stale_restored,
+                replay.watchdog_abandons,
+            );
+        }
+    }
+}
+
 fn sweep_host(h: &Harness) {
     header("Ignite host prefetcher: FDP vs Boomerang (§5.3)");
     let baseline = h.run_config(&FrontEndConfig::nl());
     for fe in [FrontEndConfig::ignite(), FrontEndConfig::ignite_boomerang()] {
         println!("{:<20} {:>10.3}", fe.name.clone(), mean_speedup(h, &fe, &baseline));
     }
+}
+
+const SWEEP_NAMES: &[&str] =
+    &["codec", "budget", "throttle", "btb-size", "divergence", "host", "loop", "ittage", "faults"];
+
+fn usage() -> ! {
+    eprintln!("usage: sweep [--scale F] [NAMES...]");
+    eprintln!("names: {} | all", SWEEP_NAMES.join(" "));
+    std::process::exit(2);
 }
 
 fn main() {
@@ -241,29 +276,61 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                scale = it.next().and_then(|v| v.parse().ok()).expect("--scale needs a number");
+                scale = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("error: --scale needs a number\n");
+                        usage();
+                    }
+                };
             }
-            other => which.push(other.to_string()),
+            other => {
+                if other != "all" && !SWEEP_NAMES.contains(&other) {
+                    eprintln!("error: unknown sweep {other}\n");
+                    usage();
+                }
+                which.push(other.to_string());
+            }
         }
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = ["codec", "budget", "throttle", "btb-size", "divergence", "host", "loop", "ittage"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        which = SWEEP_NAMES.iter().map(|s| s.to_string()).collect();
     }
     let h = Harness::new(scale, RunOptions::quick());
+    // Isolate each sweep: one panicking ablation must not cost the rest.
+    let mut failures: Vec<(String, String)> = Vec::new();
     for w in &which {
-        match w.as_str() {
-            "codec" => sweep_codec(&h),
-            "budget" => sweep_budget(&h),
-            "throttle" => sweep_throttle(&h),
-            "btb-size" => sweep_btb_size(&h),
-            "divergence" => sweep_divergence(&h),
-            "host" => sweep_host(&h),
-            "loop" => sweep_loop_predictor(&h),
-            "ittage" => sweep_ittage(&h),
-            other => eprintln!("unknown sweep {other}"),
+        let run: Option<fn(&Harness)> = match w.as_str() {
+            "codec" => Some(sweep_codec),
+            "budget" => Some(sweep_budget),
+            "throttle" => Some(sweep_throttle),
+            "btb-size" => Some(sweep_btb_size),
+            "divergence" => Some(sweep_divergence),
+            "host" => Some(sweep_host),
+            "loop" => Some(sweep_loop_predictor),
+            "ittage" => Some(sweep_ittage),
+            "faults" => Some(sweep_faults),
+            other => {
+                eprintln!("unknown sweep {other}");
+                None
+            }
+        };
+        let Some(run) = run else { continue };
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&h))) {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            eprintln!("[sweep {w} FAILED: {msg}]");
+            failures.push((w.clone(), msg));
         }
+    }
+    if !failures.is_empty() {
+        eprintln!("\n{} sweep(s) failed:", failures.len());
+        for (w, msg) in &failures {
+            eprintln!("  {w}: {msg}");
+        }
+        std::process::exit(1);
     }
 }

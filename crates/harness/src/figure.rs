@@ -12,10 +12,7 @@ pub struct Series {
 
 impl Series {
     /// Creates a series from an iterator of points.
-    pub fn new(
-        label: impl Into<String>,
-        points: impl IntoIterator<Item = (String, f64)>,
-    ) -> Self {
+    pub fn new(label: impl Into<String>, points: impl IntoIterator<Item = (String, f64)>) -> Self {
         Series { label: label.into(), points: points.into_iter().collect() }
     }
 
@@ -72,8 +69,7 @@ impl Figure {
         out.push_str(&format!("## {} — {}\n\n", self.id, self.caption));
         let labels = self.x_labels();
         let xw = labels.iter().map(|l| l.len()).max().unwrap_or(1).max(8);
-        let cols: Vec<usize> =
-            self.series.iter().map(|s| s.label.len().max(8)).collect();
+        let cols: Vec<usize> = self.series.iter().map(|s| s.label.len().max(8)).collect();
         out.push_str(&format!("{:xw$}", "", xw = xw + 2));
         for (s, w) in self.series.iter().zip(&cols) {
             out.push_str(&format!("  {:>w$}", s.label, w = w));

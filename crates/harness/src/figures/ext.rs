@@ -30,9 +30,7 @@ const SHIFTED_NOISE: f64 = 0.30;
 pub fn adaptation(h: &Harness) -> Figure {
     let f = &h.functions()[1];
     let mut series = Vec::new();
-    for (label, record_always) in
-        [("Record once", false), ("Double-buffered (default)", true)]
-    {
+    for (label, record_always) in [("Record once", false), ("Double-buffered (default)", true)] {
         let mut m = Machine::new(&h.uarch, &FrontEndConfig::ignite());
         let mut points = Vec::new();
         for inv in 0..INVOCATIONS {
@@ -61,8 +59,7 @@ pub fn adaptation(h: &Harness) -> Figure {
     }
     Figure {
         id: "ext-adaptation".to_string(),
-        caption: "Behaviour shift at invocation 3: record-once vs double-buffered"
-            .to_string(),
+        caption: "Behaviour shift at invocation 3: record-once vs double-buffered".to_string(),
         series,
         notes: "Expected: both policies degrade at the shift; the \
                 double-buffered recorder recovers within one invocation, the \
@@ -83,8 +80,8 @@ pub fn adaptation(h: &Harness) -> Figure {
 /// flush-protocol CPI.
 pub fn interleaving(h: &Harness) -> Figure {
     let fut = &h.functions()[0];
-    let warm_cfg = FrontEndConfig::nl()
-        .with_policy("(warm)", ignite_engine::StatePolicy::back_to_back());
+    let warm_cfg =
+        FrontEndConfig::nl().with_policy("(warm)", ignite_engine::StatePolicy::back_to_back());
     let mut points = Vec::new();
     for k in [0usize, 1, 2, 4, 8, 19] {
         let mut m = Machine::new(&h.uarch, &warm_cfg);
@@ -109,10 +106,7 @@ pub fn interleaving(h: &Harness) -> Figure {
         m.between_invocations();
         cpis.push(run_invocation(&mut m, fut, round).cpi());
     }
-    points.push((
-        "flush protocol".to_string(),
-        cpis.iter().sum::<f64>() / cpis.len() as f64,
-    ));
+    points.push(("flush protocol".to_string(), cpis.iter().sum::<f64>() / cpis.len() as f64));
     Figure {
         id: "ext-interleaving".to_string(),
         caption: "Real function interleaving vs the lukewarm flush protocol (NL, CPI of \
@@ -165,8 +159,7 @@ mod tests {
         let fig = adaptation(&h);
         let last = format!("inv{}", INVOCATIONS - 1);
         let frozen = fig.series("Record once").unwrap().value(&last).unwrap();
-        let fresh =
-            fig.series("Double-buffered (default)").unwrap().value(&last).unwrap();
+        let fresh = fig.series("Double-buffered (default)").unwrap().value(&last).unwrap();
         assert!(
             fresh < frozen,
             "double buffering must recover after the shift: {fresh} vs {frozen}"

@@ -53,12 +53,10 @@ mod tests {
         assert!(instr.value("Mean").unwrap() > 10.0);
         // Auth-G sits at the small end, RecO-P at the large end (at tiny
         // test scales the exact ranks compress, so check top/bottom 3).
-        let mut ranked: Vec<_> =
-            branch.points.iter().filter(|(k, _)| k != "Mean").collect();
+        let mut ranked: Vec<_> = branch.points.iter().filter(|(k, _)| k != "Mean").collect();
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
         let bottom: Vec<&str> = ranked[..3].iter().map(|(k, _)| k.as_str()).collect();
-        let top: Vec<&str> =
-            ranked[ranked.len() - 3..].iter().map(|(k, _)| k.as_str()).collect();
+        let top: Vec<&str> = ranked[ranked.len() - 3..].iter().map(|(k, _)| k.as_str()).collect();
         assert!(bottom.contains(&"Auth-G"), "bottom 3 = {bottom:?}");
         assert!(top.contains(&"RecO-P"), "top 3 = {top:?}");
     }

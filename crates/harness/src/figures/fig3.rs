@@ -51,8 +51,7 @@ pub fn run(h: &Harness) -> Figure {
     }
     Figure {
         id: "fig3".to_string(),
-        caption: "Performance, L1-I MPKI and BPU MPKI of prior front-end prefetchers"
-            .to_string(),
+        caption: "Performance, L1-I MPKI and BPU MPKI of prior front-end prefetchers".to_string(),
         series,
         notes: "Paper shape: Boomerang < Jukebox < Boomerang+JB << Ideal; \
                 Boomerang raises CBP MPKI versus NL (cold-CBP exposure)."

@@ -70,8 +70,6 @@ mod tests {
         let btb = |name: &str| fig.series(name).unwrap().value("BTB MPKI").unwrap();
         assert!(btb("Boomerang + JB + warm BTB") < btb("Boomerang + JB") * 0.7);
         let cbp = |name: &str| fig.series(name).unwrap().value("CBP MPKI").unwrap();
-        assert!(
-            cbp("Boomerang + JB + warm BTB + warm CBP") < cbp("Boomerang + JB + warm BTB")
-        );
+        assert!(cbp("Boomerang + JB + warm BTB + warm CBP") < cbp("Boomerang + JB + warm BTB"));
     }
 }

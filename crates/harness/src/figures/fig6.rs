@@ -15,8 +15,7 @@ use ignite_engine::config::{FrontEndConfig, StatePolicy};
 
 /// The configuration this figure evaluates.
 pub fn config() -> FrontEndConfig {
-    FrontEndConfig::boomerang_jukebox()
-        .with_policy("(warm BTB)", StatePolicy::lukewarm_warm_btb())
+    FrontEndConfig::boomerang_jukebox().with_policy("(warm BTB)", StatePolicy::lukewarm_warm_btb())
 }
 
 /// Runs the experiment.
@@ -24,8 +23,7 @@ pub fn run(h: &Harness) -> Figure {
     let results = h.run_config(&config());
     Figure {
         id: "fig6".to_string(),
-        caption: "Initial vs subsequent CBP mispredictions (Boomerang+JB, warm BTB)"
-            .to_string(),
+        caption: "Initial vs subsequent CBP mispredictions (Boomerang+JB, warm BTB)".to_string(),
         series: vec![
             per_function_series(
                 "Initial MPKI",
@@ -55,10 +53,7 @@ mod tests {
         let init = fig.series("Initial MPKI").unwrap().value("Mean").unwrap();
         let subs = fig.series("Subsequent MPKI").unwrap().value("Mean").unwrap();
         let frac = init / (init + subs);
-        assert!(
-            (0.05..=0.8).contains(&frac),
-            "initial fraction {frac} out of plausible range"
-        );
+        assert!((0.05..=0.8).contains(&frac), "initial fraction {frac} out of plausible range");
         assert!(init > 0.0);
     }
 }

@@ -78,8 +78,7 @@ pub fn run_b(h: &Harness) -> Figure {
                 background.iter().map(|r| r.initial_mpki()),
             ),
         ],
-        notes: "Paper shape: Ignite eliminates ~67% of initial mispredictions."
-            .to_string(),
+        notes: "Paper shape: Ignite eliminates ~67% of initial mispredictions.".to_string(),
     }
 }
 
@@ -143,12 +142,8 @@ mod tests {
         let h = Harness::for_tests();
         let fig = run_b(&h);
         let ignite = fig.series("Ignite Initial MPKI").unwrap().value("Mean").unwrap();
-        let background =
-            fig.series("BJB+warmBTB Initial MPKI").unwrap().value("Mean").unwrap();
-        assert!(
-            ignite < background * 0.6,
-            "Ignite initial {ignite} vs background {background}"
-        );
+        let background = fig.series("BJB+warmBTB Initial MPKI").unwrap().value("Mean").unwrap();
+        assert!(ignite < background * 0.6, "Ignite initial {ignite} vs background {background}");
     }
 
     #[test]

@@ -29,8 +29,7 @@ pub(crate) fn per_function_series(
     abbrs: &[String],
     values: impl IntoIterator<Item = f64>,
 ) -> Series {
-    let mut points: Vec<(String, f64)> =
-        abbrs.iter().cloned().zip(values).collect();
+    let mut points: Vec<(String, f64)> = abbrs.iter().cloned().zip(values).collect();
     let mean = if points.is_empty() {
         0.0
     } else {
@@ -61,5 +60,4 @@ mod tests {
         assert_eq!(s.points.len(), 3);
         assert_eq!(s.value("Mean"), Some(2.0));
     }
-
 }

@@ -1,6 +1,8 @@
-//! Suite-wide experiment execution with thread parallelism.
+//! Suite-wide experiment execution with thread parallelism and
+//! per-function panic isolation.
 
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 
 use ignite_engine::config::FrontEndConfig;
 use ignite_engine::machine::PreparedFunction;
@@ -8,6 +10,33 @@ use ignite_engine::metrics::InvocationResult;
 use ignite_engine::protocol::{run_function, RunOptions};
 use ignite_uarch::UarchConfig;
 use ignite_workloads::suite::Suite;
+
+/// One suite function failed (panicked) while simulating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionFailure {
+    /// The function's Table-1 abbreviation.
+    pub abbr: String,
+    /// The panic payload, rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for FunctionFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "function {} panicked: {}", self.abbr, self.message)
+    }
+}
+
+impl std::error::Error for FunctionFailure {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The harness: a prepared suite plus run parameters.
 #[derive(Debug)]
@@ -19,6 +48,7 @@ pub struct Harness {
     functions: Vec<PreparedFunction>,
     abbrs: Vec<String>,
     threads: usize,
+    chaos_panic_at: Option<usize>,
 }
 
 impl Harness {
@@ -43,12 +73,18 @@ impl Harness {
             functions,
             abbrs,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            chaos_panic_at: None,
         }
     }
 
     /// Full paper-scale harness (the `figures` binary default).
     pub fn paper() -> Self {
-        Harness::new(1.0, RunOptions::default())
+        Harness::paper_scaled(1.0)
+    }
+
+    /// Paper harness at a reduced scale.
+    pub fn paper_scaled(scale: f64) -> Self {
+        Harness::new(scale, RunOptions::default())
     }
 
     /// A small, fast harness for integration tests (~6% scale, one
@@ -72,17 +108,34 @@ impl Harness {
         self.threads = threads.max(1);
     }
 
-    /// Runs one front-end configuration over every suite function,
-    /// in parallel, returning per-function results in suite order.
-    pub fn run_config(&self, fe: &FrontEndConfig) -> Vec<InvocationResult> {
+    /// Chaos hook: make the worker for function `index` panic before it
+    /// simulates anything. Exists so panic isolation in
+    /// [`Harness::run_config_checked`] can be exercised through the
+    /// public API; harmless in production (it defaults to off).
+    pub fn inject_panic_at(&mut self, index: Option<usize>) {
+        self.chaos_panic_at = index;
+    }
+
+    /// Runs one front-end configuration over every suite function, in
+    /// parallel. Each function is simulated under `catch_unwind`, so one
+    /// panicking function (a simulator bug, a pathological workload)
+    /// yields an `Err` in its slot instead of tearing down the whole
+    /// sweep. Results are in suite order.
+    pub fn run_config_checked(
+        &self,
+        fe: &FrontEndConfig,
+    ) -> Vec<Result<InvocationResult, FunctionFailure>> {
         let next = Mutex::new(0usize);
-        let results: Mutex<Vec<Option<InvocationResult>>> =
+        let results: Mutex<Vec<Option<Result<InvocationResult, FunctionFailure>>>> =
             Mutex::new(vec![None; self.functions.len()]);
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(self.functions.len()).max(1) {
                 scope.spawn(|| loop {
                     let i = {
-                        let mut n = next.lock().expect("worker queue poisoned");
+                        // A worker that panicked inside `catch_unwind` never
+                        // poisons these locks, but a defensive recovery keeps
+                        // the queue draining even if one did.
+                        let mut n = next.lock().unwrap_or_else(PoisonError::into_inner);
                         let i = *n;
                         *n += 1;
                         i
@@ -90,16 +143,43 @@ impl Harness {
                     if i >= self.functions.len() {
                         break;
                     }
-                    let r = run_function(&self.uarch, fe, &self.functions[i], self.opts);
-                    results.lock().expect("results poisoned")[i] = Some(r);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if self.chaos_panic_at == Some(i) {
+                            panic!("chaos hook: injected panic at function index {i}");
+                        }
+                        run_function(&self.uarch, fe, &self.functions[i], self.opts)
+                    }))
+                    .map_err(|payload| FunctionFailure {
+                        abbr: self.abbrs[i].clone(),
+                        message: panic_message(payload),
+                    });
+                    results.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(outcome);
                 });
             }
         });
         results
             .into_inner()
-            .expect("results poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .into_iter()
-            .map(|r| r.expect("every function ran"))
+            .map(|r| r.expect("every function slot is filled"))
+            .collect()
+    }
+
+    /// Runs one front-end configuration over every suite function,
+    /// in parallel, returning per-function results in suite order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the function's name and the original message) if any
+    /// function fails; callers that want partial results should use
+    /// [`Harness::run_config_checked`].
+    pub fn run_config(&self, fe: &FrontEndConfig) -> Vec<InvocationResult> {
+        self.run_config_checked(fe)
+            .into_iter()
+            .map(|r| match r {
+                Ok(result) => result,
+                Err(failure) => panic!("{failure} (config {})", fe.name),
+            })
             .collect()
     }
 
@@ -111,6 +191,13 @@ impl Harness {
 
     /// Per-function speedups of `results` over `baseline` (equal-work
     /// comparison: cycles are normalized by instructions executed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side has a non-positive or non-finite CPI — a
+    /// function that executed zero instructions produces `cpi() == 0.0`,
+    /// and quietly mapping that to "speedup 1.0" would hide a broken run
+    /// inside an otherwise plausible figure.
     pub fn speedups(
         &self,
         baseline: &[InvocationResult],
@@ -122,8 +209,16 @@ impl Harness {
             .map(|(abbr, (b, r))| {
                 let b_cpi = b.cpi();
                 let r_cpi = r.cpi();
-                let s = if r_cpi > 0.0 { b_cpi / r_cpi } else { 1.0 };
-                (abbr.clone(), s)
+                assert!(
+                    b_cpi > 0.0 && b_cpi.is_finite(),
+                    "degenerate baseline CPI {b_cpi} for {abbr}: \
+                     the run produced no instructions"
+                );
+                assert!(
+                    r_cpi > 0.0 && r_cpi.is_finite(),
+                    "degenerate CPI {r_cpi} for {abbr}: the run produced no instructions"
+                );
+                (abbr.clone(), b_cpi / r_cpi)
             })
             .collect()
     }
@@ -162,5 +257,41 @@ mod tests {
         let r = h.run_config(&FrontEndConfig::nl());
         let s = h.speedups(&r, &r);
         assert!(s.iter().all(|(_, v)| (*v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn degenerate_cpi_is_loud() {
+        let h = tiny();
+        let good = h.run_config(&FrontEndConfig::nl());
+        let broken = vec![InvocationResult::default(); good.len()];
+        let r = catch_unwind(AssertUnwindSafe(|| h.speedups(&good, &broken)));
+        let msg = panic_message(r.expect_err("zero-CPI results must not pass"));
+        assert!(msg.contains("degenerate"), "unexpected panic message: {msg}");
+    }
+
+    #[test]
+    fn injected_panic_is_isolated() {
+        let mut h = tiny();
+        h.inject_panic_at(Some(3));
+        let r = h.run_config_checked(&FrontEndConfig::nl());
+        assert_eq!(r.len(), 20);
+        for (i, slot) in r.iter().enumerate() {
+            if i == 3 {
+                let f = slot.as_ref().expect_err("function 3 must fail");
+                assert_eq!(f.abbr, h.abbrs()[3]);
+                assert!(f.message.contains("chaos hook"));
+            } else {
+                assert!(slot.is_ok(), "function {i} must survive a sibling's panic");
+            }
+        }
+    }
+
+    #[test]
+    fn run_config_panics_with_function_name() {
+        let mut h = tiny();
+        h.inject_panic_at(Some(0));
+        let r = catch_unwind(AssertUnwindSafe(|| h.run_config(&FrontEndConfig::nl())));
+        let msg = panic_message(r.expect_err("compat wrapper must propagate"));
+        assert!(msg.contains(&h.abbrs()[0]) && msg.contains("chaos hook"), "got: {msg}");
     }
 }

@@ -120,12 +120,11 @@ impl Boomerang {
         }
         // Fetch the block holding the branch (it is usually already being
         // prefetched by FDP; the hierarchy dedups in-flight requests).
-        let (line_ready, memory_bytes) =
-            match hierarchy.prefetch_l1i(pc, now, FillKind::Prefetch) {
-                Some(r) => (r.ready_at, r.bytes_from_memory),
-                // Already resident or in flight: predecode can start now.
-                None => (now, 0),
-            };
+        let (line_ready, memory_bytes) = match hierarchy.prefetch_l1i(pc, now, FillKind::Prefetch) {
+            Some(r) => (r.ready_at, r.bytes_from_memory),
+            // Already resident or in flight: predecode can start now.
+            None => (now, 0),
+        };
         let ready_at = line_ready + self.cfg.predecode_latency;
         let mut branches_filled = 0;
         for b in index.branches_in_line(pc) {
@@ -226,9 +225,10 @@ mod tests {
         assert!(dropped);
         assert!(b.dropped() > 0);
         // After time passes, capacity frees up.
-        assert!(b
-            .request_fill(Addr::new(0x4000), 1_000_000, &mut h, &index, &mut btb)
-            .is_some() || btb.probe(Addr::new(0x4000)).is_some());
+        assert!(
+            b.request_fill(Addr::new(0x4000), 1_000_000, &mut h, &index, &mut btb).is_some()
+                || btb.probe(Addr::new(0x4000)).is_some()
+        );
     }
 
     #[test]

@@ -191,7 +191,9 @@ impl Confluence {
         btb: &mut Btb,
     ) -> ConfluenceStep {
         let mut out = ConfluenceStep::default();
-        let Some(stream) = &mut self.stream else { return out };
+        let Some(stream) = &mut self.stream else {
+            return out;
+        };
         if now < stream.start_at {
             return out;
         }

@@ -1,0 +1,461 @@
+//! A minimal, dependency-free property-testing shim.
+//!
+//! This crate implements the subset of the [proptest](https://docs.rs/proptest)
+//! API that this workspace's test suites use, so that `cargo test` works with
+//! no network or registry cache (the build environment is fully offline; see
+//! the repository README, "Offline builds").
+//!
+//! Scope and deliberate differences from the real crate:
+//!
+//! * **No shrinking.** A failing case panics with the generated case index
+//!   and seed; re-running reproduces it exactly (generation is a pure
+//!   function of the test name and case number).
+//! * **Deterministic by default.** The RNG is seeded from the test name, so
+//!   results are stable across runs and machines. Set `PROPTEST_SEED` to
+//!   explore a different stream, and `PROPTEST_CASES` to change the case
+//!   count globally.
+//! * Only the strategies the workspace needs: integer/float ranges, `Just`,
+//!   tuples, `prop_map`, `any`, `prop::collection::vec`, `prop_oneof!`.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element`, with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic SplitMix64 stream driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream; equal seeds yield equal value sequences.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` 0 returns 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is violated.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should be re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: &str) -> Self {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config requiring `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, max_global_rejects: cases.saturating_mul(64).max(1024) }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+        ProptestConfig::with_cases(cases)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives the generate–run loop for one `proptest!` test function.
+#[derive(Debug)]
+pub struct TestRunner {
+    cfg: ProptestConfig,
+    name: &'static str,
+    seed_base: u64,
+    passed: u32,
+    rejects: u32,
+    attempt: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(cfg: ProptestConfig, name: &'static str) -> Self {
+        let env_seed =
+            std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0u64);
+        TestRunner {
+            cfg,
+            name,
+            seed_base: fnv1a(name.as_bytes()) ^ env_seed,
+            passed: 0,
+            rejects: 0,
+            attempt: 0,
+        }
+    }
+
+    /// Whether enough cases have passed.
+    pub fn finished(&self) -> bool {
+        self.passed >= self.cfg.cases
+    }
+
+    /// The RNG for the next case (advances the attempt counter).
+    pub fn case_rng(&mut self) -> TestRng {
+        self.attempt += 1;
+        TestRng::new(self.seed_base.wrapping_add(self.attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// Records a case outcome; panics on failure with reproduction info.
+    pub fn finish_case(&mut self, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => self.passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                self.rejects += 1;
+                assert!(
+                    self.rejects <= self.cfg.max_global_rejects,
+                    "proptest '{}': too many prop_assume! rejections ({})",
+                    self.name,
+                    self.rejects
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest '{}' failed at attempt #{} (seed base {:#x}): {}",
+                self.name, self.attempt, self.seed_base, msg
+            ),
+        }
+    }
+}
+
+/// Values generable by [`any`].
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+/// Strategy producing unconstrained values of `T` (`any::<T>()`).
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The `proptest::prelude::any` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Fails the surrounding property if the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the surrounding property if the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the surrounding property if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (it counts as neither pass nor failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![$($crate::strategy::union_arm($s)),+])
+    };
+}
+
+/// Defines deterministic property tests over generated inputs.
+///
+/// Supports the standard form: an optional `#![proptest_config(expr)]`
+/// header followed by `#[test] fn name(pattern in strategy, ...) { body }`
+/// items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident ($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::TestRunner::new(config, ::std::stringify!($name));
+                while !runner.finished() {
+                    let mut rng = runner.case_rng();
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body;
+                        ::std::result::Result::Ok(())
+                    })();
+                    runner.finish_case(outcome);
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Color {
+        Red,
+        Green,
+    }
+
+    fn arb_color() -> impl Strategy<Value = Color> {
+        prop_oneof![Just(Color::Red), Just(Color::Green)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs((a, b) in (0u32..10, any::<bool>()), v in prop::collection::vec(0u8..5, 1..9)) {
+            prop_assert!(a < 10);
+            let _ = b;
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn map_and_oneof(c in arb_color(), n in (1u64..5).prop_map(|n| n * 2)) {
+            prop_assert!(c == Color::Red || c == Color::Green);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = crate::TestRunner::new(ProptestConfig::with_cases(4), "det");
+        let mut b = crate::TestRunner::new(ProptestConfig::with_cases(4), "det");
+        for _ in 0..4 {
+            let (mut ra, mut rb) = (a.case_rng(), b.case_rng());
+            assert_eq!((0u64..1000).generate(&mut ra), (0u64..1000).generate(&mut rb));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at attempt")]
+    fn failure_panics_with_reproduction_info() {
+        let mut runner = crate::TestRunner::new(ProptestConfig::with_cases(1), "boom");
+        let _ = runner.case_rng();
+        runner.finish_case(Err(crate::TestCaseError::fail("nope".into())));
+    }
+}

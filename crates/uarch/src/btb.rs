@@ -102,7 +102,10 @@ pub struct BtbConfig {
 
 impl BtbConfig {
     fn sets(&self) -> usize {
-        assert!(self.ways > 0 && self.entries.is_multiple_of(self.ways), "entries must divide into ways");
+        assert!(
+            self.ways > 0 && self.entries.is_multiple_of(self.ways),
+            "entries must divide into ways"
+        );
         self.entries / self.ways
     }
 }
@@ -250,9 +253,7 @@ impl Btb {
     fn find(&self, pc: Addr) -> Option<usize> {
         self.set_range(self.set_of(pc)).find(|&i| {
             let w = &self.storage[i];
-            w.valid
-                && w.entry.branch_pc == pc
-                && (!self.vm_tagging || w.vm == self.current_vm)
+            w.valid && w.entry.branch_pc == pc && (!self.vm_tagging || w.vm == self.current_vm)
         })
     }
 
@@ -270,13 +271,24 @@ impl Btb {
     ///
     /// Updates LRU, clears the restored bit and records statistics.
     pub fn lookup(&mut self, pc: Addr) -> Option<BtbEntry> {
+        self.lookup_traced(pc).map(|(entry, _)| entry)
+    }
+
+    /// Demand lookup that also reports whether the hit entry was installed
+    /// by Ignite's replay and had not been demand-accessed before.
+    ///
+    /// The restored bit is cleared by the lookup (like [`Btb::lookup`]), so
+    /// this is the only way for the engine to learn, at prediction time,
+    /// that it is acting on replayed — possibly stale — state.
+    pub fn lookup_traced(&mut self, pc: Addr) -> Option<(BtbEntry, bool)> {
         self.clock += 1;
         match self.find(pc) {
             Some(i) => {
+                let was_restored = self.storage[i].restored;
                 self.storage[i].lru_stamp = self.clock;
                 self.note_touch(i);
                 self.stats.demand.record(true);
-                Some(self.storage[i].entry)
+                Some((self.storage[i].entry, was_restored))
             }
             None => {
                 self.stats.demand.record(false);
@@ -313,10 +325,16 @@ impl Btb {
             self.insert_log.push(entry);
         }
         let set = self.set_of(entry.branch_pc);
-        let victim = self
-            .set_range(set)
-            .min_by_key(|&i| if self.storage[i].valid { (1, self.storage[i].lru_stamp) } else { (0, 0) })
-            .expect("set has at least one way");
+        let victim =
+            self.set_range(set)
+                .min_by_key(|&i| {
+                    if self.storage[i].valid {
+                        (1, self.storage[i].lru_stamp)
+                    } else {
+                        (0, 0)
+                    }
+                })
+                .expect("set has at least one way");
         let evicted = if self.storage[victim].valid {
             self.stats.evictions += 1;
             let old = self.storage[victim];
@@ -453,6 +471,18 @@ mod tests {
         b.insert(entry(0x20, 3), false); // evicts a restored, untouched entry
         assert_eq!(b.restored_untouched(), 1);
         assert_eq!(b.stats().restored_evicted_untouched, 1);
+    }
+
+    #[test]
+    fn lookup_traced_reports_restored_once() {
+        let mut b = btb();
+        b.insert(entry(0x10, 1), true);
+        b.insert(entry(0x14, 2), false);
+        assert_eq!(b.lookup_traced(Addr::new(0x10)), Some((entry(0x10, 1), true)));
+        // The first lookup consumed the restored bit.
+        assert_eq!(b.lookup_traced(Addr::new(0x10)), Some((entry(0x10, 1), false)));
+        assert_eq!(b.lookup_traced(Addr::new(0x14)), Some((entry(0x14, 2), false)));
+        assert_eq!(b.lookup_traced(Addr::new(0x44)), None);
     }
 
     #[test]

@@ -260,7 +260,15 @@ impl SetAssocCache {
         let set = self.set_of(ln);
         let victim = self
             .set_range(set)
-            .min_by_key(|&i| if self.lines[i].valid { (1, self.lines[i].lru_stamp) } else { (0, 0) })
+            .min_by_key(
+                |&i| {
+                    if self.lines[i].valid {
+                        (1, self.lines[i].lru_stamp)
+                    } else {
+                        (0, 0)
+                    }
+                },
+            )
             .expect("set has at least one way");
         let evicted = if self.lines[victim].valid {
             self.stats.evictions += 1;

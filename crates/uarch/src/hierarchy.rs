@@ -239,7 +239,12 @@ impl Hierarchy {
         let ready = now + extra;
         self.l1i.fill(line, kind);
         self.inflight_l1i.insert(line.line_number(), ready);
-        Some(AccessResult { ready_at: ready, served_by, bytes_from_memory: bytes, hit_prefetched: false })
+        Some(AccessResult {
+            ready_at: ready,
+            served_by,
+            bytes_from_memory: bytes,
+            hit_prefetched: false,
+        })
     }
 
     /// Prefetches the line containing `addr` into the L2 (Jukebox / Ignite
@@ -268,7 +273,12 @@ impl Hierarchy {
         self.l2.fill(line, kind);
         let ready = now + lat;
         self.inflight_l2.insert(line.line_number(), ready);
-        Some(AccessResult { ready_at: ready, served_by, bytes_from_memory: bytes, hit_prefetched: false })
+        Some(AccessResult {
+            ready_at: ready,
+            served_by,
+            bytes_from_memory: bytes,
+            hit_prefetched: false,
+        })
     }
 
     /// Free L2 prefetch MSHR slots at `now` (replay engines use this as

@@ -39,10 +39,10 @@ pub mod cache;
 pub mod cbp;
 pub mod config;
 pub mod ftq;
+pub mod hierarchy;
 pub mod ittage;
 pub mod loop_pred;
 pub mod ras;
-pub mod hierarchy;
 pub mod rng;
 pub mod stats;
 pub mod tage;

@@ -100,8 +100,8 @@ impl LoopPredictor {
     }
 
     fn tag(&self, pc: Addr) -> u16 {
-        (((pc.as_u64() >> 2) / self.entries.len() as u64)
-            & ((1 << self.cfg.tag_bits.min(16)) - 1)) as u16
+        (((pc.as_u64() >> 2) / self.entries.len() as u64) & ((1 << self.cfg.tag_bits.min(16)) - 1))
+            as u16
     }
 
     /// Predicts the branch at `pc`, if it is being tracked.

@@ -305,7 +305,8 @@ impl Tage {
     ) {
         self.update_count += 1;
         // Periodic graceful decay of usefulness counters.
-        if self.cfg.u_reset_period > 0 && self.update_count.is_multiple_of(self.cfg.u_reset_period) {
+        if self.cfg.u_reset_period > 0 && self.update_count.is_multiple_of(self.cfg.u_reset_period)
+        {
             for table in &mut self.tables {
                 for e in table.iter_mut() {
                     e.useful >>= 1;
@@ -409,8 +410,7 @@ impl Tage {
     /// Fraction of valid entries across all tables (inspection).
     pub fn occupancy(&self) -> f64 {
         let total = self.cfg.tables * self.cfg.entries_per_table;
-        let valid: usize =
-            self.tables.iter().map(|t| t.iter().filter(|e| e.valid).count()).sum();
+        let valid: usize = self.tables.iter().map(|t| t.iter().filter(|e| e.valid).count()).sum();
         valid as f64 / total as f64
     }
 }

@@ -159,7 +159,9 @@ impl std::fmt::Display for ImageError {
             ImageError::BadLayout { block } => {
                 write!(f, "block {block} is not contiguous with its predecessor")
             }
-            ImageError::EmptyFunction { function } => write!(f, "function {function} has no blocks"),
+            ImageError::EmptyFunction { function } => {
+                write!(f, "function {function} has no blocks")
+            }
         }
     }
 }
@@ -210,8 +212,7 @@ impl CodeImage {
                         return Err(ImageError::BadLayout { block: bi });
                     }
                 }
-                let in_function =
-                    |t: u32| t >= range.start && t < range.end;
+                let in_function = |t: u32| t >= range.start && t < range.end;
                 match &block.term {
                     Terminator::Cond { target, bias } => {
                         if !in_function(*target) {
@@ -337,12 +338,7 @@ mod tests {
                 instrs: 4,
                 term: Terminator::Jump { target: 2 },
             },
-            BasicBlock {
-                start: Addr::new(base + 48),
-                bytes: 24,
-                instrs: 5,
-                term: Terminator::Ret,
-            },
+            BasicBlock { start: Addr::new(base + 48), bytes: 24, instrs: 5, term: Terminator::Ret },
         ];
         let functions = vec![Function { first_block: 0, block_count: 3, live: true }];
         CodeImage::new("tiny", blocks, functions, 0).expect("valid image")

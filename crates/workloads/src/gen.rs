@@ -155,8 +155,7 @@ pub fn generate(params: &GenParams) -> CodeImage {
         // one, as in real binaries (cold error paths, unused library code).
         // Wrong-path sequential fetches run off the live function's end
         // into these lines.
-        let dead_count =
-            ((f64::from(count) * params.dead_code_fraction).round() as u32).max(2);
+        let dead_count = ((f64::from(count) * params.dead_code_fraction).round() as u32).max(2);
         let dead_first = blocks.len() as u32;
         for local in 0..dead_count {
             let bytes =
@@ -275,12 +274,8 @@ mod tests {
     fn branch_count_matches_target() {
         let p = GenParams::example("branches");
         let img = generate(&p);
-        let live: i64 = img
-            .functions()
-            .iter()
-            .filter(|f| f.live)
-            .map(|f| i64::from(f.block_count))
-            .sum();
+        let live: i64 =
+            img.functions().iter().filter(|f| f.live).map(|f| i64::from(f.block_count)).sum();
         let t = i64::from(p.target_branches);
         assert!((live - t).abs() <= i64::from(p.blocks_per_function), "{live} vs {t}");
     }
@@ -305,7 +300,11 @@ mod tests {
         assert!((conds / n - p.cond_fraction).abs() < 0.05, "cond fraction {}", conds / n);
         // Leaves make no calls, so the overall call fraction is below the
         // knob but must still be material.
-        assert!(calls / n > 0.02 && calls / n <= p.call_fraction + 0.02, "call fraction {}", calls / n);
+        assert!(
+            calls / n > 0.02 && calls / n <= p.call_fraction + 0.02,
+            "call fraction {}",
+            calls / n
+        );
     }
 
     #[test]
@@ -314,10 +313,7 @@ mod tests {
         assert!(img.functions().iter().any(|f| !f.live), "dead code generated");
         for func in img.functions().iter().filter(|f| !f.live) {
             for bi in func.blocks() {
-                assert!(matches!(
-                    img.block(bi).term,
-                    Terminator::Cond { .. } | Terminator::Ret
-                ));
+                assert!(matches!(img.block(bi).term, Terminator::Cond { .. } | Terminator::Ret));
             }
         }
     }

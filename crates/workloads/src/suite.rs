@@ -229,9 +229,7 @@ mod tests {
     #[test]
     fn language_split_is_5_5_10() {
         let s = Suite::paper_suite_scaled(0.02);
-        let count = |l: Language| {
-            s.functions().iter().filter(|f| f.profile.language == l).count()
-        };
+        let count = |l: Language| s.functions().iter().filter(|f| f.profile.language == l).count();
         assert_eq!(count(Language::Python), 5);
         assert_eq!(count(Language::NodeJs), 5);
         assert_eq!(count(Language::Go), 10);
@@ -269,8 +267,7 @@ mod tests {
         // ~2 of the scaled calibration target.
         let s = Suite::paper_suite_scaled(0.05);
         let f = s.by_abbr("RecO-P").unwrap();
-        let ws =
-            measure_working_set(&f.image, 0, f.profile.invocation_instrs);
+        let ws = measure_working_set(&f.image, 0, f.profile.invocation_instrs);
         let target = u64::from(f.profile.code_kib) * 1024;
         assert!(
             ws.instruction_bytes > target / 2 && ws.instruction_bytes < target * 2,

@@ -135,10 +135,9 @@ impl<'a> TraceWalker<'a> {
         assert!((0.0..=1.0).contains(&noise), "noise must be a probability");
         // Image-stable root order: a seeded shuffle of all functions with
         // the entry function first.
-        let image_seed = image
-            .name()
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3));
+        let image_seed = image.name().bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
         let mut order_rng = SplitMix64::new(image_seed);
         let mut roots: Vec<u32> = image.live_functions().collect();
         for i in (1..roots.len()).rev() {
@@ -309,7 +308,12 @@ impl Iterator for TraceWalker<'_> {
                 }
                 let next = if taken { *target } else { bi + 1 };
                 (
-                    ExecutedBranch { pc, kind: BranchKind::Conditional, taken, target: target_addr },
+                    ExecutedBranch {
+                        pc,
+                        kind: BranchKind::Conditional,
+                        taken,
+                        target: target_addr,
+                    },
                     Some(next),
                 )
             }
@@ -328,7 +332,12 @@ impl Iterator for TraceWalker<'_> {
                 if self.stack.len() < MAX_CALL_DEPTH {
                     self.stack.push(bi + 1);
                     (
-                        ExecutedBranch { pc, kind: BranchKind::Call, taken: true, target: entry_addr },
+                        ExecutedBranch {
+                            pc,
+                            kind: BranchKind::Call,
+                            taken: true,
+                            target: entry_addr,
+                        },
                         Some(entry),
                     )
                 } else {

@@ -9,19 +9,19 @@ use ignite_workloads::trace::TraceWalker;
 
 fn arb_params() -> impl Strategy<Value = GenParams> {
     (
-        64u32..2000,                 // target_branches
-        8u64..48,                    // avg block bytes (via code size)
-        0.0f64..0.08,                // indirect fraction
-        0.0f64..0.15,                // call fraction
-        0.4f64..0.75,                // cond fraction
-        0.0f64..0.4,                 // backward fraction
-        0.3f64..0.95,                // high bias fraction
-        8u32..96,                    // blocks per function
-        0.0f64..0.8,                 // dead code fraction
-        any::<u64>(),                // seed
+        64u32..2000,  // target_branches
+        8u64..48,     // avg block bytes (via code size)
+        0.0f64..0.08, // indirect fraction
+        0.0f64..0.15, // call fraction
+        0.4f64..0.75, // cond fraction
+        0.0f64..0.4,  // backward fraction
+        0.3f64..0.95, // high bias fraction
+        8u32..96,     // blocks per function
+        0.0f64..0.8,  // dead code fraction
+        any::<u64>(), // seed
     )
-        .prop_map(
-            |(branches, avg_bytes, ind, call, cond, back, hb, bpf, dead, seed)| GenParams {
+        .prop_map(|(branches, avg_bytes, ind, call, cond, back, hb, bpf, dead, seed)| {
+            GenParams {
                 name: format!("prop-{seed}"),
                 seed,
                 base: Addr::new(0x0040_0000),
@@ -34,8 +34,8 @@ fn arb_params() -> impl Strategy<Value = GenParams> {
                 high_bias_fraction: hb,
                 blocks_per_function: bpf,
                 dead_code_fraction: dead,
-            },
-        )
+            }
+        })
 }
 
 proptest! {

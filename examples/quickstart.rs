@@ -38,8 +38,5 @@ fn main() {
     println!("{:<22} {:>10.1} {:>10.1}", "L1-I MPKI", baseline.l1i_mpki(), ignite.l1i_mpki());
     println!("{:<22} {:>10.1} {:>10.1}", "BTB MPKI", baseline.btb_mpki(), ignite.btb_mpki());
     println!("{:<22} {:>10.1} {:>10.1}", "CBP MPKI", baseline.cbp_mpki(), ignite.cbp_mpki());
-    println!(
-        "\nIgnite speedup over the next-line baseline: {:.2}x",
-        baseline.cpi() / ignite.cpi()
-    );
+    println!("\nIgnite speedup over the next-line baseline: {:.2}x", baseline.cpi() / ignite.cpi());
 }

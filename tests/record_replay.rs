@@ -25,10 +25,7 @@ fn metadata_is_recorded_on_first_invocation() {
     let ignite = m.ignite.as_ref().expect("ignite config");
     assert_eq!(ignite.os().containers(), 1);
     let stored = ignite.os().metadata_bytes(f.container).expect("metadata stored");
-    assert!(
-        stored <= ignite.config().metadata_budget_bytes,
-        "metadata {stored} within the budget"
-    );
+    assert!(stored <= ignite.config().metadata_budget_bytes, "metadata {stored} within the budget");
 }
 
 #[test]
@@ -41,11 +38,7 @@ fn compression_keeps_metadata_small() {
     run_invocation(&mut m, &f, 0);
     m.between_invocations();
     let r = run_invocation(&mut m, &f, 1); // replay streams the metadata back
-    let entries_restored = m
-        .btb
-        .stats()
-        .replay_insertions
-        .max(1);
+    let entries_restored = m.btb.stats().replay_insertions.max(1);
     let bytes_per_entry = r.traffic.replay_metadata_bytes as f64 / entries_restored as f64;
     assert!(
         bytes_per_entry < 9.0,
@@ -73,8 +66,8 @@ fn replay_restores_btb_bim_and_l2() {
     // BIM initialization: compare against an Ignite variant that restores
     // only the L2 and BTB. With the BIM left random, first executions of
     // restored branches mispredict far more often.
-    let mut btb_only = FrontEndConfig::ignite()
-        .with_bim_policy(ignite_uarch::bimodal::BimInitPolicy::None);
+    let mut btb_only =
+        FrontEndConfig::ignite().with_bim_policy(ignite_uarch::bimodal::BimInitPolicy::None);
     btb_only.name = "BTB only".to_string();
     let mut m2 = Machine::new(&uarch, &btb_only);
     run_invocation(&mut m2, &f, 0);
@@ -107,10 +100,7 @@ fn double_buffering_merges_divergent_entries() {
     let ignite = m.ignite.as_ref().unwrap();
     let md1 = ignite.os().metadata_bytes(f.container).unwrap();
     assert!(md1 >= md0, "merge must not lose the base working set: {md1} vs {md0}");
-    assert!(
-        md1 < md0 + md0 / 2,
-        "divergence is small, so growth is modest: {md1} vs {md0}"
-    );
+    assert!(md1 < md0 + md0 / 2, "divergence is small, so growth is modest: {md1} vs {md0}");
     assert!(md1 <= ignite.config().metadata_budget_bytes + 16);
 }
 
