@@ -1,0 +1,57 @@
+//! Quick calibration probe: one function, all front-end configurations.
+//!
+//! Run with `cargo run --release -p ignite-bench --example speed_probe`.
+//!
+//! Speedup is the plain cycle ratio `nl.cycles / r.cycles` (instruction
+//! counts are printed separately; configs retire the same instruction
+//! stream, so no ratio correction applies). Wall time per config is
+//! summarized with the bench crate's median/MAD statistics over a few
+//! repetitions.
+
+use ignite_bench::e2e::configs;
+use ignite_bench::stats;
+use ignite_engine::machine::PreparedFunction;
+use ignite_engine::protocol::{run_function, RunOptions};
+use ignite_uarch::stats::speedup;
+use ignite_uarch::UarchConfig;
+use ignite_workloads::suite::Suite;
+use std::time::Instant;
+
+fn main() {
+    let suite = Suite::paper_suite();
+    let uarch = UarchConfig::ice_lake_like();
+    let f = PreparedFunction::from_suite(&suite.functions()[0], 0);
+    let opts = RunOptions::quick();
+    let configs = configs();
+    let nl = run_function(&uarch, &configs[0], &f, opts);
+    const REPS: u32 = 3;
+    for c in &configs {
+        let mut samples = Vec::new();
+        let mut r = None;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            r = Some(run_function(&uarch, c, &f, opts));
+            samples.push(t.elapsed().as_nanos() as u64);
+        }
+        let r = r.expect("at least one rep");
+        let wall = stats(&samples);
+        let n = r.instructions as f64;
+        println!(
+            "{:16} speedup={:.3} instrs={} cpi={:.3} [ret={:.2} fetch={:.2} bad={:.2} be={:.2}] \
+             l1i={:5.1} btb={:5.1} cbp={:5.1} ({:.1}ms ±{:.2}ms)",
+            c.name,
+            speedup(nl.cycles, r.cycles),
+            r.instructions,
+            r.cpi(),
+            r.topdown.retiring / n,
+            r.topdown.fetch_bound / n,
+            r.topdown.bad_speculation / n,
+            r.topdown.backend_bound / n,
+            r.l1i_mpki(),
+            r.btb_mpki(),
+            r.cbp_mpki(),
+            wall.median_ns as f64 / 1e6,
+            wall.mad_ns as f64 / 1e6,
+        );
+    }
+}

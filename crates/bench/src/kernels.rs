@@ -1,0 +1,192 @@
+//! Micro-kernels over the simulator's hot data structures.
+//!
+//! Each kernel exercises one structure with a deterministic access stream
+//! (seeded [`SplitMix64`]), so the work per rep is identical across runs
+//! and machines — timings are comparable against a committed baseline.
+
+use ignite_core::codec::{CodecConfig, Encoder, Metadata};
+use ignite_uarch::addr::Addr;
+use ignite_uarch::bimodal::Bimodal;
+use ignite_uarch::btb::{BranchKind, Btb, BtbEntry};
+use ignite_uarch::cache::{FillKind, SetAssocCache};
+use ignite_uarch::cbp::Cbp;
+use ignite_uarch::hierarchy::Hierarchy;
+use ignite_uarch::rng::SplitMix64;
+use ignite_uarch::UarchConfig;
+use ignite_workloads::gen::{generate, GenParams};
+use ignite_workloads::trace::TraceWalker;
+
+use crate::{Bench, Kind, Mode};
+
+fn micro(name: &str, run: Box<dyn FnMut() -> (u64, u64)>) -> Bench {
+    Bench { name: format!("micro/{name}"), kind: Kind::Micro, config: None, cpi: None, run }
+}
+
+/// Builds every micro-kernel at the given mode's scale.
+pub fn kernels(mode: Mode) -> Vec<Bench> {
+    let ops: u64 = match mode {
+        Mode::Quick => 16 * 1024,
+        Mode::Full => 64 * 1024,
+    };
+    let cfg = UarchConfig::ice_lake_like();
+    let mut out = Vec::new();
+
+    out.push(micro("cache/l1i_lookup_fill_mix", {
+        let mut cache = SetAssocCache::new(cfg.hierarchy.l1i);
+        Box::new(move || {
+            let mut rng = SplitMix64::new(7);
+            let mut filled = 0u64;
+            for _ in 0..ops {
+                let addr = Addr::new(rng.next_below(1 << 20) & !63);
+                if !cache.lookup(addr) {
+                    cache.fill(addr, FillKind::Demand);
+                    filled += 1;
+                }
+            }
+            (ops, filled)
+        })
+    }));
+
+    out.push(micro("hierarchy/fetch_sequential", {
+        let mut h = Hierarchy::new(&cfg.hierarchy);
+        let mut now = 0;
+        let mut pc = 0u64;
+        Box::new(move || {
+            for _ in 0..ops {
+                let r = h.fetch(Addr::new(pc & ((1 << 24) - 1)), now);
+                now = r.ready_at;
+                pc += 64;
+            }
+            (ops, now)
+        })
+    }));
+
+    out.push(micro("btb/lookup_insert_mix", {
+        let mut btb = Btb::new(&cfg.btb);
+        Box::new(move || {
+            let mut rng = SplitMix64::new(3);
+            let mut inserted = 0u64;
+            for _ in 0..ops {
+                let pc = Addr::new(rng.next_below(1 << 18) & !3);
+                if btb.lookup(pc).is_none() {
+                    btb.insert(BtbEntry::new(pc, pc + 64, BranchKind::Conditional), false);
+                    inserted += 1;
+                }
+            }
+            btb.drain_insertions();
+            (ops, inserted)
+        })
+    }));
+
+    out.push(micro("cbp/tage_predict_resolve", {
+        let mut cbp = Cbp::new(&cfg.cbp);
+        let ops = ops / 2; // predictions are heavier than raw lookups
+        Box::new(move || {
+            let mut rng = SplitMix64::new(11);
+            let mut taken_count = 0u64;
+            for _ in 0..ops {
+                let pc = Addr::new(rng.next_below(1 << 16) & !3);
+                let taken = rng.chance(0.6);
+                let p = cbp.predict(pc);
+                cbp.resolve(pc, taken, pc + 32, &p);
+                taken_count += taken as u64;
+            }
+            (ops, taken_count)
+        })
+    }));
+
+    out.push(micro("bimodal/predict_update", {
+        let mut bim = Bimodal::new(&cfg.cbp.bimodal);
+        Box::new(move || {
+            let mut rng = SplitMix64::new(13);
+            let mut agree = 0u64;
+            for _ in 0..ops {
+                let pc = Addr::new(rng.next_below(1 << 16) & !3);
+                let taken = rng.chance(0.6);
+                agree += (bim.predict(pc) == taken) as u64;
+                bim.update(pc, taken);
+            }
+            (ops, agree)
+        })
+    }));
+
+    let entries = chained_records(8_192);
+    out.push(micro("codec/encode_8k_records", {
+        let entries = entries.clone();
+        Box::new(move || {
+            let md = encode(&entries);
+            (entries.len() as u64, md.byte_len() as u64)
+        })
+    }));
+    out.push(micro("codec/decode_8k_records", {
+        let metadata = encode(&entries);
+        let n = entries.len() as u64;
+        Box::new(move || (n, metadata.decode().count() as u64))
+    }));
+
+    out.push(micro("walker/trace", {
+        let mut params = GenParams::example("bench-walker");
+        params.target_branches = 4_000;
+        params.target_code_bytes = 160 * 1024;
+        let image = generate(&params);
+        let instrs: u64 = match mode {
+            Mode::Quick => 50_000,
+            Mode::Full => 200_000,
+        };
+        let mut invocation = 0;
+        Box::new(move || {
+            invocation += 1;
+            let walked = TraceWalker::new(&image, invocation, instrs).count();
+            (instrs, walked as u64)
+        })
+    }));
+
+    out
+}
+
+/// An execution-chained record stream, as the recorder produces it: each
+/// branch sits shortly after the previous branch's target.
+fn chained_records(n: usize) -> Vec<BtbEntry> {
+    let mut rng = SplitMix64::new(5);
+    let mut cursor = 0x40_0000u64;
+    (0..n)
+        .map(|_| {
+            let pc = cursor + rng.range_inclusive(8, 48);
+            let target = pc + rng.range_inclusive(4, 4096);
+            cursor = target;
+            BtbEntry::new(Addr::new(pc), Addr::new(target), BranchKind::Conditional)
+        })
+        .collect()
+}
+
+fn encode(entries: &[BtbEntry]) -> Metadata {
+    let mut enc = Encoder::new(CodecConfig::default());
+    for e in entries {
+        enc.push(e);
+    }
+    enc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_bench;
+
+    #[test]
+    fn all_kernels_run_and_report_work() {
+        for mut bench in kernels(Mode::Quick) {
+            let (work, _) = (bench.run)();
+            assert!(work > 0, "{} reported no work", bench.name);
+            let r = run_bench(&mut bench, 0, 1);
+            assert_eq!(r.instructions, work, "{} work not deterministic", bench.name);
+            assert!(r.name.starts_with("micro/"));
+        }
+    }
+
+    #[test]
+    fn full_mode_does_more_work() {
+        let quick: u64 = kernels(Mode::Quick).iter_mut().map(|b| (b.run)().0).sum();
+        let full: u64 = kernels(Mode::Full).iter_mut().map(|b| (b.run)().0).sum();
+        assert!(full > quick);
+    }
+}

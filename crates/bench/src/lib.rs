@@ -1,6 +1,397 @@
-//! Benchmark-only crate; see `benches/` for the Criterion harnesses:
+#![warn(missing_docs)]
+//! Offline, dependency-free benchmark harness for the Ignite simulator.
 //!
-//! * `micro` — microbenchmarks of the core data structures (caches, BTB,
-//!   TAGE, metadata codec, trace walker).
-//! * `figures` — one benchmark per reproduced paper table/figure, running
-//!   the corresponding experiment at reduced scale and printing its rows.
+//! Replaces the old Criterion benches (which needed crates.io access) with
+//! a plain binary the workspace can always build:
+//!
+//! ```text
+//! cargo run --release -p ignite-bench            # full run
+//! cargo run --release -p ignite-bench -- --quick # CI smoke run
+//! ```
+//!
+//! Two bench families are timed (see [`kernels`] and [`e2e`]):
+//!
+//! * **micro** — the hot data structures behind every simulation: L1-I and
+//!   hierarchy lookups, BTB associative search, TAGE/bimodal prediction,
+//!   the Ignite metadata codec, and the trace walker.
+//! * **e2e** — reduced-scale end-to-end runs of each front-end
+//!   configuration, reporting simulated MIPS and CPI.
+//!
+//! Each bench runs `warmup + reps` times; the median and the median
+//! absolute deviation (MAD) of the per-rep wall time summarize it. Results
+//! are written as machine-readable JSON (`BENCH_ignite.json`) with the
+//! schema: name, instructions, wall_ns, MIPS, and per-config CPI. When a
+//! committed baseline JSON is supplied, per-bench speedups are recorded
+//! and micro-kernel regressions beyond 25% fail the run.
+
+pub mod e2e;
+pub mod json;
+pub mod kernels;
+
+use std::time::Instant;
+
+/// How much work a bench run does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// CI smoke scale: small loops, few reps.
+    Quick,
+    /// Default scale: larger loops, more reps for stabler medians.
+    Full,
+}
+
+impl Mode {
+    /// The mode's name as written into the report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Quick => "quick",
+            Mode::Full => "full",
+        }
+    }
+}
+
+/// Bench family, for reporting and for the regression gate (only `micro`
+/// kernels gate CI; e2e timings are informational).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Data-structure micro-kernel.
+    Micro,
+    /// Reduced-scale end-to-end simulation of one front-end config.
+    EndToEnd,
+}
+
+impl Kind {
+    /// The kind's name as written into the report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Micro => "micro",
+            Kind::EndToEnd => "e2e",
+        }
+    }
+}
+
+/// One runnable benchmark: a name, a work-unit count per rep, and the
+/// closure that performs the work (returning a value to keep the
+/// optimizer honest; it is `black_box`ed by [`run_bench`]).
+pub struct Bench {
+    /// Stable identifier, e.g. `micro/btb/lookup_insert_mix`.
+    pub name: String,
+    /// Bench family.
+    pub kind: Kind,
+    /// Front-end config name for e2e benches.
+    pub config: Option<String>,
+    /// Simulated CPI, for e2e benches (deterministic, so known up front).
+    pub cpi: Option<f64>,
+    /// The benchmark body. Returns (work units done, value to black-box).
+    pub run: Box<dyn FnMut() -> (u64, u64)>,
+}
+
+/// Median and median-absolute-deviation of per-rep wall times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Median wall time per rep, nanoseconds.
+    pub median_ns: u64,
+    /// Median absolute deviation around the median, nanoseconds.
+    pub mad_ns: u64,
+}
+
+/// Computes [`Stats`] over raw per-rep nanosecond timings.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn stats(samples: &[u64]) -> Stats {
+    assert!(!samples.is_empty(), "no samples");
+    let median_ns = median(samples.to_vec());
+    let deviations: Vec<u64> = samples.iter().map(|&s| s.abs_diff(median_ns)).collect();
+    Stats { median_ns, mad_ns: median(deviations) }
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        // Midpoint of the two central samples, rounding down.
+        xs[n / 2 - 1].midpoint(xs[n / 2])
+    }
+}
+
+/// Result of one benchmark, plus optional baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Stable identifier.
+    pub name: String,
+    /// Bench family.
+    pub kind: Kind,
+    /// Front-end config name for e2e benches.
+    pub config: Option<String>,
+    /// Work units (instructions / elements) per rep.
+    pub instructions: u64,
+    /// Median wall time per rep, nanoseconds.
+    pub wall_ns: u64,
+    /// MAD of wall time, nanoseconds.
+    pub mad_ns: u64,
+    /// Millions of work units per second of wall time.
+    pub mips: f64,
+    /// Simulated cycles per instruction (e2e benches only).
+    pub cpi: Option<f64>,
+    /// Baseline median wall time when a baseline report was supplied.
+    pub baseline_wall_ns: Option<u64>,
+    /// `baseline_wall_ns / wall_ns` when a baseline report was supplied
+    /// (>1 means this run is faster than the baseline).
+    pub speedup: Option<f64>,
+}
+
+/// Runs one benchmark: `warmup` discarded reps, then `reps` timed reps.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero or the bench reports inconsistent work counts
+/// across reps (work must be deterministic for baselines to compare).
+pub fn run_bench(bench: &mut Bench, warmup: u32, reps: u32) -> BenchResult {
+    assert!(reps > 0, "need at least one timed rep");
+    for _ in 0..warmup {
+        std::hint::black_box((bench.run)());
+    }
+    let mut samples = Vec::with_capacity(reps as usize);
+    let mut work = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let (done, sink) = (bench.run)();
+        let elapsed = start.elapsed();
+        std::hint::black_box(sink);
+        let prev = *work.get_or_insert(done);
+        assert_eq!(prev, done, "{}: work count changed between reps", bench.name);
+        samples.push(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+    let work = work.expect("at least one rep ran");
+    let s = stats(&samples);
+    BenchResult {
+        name: bench.name.clone(),
+        kind: bench.kind,
+        config: bench.config.clone(),
+        instructions: work,
+        wall_ns: s.median_ns,
+        mad_ns: s.mad_ns,
+        mips: work as f64 * 1000.0 / s.median_ns.max(1) as f64,
+        cpi: bench.cpi,
+        baseline_wall_ns: None,
+        speedup: None,
+    }
+}
+
+/// A full bench report: what `BENCH_ignite.json` serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Mode the run used (`quick` or `full`).
+    pub mode: String,
+    /// All bench results, in execution order.
+    pub results: Vec<BenchResult>,
+}
+
+/// A micro-kernel that got slower than the regression gate allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The offending bench.
+    pub name: String,
+    /// Baseline median, nanoseconds.
+    pub baseline_ns: u64,
+    /// Current median, nanoseconds.
+    pub current_ns: u64,
+}
+
+/// Micro-kernels may regress by at most this factor vs. the baseline.
+pub const REGRESSION_GATE: f64 = 1.25;
+
+impl Report {
+    /// Schema identifier written into the JSON.
+    pub const SCHEMA: &'static str = "ignite-bench-v1";
+
+    /// Annotates results with speedups vs. `baseline` (matched by name,
+    /// comparable only when work counts agree) and returns every micro
+    /// kernel that regressed beyond [`REGRESSION_GATE`].
+    pub fn apply_baseline(&mut self, baseline: &Report) -> Vec<Regression> {
+        let mut regressions = Vec::new();
+        for r in &mut self.results {
+            let Some(b) = baseline.results.iter().find(|b| b.name == r.name) else {
+                continue;
+            };
+            if b.instructions != r.instructions {
+                continue; // different scale; not comparable
+            }
+            r.baseline_wall_ns = Some(b.wall_ns);
+            r.speedup = Some(b.wall_ns as f64 / r.wall_ns.max(1) as f64);
+            if r.kind == Kind::Micro && r.wall_ns as f64 > b.wall_ns as f64 * REGRESSION_GATE {
+                regressions.push(Regression {
+                    name: r.name.clone(),
+                    baseline_ns: b.wall_ns,
+                    current_ns: r.wall_ns,
+                });
+            }
+        }
+        regressions
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json::escape(Self::SCHEMA));
+        let _ = writeln!(out, "  \"mode\": {},", json::escape(&self.mode));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": {},", json::escape(&r.name));
+            let _ = writeln!(out, "      \"kind\": {},", json::escape(r.kind.name()));
+            if let Some(c) = &r.config {
+                let _ = writeln!(out, "      \"config\": {},", json::escape(c));
+            }
+            let _ = writeln!(out, "      \"instructions\": {},", r.instructions);
+            let _ = writeln!(out, "      \"wall_ns\": {},", r.wall_ns);
+            let _ = writeln!(out, "      \"mad_ns\": {},", r.mad_ns);
+            if let Some(cpi) = r.cpi {
+                let _ = writeln!(out, "      \"cpi\": {},", json::number(cpi));
+            }
+            if let (Some(b), Some(s)) = (r.baseline_wall_ns, r.speedup) {
+                let _ = writeln!(out, "      \"baseline_wall_ns\": {},", b);
+                let _ = writeln!(out, "      \"speedup\": {},", json::number(s));
+            }
+            let _ = writeln!(out, "      \"mips\": {}", json::number(r.mips));
+            out.push_str(if i + 1 == self.results.len() { "    }\n" } else { "    },\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`Report::to_json`].
+    ///
+    /// Unknown fields are ignored so older/newer reports stay loadable.
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_object().ok_or("report is not a JSON object")?;
+        let mode =
+            json::get(obj, "mode").and_then(json::Value::as_str).unwrap_or("unknown").to_string();
+        let mut results = Vec::new();
+        let rows = json::get(obj, "results")
+            .and_then(json::Value::as_array)
+            .ok_or("report has no results array")?;
+        for row in rows {
+            let row = row.as_object().ok_or("result row is not an object")?;
+            let name = json::get(row, "name")
+                .and_then(json::Value::as_str)
+                .ok_or("result row lacks a name")?
+                .to_string();
+            let kind = match json::get(row, "kind").and_then(json::Value::as_str) {
+                Some("e2e") => Kind::EndToEnd,
+                _ => Kind::Micro,
+            };
+            let num = |key: &str| json::get(row, key).and_then(json::Value::as_f64).unwrap_or(0.0);
+            results.push(BenchResult {
+                name,
+                kind,
+                config: json::get(row, "config").and_then(json::Value::as_str).map(str::to_string),
+                instructions: num("instructions") as u64,
+                wall_ns: num("wall_ns") as u64,
+                mad_ns: num("mad_ns") as u64,
+                mips: num("mips"),
+                cpi: json::get(row, "cpi").and_then(json::Value::as_f64),
+                baseline_wall_ns: None,
+                speedup: None,
+            });
+        }
+        Ok(Report { mode, results })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad() {
+        let s = stats(&[10, 30, 20]);
+        assert_eq!(s.median_ns, 20);
+        assert_eq!(s.mad_ns, 10);
+        let s = stats(&[10, 20, 30, 100]);
+        assert_eq!(s.median_ns, 25);
+        assert_eq!(s.mad_ns, 10);
+        let s = stats(&[7]);
+        assert_eq!(s.median_ns, 7);
+        assert_eq!(s.mad_ns, 0);
+    }
+
+    #[test]
+    fn run_bench_counts_work() {
+        let mut bench = Bench {
+            name: "micro/test/noop".into(),
+            kind: Kind::Micro,
+            config: None,
+            cpi: None,
+            run: Box::new(|| (1000, 42)),
+        };
+        let r = run_bench(&mut bench, 1, 3);
+        assert_eq!(r.instructions, 1000);
+        assert!(r.mips > 0.0);
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let report = Report {
+            mode: "quick".into(),
+            results: vec![
+                BenchResult {
+                    name: "micro/a".into(),
+                    kind: Kind::Micro,
+                    config: None,
+                    instructions: 1024,
+                    wall_ns: 5000,
+                    mad_ns: 12,
+                    mips: 204.8,
+                    cpi: None,
+                    baseline_wall_ns: None,
+                    speedup: None,
+                },
+                BenchResult {
+                    name: "e2e/nl".into(),
+                    kind: Kind::EndToEnd,
+                    config: Some("nl".into()),
+                    instructions: 250_000,
+                    wall_ns: 1_000_000,
+                    mad_ns: 900,
+                    mips: 250.0,
+                    cpi: Some(1.625),
+                    baseline_wall_ns: None,
+                    speedup: None,
+                },
+            ],
+        };
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn baseline_regression_gate() {
+        let mk = |wall_ns| BenchResult {
+            name: "micro/a".into(),
+            kind: Kind::Micro,
+            config: None,
+            instructions: 1024,
+            wall_ns,
+            mad_ns: 0,
+            mips: 1.0,
+            cpi: None,
+            baseline_wall_ns: None,
+            speedup: None,
+        };
+        let baseline = Report { mode: "quick".into(), results: vec![mk(1000)] };
+        let mut ok = Report { mode: "quick".into(), results: vec![mk(1200)] };
+        assert!(ok.apply_baseline(&baseline).is_empty());
+        assert_eq!(ok.results[0].baseline_wall_ns, Some(1000));
+        let mut slow = Report { mode: "quick".into(), results: vec![mk(1300)] };
+        let regs = slow.apply_baseline(&baseline);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].baseline_ns, 1000);
+    }
+}

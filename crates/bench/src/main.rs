@@ -1,0 +1,146 @@
+//! `ignite-bench`: offline benchmark runner.
+//!
+//! ```text
+//! cargo run --release -p ignite-bench -- [OPTIONS]
+//!
+//! OPTIONS:
+//!   --quick            CI smoke scale (small loops, few reps)
+//!   --filter SUBSTR    only run benches whose name contains SUBSTR
+//!   --out PATH         output JSON path (default BENCH_ignite.json)
+//!   --baseline PATH    compare against a committed report; record
+//!                      speedups and fail on micro regressions >25%
+//!   --list             print bench names and exit
+//! ```
+
+use std::process::ExitCode;
+
+use ignite_bench::{e2e, kernels, run_bench, Mode, Report, REGRESSION_GATE};
+
+struct Args {
+    mode: Mode,
+    filter: Option<String>,
+    out: String,
+    baseline: Option<String>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: Mode::Full,
+        filter: None,
+        out: "BENCH_ignite.json".to_string(),
+        baseline: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.mode = Mode::Quick,
+            "--list" => args.list = true,
+            "--filter" => {
+                args.filter = Some(it.next().ok_or("--filter needs a value")?);
+            }
+            "--out" => {
+                args.out = it.next().ok_or("--out needs a value")?;
+            }
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline needs a value")?);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ignite-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (warmup, reps) = match args.mode {
+        Mode::Quick => (1, 5),
+        Mode::Full => (3, 15),
+    };
+
+    let mut benches = kernels::kernels(args.mode);
+    benches.extend(e2e::e2e_benches(args.mode));
+    if let Some(f) = &args.filter {
+        benches.retain(|b| b.name.contains(f));
+    }
+    if args.list {
+        for b in &benches {
+            println!("{}", b.name);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if benches.is_empty() {
+        eprintln!("ignite-bench: no benches match the filter");
+        return ExitCode::FAILURE;
+    }
+
+    let mut report = Report { mode: args.mode.name().to_string(), results: Vec::new() };
+    for bench in &mut benches {
+        // End-to-end benches warmed up while computing their CPI.
+        let w = match bench.kind {
+            ignite_bench::Kind::Micro => warmup,
+            ignite_bench::Kind::EndToEnd => 0,
+        };
+        let r = run_bench(bench, w, reps);
+        println!(
+            "{:36} {:>12} work {:>12} ns (±{} ns)  {:8.1} MIPS{}",
+            r.name,
+            r.instructions,
+            r.wall_ns,
+            r.mad_ns,
+            r.mips,
+            r.cpi.map(|c| format!("  cpi={c:.3}")).unwrap_or_default(),
+        );
+        report.results.push(r);
+    }
+
+    let mut failed = false;
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Report::from_json(&t))
+        {
+            Ok(baseline) => {
+                let regressions = report.apply_baseline(&baseline);
+                for r in &report.results {
+                    if let Some(s) = r.speedup {
+                        println!("{:36} speedup vs baseline: {:.2}x", r.name, s);
+                    }
+                }
+                for reg in &regressions {
+                    eprintln!(
+                        "REGRESSION {}: {} ns -> {} ns (> {:.0}% gate)",
+                        reg.name,
+                        reg.baseline_ns,
+                        reg.current_ns,
+                        (REGRESSION_GATE - 1.0) * 100.0
+                    );
+                }
+                failed = !regressions.is_empty();
+            }
+            Err(e) => {
+                eprintln!("ignite-bench: cannot load baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("ignite-bench: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

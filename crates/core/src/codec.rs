@@ -173,14 +173,21 @@ struct BitWriter {
 impl BitWriter {
     fn write(&mut self, value: u64, bits: u32) {
         debug_assert!(bits <= 64);
-        for i in 0..bits {
-            let bit = (value >> i) & 1;
-            let byte_idx = self.bit_len / 8;
-            if byte_idx == self.bytes.len() {
-                self.bytes.push(0);
-            }
-            self.bytes[byte_idx] |= (bit as u8) << (self.bit_len % 8);
-            self.bit_len += 1;
+        if bits == 0 {
+            return;
+        }
+        let value = if bits == 64 { value } else { value & ((1u64 << bits) - 1) };
+        // Batched: position the value at the current bit offset (a u128
+        // holds 64 payload bits plus 7 bits of shift) and OR it in a byte
+        // at a time, instead of one bit per iteration.
+        let mut chunk = u128::from(value) << (self.bit_len % 8);
+        let mut byte_idx = self.bit_len / 8;
+        self.bit_len += bits as usize;
+        self.bytes.resize(self.bit_len.div_ceil(8), 0);
+        while chunk != 0 {
+            self.bytes[byte_idx] |= chunk as u8;
+            chunk >>= 8;
+            byte_idx += 1;
         }
     }
 
@@ -202,17 +209,24 @@ impl<'a> BitReader<'a> {
     }
 
     fn read(&mut self, bits: u32) -> Option<u64> {
+        debug_assert!(bits <= 64);
         if self.pos + bits as usize > self.bytes.len() * 8 {
             return None;
         }
-        let mut v = 0u64;
-        for i in 0..bits {
-            let byte = self.bytes[self.pos / 8];
-            let bit = u64::from((byte >> (self.pos % 8)) & 1);
-            v |= bit << i;
-            self.pos += 1;
+        if bits == 0 {
+            return Some(0);
         }
-        Some(v)
+        // Batched: gather the (at most 9) spanned bytes into a u128 and
+        // shift the field out in one go, instead of one bit per iteration.
+        let first = self.pos / 8;
+        let last = (self.pos + bits as usize).div_ceil(8);
+        let mut acc = 0u128;
+        for (i, &b) in self.bytes[first..last].iter().enumerate() {
+            acc |= u128::from(b) << (8 * i);
+        }
+        let v = (acc >> (self.pos % 8)) as u64;
+        self.pos += bits as usize;
+        Some(if bits == 64 { v } else { v & ((1u64 << bits) - 1) })
     }
 
     fn read_signed(&mut self, bits: u32) -> Option<i64> {

@@ -184,6 +184,77 @@ proptest! {
         }
     }
 
+    /// The fallible decoder agrees with the infallible one on every
+    /// well-formed stream: `decode_checked(encode(x)) == x`, with no error
+    /// in any position.
+    #[test]
+    fn decode_checked_roundtrip_arbitrary_entries(
+        entries in arb_entries(),
+        cfg in arb_widths(),
+    ) {
+        let mut enc = Encoder::new(cfg);
+        for e in &entries {
+            enc.push(e);
+        }
+        let md = enc.finish();
+        let decoded: Result<Vec<BtbEntry>, _> = md.decode_checked().collect();
+        match decoded {
+            Ok(decoded) => prop_assert_eq!(decoded, entries),
+            Err(e) => prop_assert!(false, "well-formed stream failed to decode: {e}"),
+        }
+    }
+
+    /// Same roundtrip property over recorder-shaped chains, where the
+    /// delta fast path (rather than the full-format fallback) dominates.
+    #[test]
+    fn decode_checked_roundtrip_chains(entries in arb_chain(), cfg in arb_widths()) {
+        let mut enc = Encoder::new(cfg);
+        for e in &entries {
+            enc.push(e);
+        }
+        let md = enc.finish();
+        let decoded: Result<Vec<BtbEntry>, _> = md.decode_checked().collect();
+        match decoded {
+            Ok(decoded) => prop_assert_eq!(decoded, entries),
+            Err(e) => prop_assert!(false, "well-formed stream failed to decode: {e}"),
+        }
+    }
+
+    /// Every mutated image either round-trips to exactly the original
+    /// entries (possible: an even number of flips on the same bit is a
+    /// no-op) or yields a typed `CodecError` somewhere in the pipeline
+    /// (structural parse, checksum validation, or mid-stream decode) —
+    /// never a panic, never silently different entries.
+    #[test]
+    fn mutated_image_roundtrips_or_yields_codec_error(
+        entries in arb_chain(),
+        flips in prop::collection::vec((any::<usize>(), 0u32..8), 1..16),
+    ) {
+        let mut enc = Encoder::new(CodecConfig::default());
+        for e in &entries {
+            enc.push(e);
+        }
+        let mut bytes = enc.finish().to_bytes();
+        for (pos, bit) in flips {
+            let i = pos % bytes.len();
+            bytes[i] ^= 1 << bit;
+        }
+        // Err at any stage is the detected-corruption arm; full success
+        // must mean the mutation was a no-op and the stream round-trips.
+        if let Ok(md) = Metadata::from_bytes(&bytes) {
+            if md.validate().is_ok() {
+                let decoded: Result<Vec<BtbEntry>, _> = md.decode_checked().collect();
+                if let Ok(decoded) = decoded {
+                    prop_assert_eq!(
+                        decoded,
+                        entries,
+                        "undetected corruption changed the decoded entries"
+                    );
+                }
+            }
+        }
+    }
+
     /// Hardened decode, property 1: completely arbitrary byte soup never
     /// panics, and whatever parses never yields more entries than its
     /// header claims. Half the cases are stamped with a plausible header

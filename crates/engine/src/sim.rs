@@ -95,6 +95,7 @@ pub fn run_invocation(m: &mut Machine, f: &PreparedFunction, invocation: u64) ->
     // Fractional-cycle accumulator: `m.now` is integral.
     let mut cycle_carry: f64 = 0.0;
     let mut mech_clock = m.now;
+    let has_mechanisms = m.jukebox.is_some() || m.ignite.is_some() || m.confluence.is_some();
     // Cold-data pool for the back-end stall model.
     let mut data_pool: f64 = if m.fe.policy.warm_data { 0.0 } else { f.data_ws_lines as f64 };
 
@@ -111,9 +112,11 @@ pub fn run_invocation(m: &mut Machine, f: &PreparedFunction, invocation: u64) ->
 
         // Paced mechanisms (Ignite replay, Jukebox replay, Confluence
         // streams) catch up to the global clock.
-        while mech_clock <= m.now {
-            step_mechanisms(m, f, mech_clock, &mut res);
-            mech_clock += 1;
+        if has_mechanisms {
+            while mech_clock <= m.now {
+                step_mechanisms(m, f, mech_clock, &mut res);
+                mech_clock += 1;
+            }
         }
 
         // Demand-time evaluation when the FTQ holds only this block (right

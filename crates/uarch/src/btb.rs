@@ -169,6 +169,9 @@ pub struct BtbStats {
 pub struct Btb {
     sets: usize,
     ways: usize,
+    /// `sets - 1` when the set count is a power of two (the common case),
+    /// letting [`Btb::set_of`] mask instead of divide; `u64::MAX` otherwise.
+    set_mask: u64,
     storage: Vec<Way>,
     clock: u64,
     insert_log: Vec<BtbEntry>,
@@ -193,6 +196,7 @@ impl Btb {
         Btb {
             sets,
             ways: cfg.ways,
+            set_mask: if sets.is_power_of_two() { sets as u64 - 1 } else { u64::MAX },
             storage: vec![Way::default(); sets * cfg.ways],
             clock: 0,
             insert_log: Vec::new(),
@@ -242,19 +246,30 @@ impl Btb {
         // Drop the low two bits (instruction alignment) and fold in higher
         // bits so densely packed branch regions spread across sets.
         let v = pc.as_u64() >> 2;
-        ((v ^ (v >> 11) ^ (v >> 23)) % self.sets as u64) as usize
+        let h = v ^ (v >> 11) ^ (v >> 23);
+        if self.set_mask != u64::MAX {
+            (h & self.set_mask) as usize
+        } else {
+            (h % self.sets as u64) as usize
+        }
     }
 
-    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
-        let base = set * self.ways;
-        base..base + self.ways
+    /// The contiguous slice of ways backing `pc`'s set, plus the index of
+    /// its first way. Scanning this slice directly keeps the associative
+    /// search bounds-check-free.
+    #[inline]
+    fn set_slice(&self, pc: Addr) -> (usize, &[Way]) {
+        let base = self.set_of(pc) * self.ways;
+        (base, &self.storage[base..base + self.ways])
     }
 
     fn find(&self, pc: Addr) -> Option<usize> {
-        self.set_range(self.set_of(pc)).find(|&i| {
-            let w = &self.storage[i];
-            w.valid && w.entry.branch_pc == pc && (!self.vm_tagging || w.vm == self.current_vm)
-        })
+        let (base, set) = self.set_slice(pc);
+        set.iter()
+            .position(|w| {
+                w.valid && w.entry.branch_pc == pc && (!self.vm_tagging || w.vm == self.current_vm)
+            })
+            .map(|i| base + i)
     }
 
     fn note_touch(&mut self, i: usize) {
@@ -324,17 +339,23 @@ impl Btb {
             self.stats.insertions += 1;
             self.insert_log.push(entry);
         }
-        let set = self.set_of(entry.branch_pc);
-        let victim =
-            self.set_range(set)
-                .min_by_key(|&i| {
-                    if self.storage[i].valid {
-                        (1, self.storage[i].lru_stamp)
-                    } else {
-                        (0, 0)
-                    }
-                })
-                .expect("set has at least one way");
+        // First invalid way, else the way with the oldest LRU stamp (first
+        // of equals — the same victim `min_by_key` over `(valid, stamp)`
+        // tuples would pick, without tuple-compare overhead per way).
+        let (base, set) = self.set_slice(entry.branch_pc);
+        let mut victim_in_set = 0;
+        let mut oldest = u64::MAX;
+        for (i, w) in set.iter().enumerate() {
+            if !w.valid {
+                victim_in_set = i;
+                break;
+            }
+            if w.lru_stamp < oldest {
+                oldest = w.lru_stamp;
+                victim_in_set = i;
+            }
+        }
+        let victim = base + victim_in_set;
         let evicted = if self.storage[victim].valid {
             self.stats.evictions += 1;
             let old = self.storage[victim];

@@ -138,6 +138,10 @@ pub struct FlushReport {
 pub struct SetAssocCache {
     geometry: CacheGeometry,
     sets: usize,
+    /// `sets - 1` when the set count is a power of two (the common case),
+    /// letting [`SetAssocCache::set_of`] mask instead of divide;
+    /// `u64::MAX` otherwise.
+    set_mask: u64,
     lines: Vec<Line>,
     clock: u64,
     stats: CacheStats,
@@ -154,6 +158,7 @@ impl SetAssocCache {
         SetAssocCache {
             geometry,
             sets,
+            set_mask: if sets.is_power_of_two() { sets as u64 - 1 } else { u64::MAX },
             lines: vec![Line::default(); sets * geometry.ways],
             clock: 0,
             stats: CacheStats::default(),
@@ -182,19 +187,26 @@ impl SetAssocCache {
 
     #[inline]
     fn set_of(&self, line_number: u64) -> usize {
-        (line_number % self.sets as u64) as usize
+        if self.set_mask != u64::MAX {
+            (line_number & self.set_mask) as usize
+        } else {
+            (line_number % self.sets as u64) as usize
+        }
     }
 
+    /// The contiguous slice of ways backing `line_number`'s set, plus the
+    /// index of its first way. Scanning this slice directly (instead of
+    /// indexing `self.lines[i]` per way) keeps the associative search
+    /// bounds-check-free.
     #[inline]
-    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
-        let base = set * self.geometry.ways;
-        base..base + self.geometry.ways
+    fn set_slice(&self, line_number: u64) -> (usize, &[Line]) {
+        let base = self.set_of(line_number) * self.geometry.ways;
+        (base, &self.lines[base..base + self.geometry.ways])
     }
 
     fn find(&self, line_number: u64) -> Option<usize> {
-        let set = self.set_of(line_number);
-        self.set_range(set)
-            .find(|&i| self.lines[i].valid && self.lines[i].line_number == line_number)
+        let (base, set) = self.set_slice(line_number);
+        set.iter().position(|l| l.valid && l.line_number == line_number).map(|i| base + i)
     }
 
     /// Demand access. Updates LRU, statistics and the per-line touch bit.
@@ -257,19 +269,23 @@ impl SetAssocCache {
             }
             return None;
         }
-        let set = self.set_of(ln);
-        let victim = self
-            .set_range(set)
-            .min_by_key(
-                |&i| {
-                    if self.lines[i].valid {
-                        (1, self.lines[i].lru_stamp)
-                    } else {
-                        (0, 0)
-                    }
-                },
-            )
-            .expect("set has at least one way");
+        // First invalid way, else the way with the oldest LRU stamp (first
+        // of equals — the same victim `min_by_key` over `(valid, stamp)`
+        // tuples would pick, without tuple-compare overhead per way).
+        let (base, set) = self.set_slice(ln);
+        let mut victim_in_set = 0;
+        let mut oldest = u64::MAX;
+        for (i, l) in set.iter().enumerate() {
+            if !l.valid {
+                victim_in_set = i;
+                break;
+            }
+            if l.lru_stamp < oldest {
+                oldest = l.lru_stamp;
+                victim_in_set = i;
+            }
+        }
+        let victim = base + victim_in_set;
         let evicted = if self.lines[victim].valid {
             self.stats.evictions += 1;
             let old = self.lines[victim];

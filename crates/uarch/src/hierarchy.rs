@@ -6,10 +6,9 @@
 //! to the same line (MSHR semantics). Prefetches are bounded by the MSHR
 //! count; demand fetches always proceed.
 
-use std::collections::HashMap;
-
 use crate::addr::Addr;
 use crate::cache::{CacheGeometry, FillKind, FlushReport, SetAssocCache};
+use crate::fxmap::FxHashMap;
 use crate::Cycle;
 
 /// Which level of the hierarchy served a request.
@@ -74,6 +73,69 @@ pub struct HierarchyFlush {
     pub llc: FlushReport,
 }
 
+/// In-flight fill table (MSHR model): line number → completion cycle.
+///
+/// Sized by the MSHR count plus merged demand fills within one memory
+/// latency window — a few dozen entries at most — so a flat vector with
+/// linear scans beats a hash map. Expiry is O(1) in the common case: a
+/// cached minimum completion cycle skips the sweep entirely until some
+/// entry is actually due.
+///
+/// Expiry points match the old per-access `HashMap::retain` exactly, so
+/// membership, lookups and live counts are bit-identical to the previous
+/// representation.
+#[derive(Debug, Clone, Default)]
+struct InflightTable {
+    entries: Vec<(u64, Cycle)>,
+    /// Minimum completion cycle across `entries`; `Cycle::MAX` when empty.
+    min_ready: Cycle,
+}
+
+impl InflightTable {
+    fn new() -> Self {
+        InflightTable { entries: Vec::new(), min_ready: Cycle::MAX }
+    }
+
+    /// Drops every entry whose fill has completed by `now`.
+    #[inline]
+    fn expire(&mut self, now: Cycle) {
+        if self.min_ready > now {
+            return;
+        }
+        self.entries.retain(|&(_, ready)| ready > now);
+        self.min_ready = self.entries.iter().map(|&(_, ready)| ready).min().unwrap_or(Cycle::MAX);
+    }
+
+    #[inline]
+    fn get(&self, line: u64) -> Option<Cycle> {
+        self.entries.iter().find(|&&(l, _)| l == line).map(|&(_, ready)| ready)
+    }
+
+    #[inline]
+    fn contains(&self, line: u64) -> bool {
+        self.entries.iter().any(|&(l, _)| l == line)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts or overwrites the entry for `line`.
+    fn insert(&mut self, line: u64, ready: Cycle) {
+        match self.entries.iter_mut().find(|(l, _)| *l == line) {
+            Some(entry) => entry.1 = ready,
+            None => self.entries.push((line, ready)),
+        }
+        self.min_ready = self.min_ready.min(ready);
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.min_ready = Cycle::MAX;
+    }
+}
+
 /// The simulated instruction-fetch hierarchy.
 ///
 /// # Example
@@ -95,13 +157,13 @@ pub struct Hierarchy {
     l1i: SetAssocCache,
     l2: SetAssocCache,
     llc: SetAssocCache,
-    /// Line number → completion cycle for fills in flight toward the L1-I.
-    inflight_l1i: HashMap<u64, Cycle>,
-    /// Line number → completion cycle for fills in flight toward the L2.
-    inflight_l2: HashMap<u64, Cycle>,
+    /// Fills in flight toward the L1-I.
+    inflight_l1i: InflightTable,
+    /// Fills in flight toward the L2.
+    inflight_l2: InflightTable,
     /// Lines filled from DRAM this measurement window → whether a demand
     /// fetch has touched them since (Fig. 10 useful/useless attribution).
-    mem_fills: HashMap<u64, bool>,
+    mem_fills: FxHashMap<u64, bool>,
     total_memory_read_bytes: u64,
     dropped_prefetches: u64,
 }
@@ -114,9 +176,9 @@ impl Hierarchy {
             l1i: SetAssocCache::new(cfg.l1i),
             l2: SetAssocCache::new(cfg.l2),
             llc: SetAssocCache::new(cfg.llc),
-            inflight_l1i: HashMap::new(),
-            inflight_l2: HashMap::new(),
-            mem_fills: HashMap::new(),
+            inflight_l1i: InflightTable::new(),
+            inflight_l2: InflightTable::new(),
+            mem_fills: FxHashMap::default(),
             total_memory_read_bytes: 0,
             dropped_prefetches: 0,
         }
@@ -161,8 +223,8 @@ impl Hierarchy {
     }
 
     fn expire_inflight(&mut self, now: Cycle) {
-        self.inflight_l1i.retain(|_, ready| *ready > now);
-        self.inflight_l2.retain(|_, ready| *ready > now);
+        self.inflight_l1i.expire(now);
+        self.inflight_l2.expire(now);
     }
 
     /// Looks up the levels below L1-I, filling on the way, and returns
@@ -173,8 +235,8 @@ impl Hierarchy {
             // update state eagerly); wait out the remaining fill latency.
             let extra = self
                 .inflight_l2
-                .get(&line.line_number())
-                .map_or(0, |&ready| ready.saturating_sub(now));
+                .get(line.line_number())
+                .map_or(0, |ready| ready.saturating_sub(now));
             (self.cfg.l2_latency + extra, Level::L2, 0)
         } else if self.llc.lookup(line) {
             self.l2.fill(line, kind);
@@ -201,7 +263,7 @@ impl Hierarchy {
         if let Some(hit) = self.l1i.lookup_hit(line) {
             // A resident line may still be in flight (fills update cache
             // state eagerly); the fetch must wait for the fill to land.
-            let fill_done = self.inflight_l1i.get(&line.line_number()).copied().unwrap_or(now);
+            let fill_done = self.inflight_l1i.get(line.line_number()).unwrap_or(now);
             return AccessResult {
                 ready_at: fill_done.max(now) + self.cfg.l1i_latency,
                 served_by: Level::L1I,
@@ -228,7 +290,7 @@ impl Hierarchy {
     pub fn prefetch_l1i(&mut self, addr: Addr, now: Cycle, kind: FillKind) -> Option<AccessResult> {
         self.expire_inflight(now);
         let line = addr.line();
-        if self.l1i.probe(line) || self.inflight_l1i.contains_key(&line.line_number()) {
+        if self.l1i.probe(line) || self.inflight_l1i.contains(line.line_number()) {
             return None;
         }
         if self.inflight_l1i.len() >= self.cfg.l1i_mshrs {
@@ -255,7 +317,7 @@ impl Hierarchy {
     pub fn prefetch_l2(&mut self, addr: Addr, now: Cycle, kind: FillKind) -> Option<AccessResult> {
         self.expire_inflight(now);
         let line = addr.line();
-        if self.l2.probe(line) || self.inflight_l2.contains_key(&line.line_number()) {
+        if self.l2.probe(line) || self.inflight_l2.contains(line.line_number()) {
             return None;
         }
         if self.inflight_l2.len() >= self.cfg.l2_mshrs {

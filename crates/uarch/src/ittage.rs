@@ -84,6 +84,8 @@ struct IttageEntry {
 pub struct Ittage {
     cfg: IttageConfig,
     tables: Vec<Vec<IttageEntry>>,
+    /// Geometric history length per table, fixed at construction.
+    hist_len: Vec<u32>,
     /// Ring of recent path-history tokens (one per taken branch).
     ring: Vec<u64>,
     pos: usize,
@@ -103,6 +105,7 @@ impl Ittage {
         Ittage {
             cfg: *cfg,
             tables: vec![vec![IttageEntry::default(); cfg.entries_per_table]; cfg.tables],
+            hist_len: (0..cfg.tables).map(|i| cfg.history_length(i)).collect(),
             ring: vec![0; cfg.max_history.max(1) as usize],
             pos: 0,
             predictions: 0,
@@ -130,13 +133,13 @@ impl Ittage {
 
     fn index(&self, table: usize, pc: Addr) -> usize {
         let mask = self.cfg.entries_per_table as u64 - 1;
-        let h = self.window_hash(self.cfg.history_length(table));
+        let h = self.window_hash(self.hist_len[table]);
         (((pc.as_u64() >> 2) ^ h ^ (h >> 13)) & mask) as usize
     }
 
     fn tag(&self, table: usize, pc: Addr) -> u16 {
         let mask = (1u64 << self.cfg.tag_bits) - 1;
-        let h = self.window_hash(self.cfg.history_length(table));
+        let h = self.window_hash(self.hist_len[table]);
         (((pc.as_u64() >> 5) ^ h.rotate_left(17)) & mask) as u16
     }
 

@@ -39,6 +39,7 @@ pub mod cache;
 pub mod cbp;
 pub mod config;
 pub mod ftq;
+pub mod fxmap;
 pub mod hierarchy;
 pub mod ittage;
 pub mod loop_pred;

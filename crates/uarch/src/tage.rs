@@ -372,9 +372,10 @@ impl Tage {
     pub fn push_history(&mut self, pc: Addr, target: Addr) {
         let bit = (pc.as_u64() >> 2 ^ target.as_u64() >> 3) & 1;
         // The bit falling out of each folded window is the one at index
-        // orig_len - 1 *before* the push.
+        // orig_len - 1 *before* the push. Each folded register carries its
+        // window length, so the geometric series needs no recomputation.
         for t in 0..self.cfg.tables {
-            let olen = self.cfg.history_length(t) as usize;
+            let olen = self.folded_index[t].orig_len as usize;
             let old = self.history.bit(olen - 1);
             self.folded_index[t].update(bit, old);
             self.folded_tag[0][t].update(bit, old);

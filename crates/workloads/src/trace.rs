@@ -8,7 +8,7 @@
 //! not perfectly — similar control flow, which is the property Ignite's
 //! record/replay exploits (§6.2 "high commonality").
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use ignite_uarch::addr::{Addr, LINE_BYTES};
 use ignite_uarch::btb::BranchKind;
@@ -63,6 +63,33 @@ impl BlockExec {
     }
 }
 
+/// Memoized structural behaviour of one branch site.
+///
+/// Every variant is a pure function of `(image_seed, block)` — plus the
+/// invocation-fixed deviation bit — so it is derived once per walker and
+/// replayed from the cache instead of reseeding an RNG per execution.
+#[derive(Debug, Clone, Copy)]
+enum Pattern {
+    /// Loop back-edge trip pattern (period 4 or 8, guaranteed exit bit).
+    Loop { bits: u8, period: u32 },
+    /// Direction fixed for the whole invocation.
+    Fixed { taken: bool },
+    /// 8-bit periodic direction pattern.
+    Periodic { bits: u8 },
+    /// Direction fixed per (branch, caller) pair; resolved at execution
+    /// time from the call stack.
+    Context { base_seed: u64 },
+    /// Indirect dispatch: the target index for each pattern phase.
+    Indirect { period: u32, idx: [usize; 2] },
+}
+
+/// Per-block memo: the invocation-fixed deviation bit plus the pattern.
+#[derive(Debug, Clone, Copy)]
+struct BlockMemo {
+    deviates: bool,
+    pattern: Pattern,
+}
+
 /// Iterator over the dynamic basic blocks of one invocation.
 ///
 /// # Example
@@ -93,7 +120,10 @@ pub struct TraceWalker<'a> {
     roots: Vec<u32>,
     root_pos: usize,
     /// Per-block dynamic execution counters (pattern phase).
-    exec_counts: HashMap<u32, u32>,
+    exec_counts: Vec<u32>,
+    /// Lazily classified per-block behaviour (conditional and indirect
+    /// sites only).
+    memo: Vec<Option<BlockMemo>>,
     truncated_calls: u64,
 }
 
@@ -147,6 +177,7 @@ impl<'a> TraceWalker<'a> {
         if let Some(pos) = roots.iter().position(|&f| f == image.entry_function()) {
             roots.swap(0, pos);
         }
+        let block_count = image.blocks().len();
         TraceWalker {
             image,
             image_seed,
@@ -159,7 +190,8 @@ impl<'a> TraceWalker<'a> {
             current: None,
             roots,
             root_pos: 0,
-            exec_counts: HashMap::new(),
+            exec_counts: vec![0; block_count],
+            memo: vec![None; block_count],
             truncated_calls: 0,
         }
     }
@@ -175,18 +207,19 @@ impl<'a> TraceWalker<'a> {
 
     /// Advances and returns this block's execution count (pattern phase).
     fn bump_count(&mut self, block: u32) -> u32 {
-        let c = self.exec_counts.entry(block).or_insert(0);
+        let c = &mut self.exec_counts[block as usize];
         let k = *c;
         *c = c.wrapping_add(1);
         k
     }
 
-    /// The structural outcome of conditional `block` at execution `k`: a
+    /// Classifies conditional `block` into its per-invocation pattern: a
     /// deterministic per-branch pattern of period 1–8 whose taken-rate
     /// approximates `bias`. Identical across invocations. Loop back-edges
     /// (`is_loop`) always carry at least one not-taken bit so loops
-    /// terminate.
-    fn pattern_taken(&self, block: u32, k: u32, bias: f64, is_loop: bool) -> bool {
+    /// terminate. Derived once per block; [`TraceWalker::pattern_taken`]
+    /// replays it per execution.
+    fn classify_cond(&self, block: u32, bias: f64, is_loop: bool) -> Pattern {
         let base_seed = self.image_seed ^ (u64::from(block)).wrapping_mul(0xA076_1D64_78BD_642F);
         let mut struct_rng = SplitMix64::new(base_seed);
         // Most branches are fixed-direction within an invocation (what a
@@ -209,12 +242,12 @@ impl<'a> TraceWalker<'a> {
             if bits == ((1u16 << period) - 1) as u8 {
                 bits &= !(1 << (period - 1));
             }
-            return (bits >> (k % period)) & 1 == 1;
+            return Pattern::Loop { bits, period };
         }
         if roll < 60 {
             // Fixed direction: one draw at `bias`, stable across executions
             // and invocations. A warm bimodal captures these perfectly.
-            return struct_rng.chance(bias);
+            return Pattern::Fixed { taken: struct_rng.chance(bias) };
         }
         if roll < 85 {
             // Periodic: an 8-bit pattern with each bit drawn at `bias`.
@@ -228,33 +261,61 @@ impl<'a> TraceWalker<'a> {
                     bits |= 1 << j;
                 }
             }
-            return (bits >> (k % 8)) & 1 == 1;
+            return Pattern::Periodic { bits };
         }
         // Context-sensitive: direction fixed per (branch, caller) pair —
         // separable by a path-history predictor (TAGE) but aliased in the
         // bimodal, which sees only the majority direction.
-        let context = u64::from(self.stack.last().copied().unwrap_or(0));
-        let mut ctx_rng = SplitMix64::new(base_seed ^ context.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        ctx_rng.chance(bias)
+        Pattern::Context { base_seed }
     }
 
-    /// The structural indirect-target choice for `block` at execution `k`:
-    /// a skewed, patterned index into the target list.
-    fn pattern_indirect(&self, block: u32, k: u32, fan: usize) -> usize {
+    /// The structural outcome of a classified conditional at execution `k`.
+    fn pattern_taken(&self, pattern: Pattern, k: u32, bias: f64) -> bool {
+        match pattern {
+            Pattern::Loop { bits, period } => (bits >> (k % period)) & 1 == 1,
+            Pattern::Fixed { taken } => taken,
+            Pattern::Periodic { bits } => (bits >> (k % 8)) & 1 == 1,
+            Pattern::Context { base_seed } => {
+                let context = u64::from(self.stack.last().copied().unwrap_or(0));
+                let mut ctx_rng =
+                    SplitMix64::new(base_seed ^ context.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                ctx_rng.chance(bias)
+            }
+            Pattern::Indirect { .. } => unreachable!("conditional block with indirect pattern"),
+        }
+    }
+
+    /// Classifies indirect `block`: a skewed, patterned index into the
+    /// target list for each phase of the (1- or 2-execution) period.
+    fn classify_indirect(&self, block: u32, fan: usize) -> Pattern {
         let seed = self.image_seed ^ (u64::from(block)).wrapping_mul(0x2545_F491_4F6C_DD1D);
         let mut pat_rng = SplitMix64::new(seed);
         // Most dispatch sites are effectively monomorphic (one hot target);
-        // a minority alternate between two targets.
+        // a minority alternate between two targets. The phase-1 index
+        // continues the phase-0 RNG stream, as the unmemoized walk did.
         let period = if pat_rng.chance(0.85) { 1 } else { 2 };
-        let phase = k % period;
-        let mut idx = 0;
-        for _ in 0..=phase {
-            idx = 0;
-            while idx + 1 < fan && pat_rng.chance(0.15) {
-                idx += 1;
+        let mut idx = [0usize; 2];
+        for slot in &mut idx {
+            let mut i = 0;
+            while i + 1 < fan && pat_rng.chance(0.15) {
+                i += 1;
+            }
+            *slot = i;
+        }
+        Pattern::Indirect { period, idx }
+    }
+
+    /// The memoized behaviour of conditional/indirect `block`, classifying
+    /// on first execution.
+    fn memo(&mut self, block: u32, classify: impl Fn(&Self) -> Pattern) -> BlockMemo {
+        match self.memo[block as usize] {
+            Some(m) => m,
+            None => {
+                let m = BlockMemo { deviates: self.deviates(block), pattern: classify(self) };
+                self.memo[block as usize] = Some(m);
+                m
             }
         }
-        idx
     }
 
     /// Instructions emitted so far.
@@ -295,13 +356,14 @@ impl Iterator for TraceWalker<'_> {
                 let target_addr = self.image.block(*target).start;
                 let k = self.bump_count(bi);
                 let is_loop = *target <= bi;
-                let mut taken = self.pattern_taken(bi, k, *bias, is_loop);
+                let memo = self.memo(bi, |w| w.classify_cond(bi, *bias, is_loop));
+                let mut taken = self.pattern_taken(memo.pattern, k, *bias);
                 // Deviation flips forward branches only: flipping a loop
                 // back-edge could turn it into an infinite loop. Deviating
                 // loops shift their phase instead (a different trip count).
-                if self.deviates(bi) {
+                if memo.deviates {
                     if is_loop {
-                        taken = self.pattern_taken(bi, k + 1, *bias, true);
+                        taken = self.pattern_taken(memo.pattern, k + 1, *bias);
                     } else {
                         taken = !taken;
                     }
@@ -381,8 +443,12 @@ impl Iterator for TraceWalker<'_> {
             },
             Terminator::Indirect { targets } => {
                 let k = self.bump_count(bi);
-                let mut idx = self.pattern_indirect(bi, k, targets.len());
-                if self.deviates(bi) {
+                let memo = self.memo(bi, |w| w.classify_indirect(bi, targets.len()));
+                let Pattern::Indirect { period, idx } = memo.pattern else {
+                    unreachable!("indirect block with conditional pattern")
+                };
+                let mut idx = idx[(k % period) as usize];
+                if memo.deviates {
                     // A deviating dispatch site favours a different target
                     // this invocation.
                     idx = (idx + 1) % targets.len();

@@ -49,6 +49,95 @@ fn harness_results_independent_of_thread_count() {
     assert_eq!(serial, parallel);
 }
 
+/// Thread-count matrix: results under {1, 2, available_parallelism}
+/// worker threads are identical, including every `ReplayStats` fault
+/// counter (decode errors, dropped entries, stale restores, watchdog
+/// abandons) — the degradation path must be as reproducible as the happy
+/// path.
+#[test]
+fn determinism_matrix_across_thread_counts() {
+    let avail = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut h = Harness::new(0.02, RunOptions::quick());
+    let configs = [FrontEndConfig::nl(), FrontEndConfig::ignite(), FrontEndConfig::ignite_tage()];
+    let mut reference: Option<Vec<Vec<ignite_engine::metrics::InvocationResult>>> = None;
+    for threads in [1, 2, avail] {
+        h.set_threads(threads);
+        let matrix = h.run_matrix(&configs);
+        match &reference {
+            None => reference = Some(matrix),
+            Some(reference) => {
+                for (config, (want, got)) in configs.iter().zip(reference.iter().zip(&matrix)) {
+                    assert_eq!(want, got, "{} diverged at {threads} threads", config.name);
+                    for (abbr, (w, g)) in h.abbrs().iter().zip(want.iter().zip(got)) {
+                        assert_eq!(
+                            w.replay, g.replay,
+                            "{}/{abbr}: replay fault counters diverged at {threads} threads",
+                            config.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cross-process determinism: a fresh process (fresh ASLR, allocator
+/// state, hash seeds) reproduces the same fingerprint. The child re-runs
+/// this test binary with `IGNITE_DETERMINISM_CHILD=1`, which makes
+/// [`child_emits_fingerprint`] print its fingerprint; two spawns must
+/// print identical output.
+#[test]
+fn determinism_across_process_runs() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let spawn = || {
+        let out = std::process::Command::new(&exe)
+            .args(["child_emits_fingerprint", "--exact", "--nocapture"])
+            .env("IGNITE_DETERMINISM_CHILD", "1")
+            .output()
+            .expect("spawn child test process");
+        assert!(out.status.success(), "child run failed: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8(out.stdout).expect("utf-8 child output");
+        let fp: Vec<&str> =
+            stdout.lines().filter(|l| l.starts_with("IGNITE_FINGERPRINT ")).collect();
+        assert!(!fp.is_empty(), "child printed no fingerprint:\n{stdout}");
+        fp.join("\n")
+    };
+    let first = spawn();
+    let second = spawn();
+    assert_eq!(first, second, "two process runs produced different results");
+}
+
+/// Helper for [`determinism_across_process_runs`]: prints a compact
+/// fingerprint when spawned with `IGNITE_DETERMINISM_CHILD=1`, does
+/// nothing when run as part of the normal test suite.
+#[test]
+fn child_emits_fingerprint() {
+    if std::env::var_os("IGNITE_DETERMINISM_CHILD").is_none_or(|v| v != "1") {
+        return;
+    }
+    let h = Harness::new(0.02, RunOptions::quick());
+    for config in [FrontEndConfig::nl(), FrontEndConfig::ignite()] {
+        for (abbr, r) in h.abbrs().iter().zip(h.run_config(&config)) {
+            println!(
+                "IGNITE_FINGERPRINT {}/{abbr} cycles={} instrs={} retiring={} fetch={} bad={} \
+                 be={} restored={} decode_errors={} dropped={} stale={} watchdog={}",
+                config.name,
+                r.cycles,
+                r.instructions,
+                r.topdown.retiring.to_bits(),
+                r.topdown.fetch_bound.to_bits(),
+                r.topdown.bad_speculation.to_bits(),
+                r.topdown.backend_bound.to_bits(),
+                r.replay.entries_restored,
+                r.replay.decode_errors,
+                r.replay.entries_dropped,
+                r.replay.stale_restored,
+                r.replay.watchdog_abandons,
+            );
+        }
+    }
+}
+
 #[test]
 fn different_invocations_differ_but_only_slightly() {
     let suite = Suite::paper_suite_scaled(0.05);
