@@ -1,17 +1,23 @@
-//! Reduced-scale end-to-end benches: one per front-end configuration.
+//! Reduced-scale end-to-end benches: one per front-end configuration,
+//! plus a cluster-layer run.
 //!
-//! Each bench simulates the first paper-suite function under one
-//! configuration at reduced scale with [`RunOptions::quick`], reporting
-//! simulated instructions per second of wall time (MIPS) and the config's
-//! CPI. The simulation is deterministic, so instructions and CPI are
+//! Each per-config bench simulates the first paper-suite function under
+//! one configuration at reduced scale with [`RunOptions::quick`],
+//! reporting simulated instructions per second of wall time (MIPS) and
+//! the config's CPI. The `e2e/cluster` bench serves a reduced Zipf
+//! arrival trace over a small fleet through `ignite-cluster`, tracking
+//! the throughput of the scheduler + metadata-store layer end to end.
+//! The simulations are deterministic, so instructions and CPI are
 //! identical across reps and runs — only wall time varies.
 
 use std::rc::Rc;
 
+use ignite_cluster::{ClusterConfig, ClusterSim};
 use ignite_engine::config::FrontEndConfig;
 use ignite_engine::machine::PreparedFunction;
 use ignite_engine::protocol::{run_function, RunOptions};
 use ignite_uarch::UarchConfig;
+use ignite_workloads::arrival::ArrivalConfig;
 use ignite_workloads::suite::Suite;
 
 use crate::{Bench, Kind, Mode};
@@ -65,7 +71,34 @@ pub fn e2e_benches(mode: Mode) -> Vec<Bench> {
                 }),
             }
         })
+        .chain(std::iter::once(cluster_bench(mode)))
         .collect()
+}
+
+/// The cluster-layer bench: a reduced fleet (2 cores) serving a fixed-seed
+/// Zipf(1.0) trace under the Ignite config with a bounded metadata store.
+fn cluster_bench(mode: Mode) -> Bench {
+    let horizon = match mode {
+        Mode::Quick => 600_000,
+        Mode::Full => 3_000_000,
+    };
+    let cfg = ClusterConfig {
+        cores: 2,
+        arrival: ArrivalConfig { horizon_cycles: horizon, ..ArrivalConfig::default() },
+        ..ClusterConfig::default()
+    };
+    let sim = Rc::new(ClusterSim::new(cfg));
+    let first = sim.run().total_result();
+    Bench {
+        name: "e2e/cluster".to_string(),
+        kind: Kind::EndToEnd,
+        config: Some("cluster".to_string()),
+        cpi: Some(first.cpi()),
+        run: Box::new(move || {
+            let r = sim.run().total_result();
+            (r.instructions, r.cycles)
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -76,7 +109,8 @@ mod tests {
     #[test]
     fn e2e_benches_cover_every_config() {
         let benches = e2e_benches(Mode::Quick);
-        assert_eq!(benches.len(), configs().len());
+        assert_eq!(benches.len(), configs().len() + 1, "per-config benches plus e2e/cluster");
+        assert!(benches.iter().any(|b| b.name == "e2e/cluster"));
         for b in &benches {
             assert!(b.cpi.unwrap() > 0.0, "{}: degenerate CPI", b.name);
         }

@@ -1,0 +1,127 @@
+//! Panic-isolated thread fan-out over an indexed work list.
+//!
+//! Extracted from the experiment harness so every sweep in the workspace
+//! (suite functions in `ignite-harness`, capacity/seed points in the
+//! cluster binary) shares one implementation. Workers pull indices from a
+//! shared queue, run each job under `catch_unwind`, and deposit results in
+//! order — one panicking job yields an `Err` in its slot instead of
+//! tearing down the whole sweep, and results never depend on thread count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
+
+/// One job panicked while running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicFailure {
+    /// The job's index in the work list.
+    pub index: usize,
+    /// The panic payload, rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for PanicFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for PanicFailure {}
+
+/// Renders a panic payload as text (panics carry `&str` or `String`;
+/// anything else gets a placeholder).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `job(0..count)` across up to `threads` worker threads, returning
+/// results in index order. Each job is isolated under `catch_unwind`.
+///
+/// The jobs themselves must be deterministic; the fan-out then guarantees
+/// the *collection* is too (slot `i` always holds job `i`'s outcome,
+/// whatever the interleaving).
+pub fn run_indexed<T, F>(count: usize, threads: usize, job: F) -> Vec<Result<T, PanicFailure>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let next = Mutex::new(0usize);
+    let results: Mutex<Vec<Option<Result<T, PanicFailure>>>> =
+        Mutex::new((0..count).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(count).max(1) {
+            scope.spawn(|| loop {
+                let i = {
+                    // A worker that panicked inside `catch_unwind` never
+                    // poisons these locks, but a defensive recovery keeps
+                    // the queue draining even if one did.
+                    let mut n = next.lock().unwrap_or_else(PoisonError::into_inner);
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                if i >= count {
+                    break;
+                }
+                let outcome = catch_unwind(AssertUnwindSafe(|| job(i)))
+                    .map_err(|payload| PanicFailure { index: i, message: panic_message(payload) });
+                results.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_iter()
+        .map(|r| r.expect("every job slot is filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order() {
+        let r = run_indexed(32, 4, |i| i * i);
+        for (i, slot) in r.iter().enumerate() {
+            assert_eq!(slot, &Ok(i * i));
+        }
+    }
+
+    #[test]
+    fn panic_is_isolated_to_its_slot() {
+        let r = run_indexed(8, 3, |i| {
+            if i == 5 {
+                panic!("boom at {i}");
+            }
+            i
+        });
+        for (i, slot) in r.iter().enumerate() {
+            if i == 5 {
+                let f = slot.as_ref().expect_err("job 5 must fail");
+                assert_eq!(f.index, 5);
+                assert!(f.message.contains("boom"));
+            } else {
+                assert_eq!(slot, &Ok(i));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let a = run_indexed(20, 1, |i| i + 1);
+        let b = run_indexed(20, 16, |i| i + 1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! `ignite-cluster`: a discrete-event serverless worker-fleet simulator
+//! that serves interleaved invocation traffic over the front-end model.
+//!
+//! The paper's lukewarm setting is emergent, not scripted: a server
+//! interleaves thousands of invocations of many functions, and each
+//! function returns to find its front-end state partially evicted by
+//! whoever ran in between (Ignite §2). The per-function harness imposes
+//! that with a protocol flush; this crate *produces* it:
+//!
+//! * an open-loop Poisson arrival process with Zipf popularity skew over
+//!   the 20-function suite ([`ignite_workloads::arrival`]), replayable via
+//!   a text trace format;
+//! * a FIFO scheduler dispatching onto N simulated cores, each a
+//!   persistent [`ignite_engine::machine::Machine`] that is *never
+//!   flushed* between invocations — other functions' code evicts
+//!   front-end state naturally, and the per-(core, function) interleaving
+//!   distance drives the back-end data-cold model
+//!   ([`ignite_engine::sim::InvocationCtx`]);
+//! * a bounded, node-wide Ignite metadata store
+//!   ([`ignite_core::MetadataStore`]) with LRU / size-aware / pin-hot
+//!   eviction, charging record/replay DRAM bandwidth on the critical
+//!   path;
+//! * queueing/latency accounting: per-function p50/p95/p99 invocation
+//!   latency, core utilization, metadata hit rate and footprint, emitted
+//!   as a versioned JSON report (schema [`report::CLUSTER_SCHEMA`]).
+//!
+//! Everything is bit-deterministic for a fixed seed, across thread counts
+//! and processes: the event loop breaks ties by (completion before
+//! arrival, core index), the store iterates `BTreeMap`s, and the report
+//! serializes floats with shortest round-trip formatting.
+
+pub mod fanout;
+pub mod json;
+pub mod report;
+pub mod sim;
+
+pub use fanout::{run_indexed, PanicFailure};
+pub use report::{ClusterReport, CLUSTER_SCHEMA};
+pub use sim::{
+    sweep_capacities, ClusterConfig, ClusterOutcome, ClusterSim, CoreUsage, FunctionSummary,
+};

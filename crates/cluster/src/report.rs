@@ -1,0 +1,291 @@
+//! The versioned cluster report (`ignite-cluster-v1`).
+//!
+//! One JSON document per run: the configuration, cluster-wide totals,
+//! per-core utilization, node-store counters, aggregate replay statistics
+//! (including every degradation counter), and a per-function breakdown
+//! with p50/p95/p99 latency. Serialization is byte-deterministic — fixed
+//! key order, integers for cycle counts, shortest round-trip formatting
+//! for floats — so two same-seed runs, in different processes, produce
+//! identical bytes (the golden tests rely on this).
+
+use std::fmt::Write as _;
+
+use ignite_core::ReplayStats;
+
+use crate::json::{self, Value};
+use crate::sim::{ClusterConfig, ClusterOutcome};
+
+/// Schema tag written into (and required of) every report.
+pub const CLUSTER_SCHEMA: &str = "ignite-cluster-v1";
+
+/// A run's configuration and outcome, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The configuration the run used.
+    pub config: ClusterConfig,
+    /// What happened.
+    pub outcome: ClusterOutcome,
+}
+
+fn num(x: f64) -> String {
+    json::number(x)
+}
+
+fn push_replay(out: &mut String, indent: &str, replay: &ReplayStats, unfinished: u64) {
+    let _ = writeln!(out, "{indent}\"entries_restored\": {},", replay.entries_restored);
+    let _ = writeln!(out, "{indent}\"bim_initialized\": {},", replay.bim_initialized);
+    let _ = writeln!(out, "{indent}\"l2_prefetches\": {},", replay.l2_prefetches);
+    let _ = writeln!(out, "{indent}\"itlb_warmed\": {},", replay.itlb_warmed);
+    let _ = writeln!(out, "{indent}\"metadata_bytes\": {},", replay.metadata_bytes);
+    let _ = writeln!(out, "{indent}\"throttled_steps\": {},", replay.throttled_steps);
+    let _ = writeln!(out, "{indent}\"decode_errors\": {},", replay.decode_errors);
+    let _ = writeln!(out, "{indent}\"entries_dropped\": {},", replay.entries_dropped);
+    let _ = writeln!(out, "{indent}\"stale_restored\": {},", replay.stale_restored);
+    let _ = writeln!(out, "{indent}\"watchdog_abandons\": {},", replay.watchdog_abandons);
+    let _ = writeln!(out, "{indent}\"replay_unfinished\": {unfinished}");
+}
+
+impl ClusterReport {
+    /// Pairs a configuration with its outcome.
+    pub fn new(config: ClusterConfig, outcome: ClusterOutcome) -> Self {
+        ClusterReport { config, outcome }
+    }
+
+    /// Serializes the report.
+    pub fn to_json(&self) -> String {
+        let cfg = &self.config;
+        let out_ = &self.outcome;
+        let total = out_.total_result();
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{CLUSTER_SCHEMA}\",");
+        s.push_str("  \"config\": {\n");
+        let _ = writeln!(s, "    \"cores\": {},", cfg.cores);
+        let _ = writeln!(s, "    \"fe\": {},", json::escape(&cfg.fe.name));
+        let _ = writeln!(s, "    \"scale\": {},", num(cfg.scale));
+        let _ = writeln!(s, "    \"seed\": {},", cfg.arrival.seed);
+        let _ = writeln!(s, "    \"functions\": {},", cfg.arrival.functions);
+        let _ = writeln!(s, "    \"rate_per_mcycle\": {},", num(cfg.arrival.rate_per_mcycle));
+        let _ = writeln!(s, "    \"zipf_s\": {},", num(cfg.arrival.zipf_s));
+        let _ = writeln!(s, "    \"horizon_cycles\": {},", cfg.arrival.horizon_cycles);
+        let _ = writeln!(s, "    \"store_capacity_bytes\": {},", cfg.store.capacity_bytes);
+        let _ = writeln!(s, "    \"store_policy\": {},", json::escape(cfg.store.policy.name()));
+        let _ = writeln!(s, "    \"store_pinned_hot\": {},", cfg.store.pinned_hot);
+        let _ = writeln!(s, "    \"distance_saturation\": {},", num(cfg.distance_saturation));
+        let _ = writeln!(s, "    \"dram_bytes_per_cycle\": {}", num(cfg.dram_bytes_per_cycle));
+        s.push_str("  },\n");
+        s.push_str("  \"totals\": {\n");
+        let _ = writeln!(s, "    \"invocations\": {},", out_.invocations);
+        let _ = writeln!(s, "    \"makespan_cycles\": {},", out_.makespan);
+        let _ = writeln!(s, "    \"instructions\": {},", total.instructions);
+        let _ = writeln!(s, "    \"cycles\": {},", total.cycles);
+        let _ = writeln!(s, "    \"mean_latency_cycles\": {},", num(out_.mean_latency));
+        let _ = writeln!(s, "    \"p50_latency_cycles\": {},", out_.p50_latency);
+        let _ = writeln!(s, "    \"p95_latency_cycles\": {},", out_.p95_latency);
+        let _ = writeln!(s, "    \"p99_latency_cycles\": {},", out_.p99_latency);
+        let _ = writeln!(s, "    \"mean_utilization\": {}", num(out_.mean_utilization()));
+        s.push_str("  },\n");
+        s.push_str("  \"cores\": [\n");
+        for (i, c) in out_.cores.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"core\": {i}, \"invocations\": {}, \"busy_cycles\": {}, \
+                 \"utilization\": {}}}{}",
+                c.invocations,
+                c.busy_cycles,
+                num(c.utilization),
+                if i + 1 == out_.cores.len() { "" } else { "," }
+            );
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"store\": {\n");
+        let st = &out_.store;
+        let _ = writeln!(s, "    \"hits\": {},", st.hits);
+        let _ = writeln!(s, "    \"misses\": {},", st.misses);
+        let _ = writeln!(s, "    \"hit_rate\": {},", num(st.hit_rate()));
+        let _ = writeln!(s, "    \"insertions\": {},", st.insertions);
+        let _ = writeln!(s, "    \"evictions\": {},", st.evictions);
+        let _ = writeln!(s, "    \"rejected\": {},", st.rejected);
+        let _ = writeln!(s, "    \"bytes_read\": {},", st.bytes_read);
+        let _ = writeln!(s, "    \"bytes_written\": {},", st.bytes_written);
+        let _ = writeln!(s, "    \"bytes_evicted\": {},", st.bytes_evicted);
+        let _ = writeln!(s, "    \"footprint_bytes\": {},", out_.footprint_bytes);
+        let _ = writeln!(s, "    \"peak_footprint_bytes\": {}", out_.peak_footprint_bytes);
+        s.push_str("  },\n");
+        s.push_str("  \"replay\": {\n");
+        push_replay(&mut s, "    ", &total.replay, total.replay_unfinished);
+        s.push_str("  },\n");
+        s.push_str("  \"functions\": [\n");
+        for (i, f) in out_.functions.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"function\": {},", json::escape(&f.abbr));
+            let _ = writeln!(s, "      \"invocations\": {},", f.invocations);
+            let _ = writeln!(s, "      \"p50_latency_cycles\": {},", f.p50_latency);
+            let _ = writeln!(s, "      \"p95_latency_cycles\": {},", f.p95_latency);
+            let _ = writeln!(s, "      \"p99_latency_cycles\": {},", f.p99_latency);
+            let _ = writeln!(s, "      \"mean_service_cycles\": {},", num(f.mean_service));
+            let _ = writeln!(s, "      \"mean_queue_cycles\": {},", num(f.mean_queue));
+            let _ = writeln!(s, "      \"mean_cold_fraction\": {},", num(f.mean_cold_fraction));
+            let _ = writeln!(s, "      \"metadata_hits\": {},", f.metadata_hits);
+            let _ = writeln!(s, "      \"metadata_misses\": {},", f.metadata_misses);
+            let _ = writeln!(s, "      \"metadata_hit_rate\": {},", num(f.metadata_hit_rate()));
+            let _ = writeln!(s, "      \"cpi\": {},", num(f.result.cpi()));
+            let _ = writeln!(s, "      \"l1i_mpki\": {},", num(f.result.l1i_mpki()));
+            let _ = writeln!(s, "      \"btb_mpki\": {},", num(f.result.btb_mpki()));
+            s.push_str("      \"replay\": {\n");
+            push_replay(&mut s, "        ", &f.result.replay, f.result.replay_unfinished);
+            s.push_str("      }\n");
+            s.push_str(if i + 1 == out_.functions.len() { "    }\n" } else { "    },\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Validates that `text` is a well-formed `ignite-cluster-v1` report:
+    /// parseable JSON, the right schema tag, and every required section
+    /// and field present with the right shape.
+    pub fn validate(text: &str) -> Result<(), String> {
+        let doc = json::parse(text)?;
+        let obj = doc.as_object().ok_or("report is not an object")?;
+        let schema = json::get(obj, "schema").and_then(Value::as_str);
+        if schema != Some(CLUSTER_SCHEMA) {
+            return Err(format!("schema {schema:?}, want {CLUSTER_SCHEMA:?}"));
+        }
+        let section = |key: &str| {
+            json::get(obj, key)
+                .and_then(Value::as_object)
+                .ok_or_else(|| format!("missing object '{key}'"))
+        };
+        let require = |o: &[(String, Value)], ctx: &str, keys: &[&str]| {
+            for k in keys {
+                let v = json::get(o, k).ok_or_else(|| format!("{ctx}: missing '{k}'"))?;
+                if v.as_f64().is_none() && v.as_str().is_none() {
+                    return Err(format!("{ctx}: '{k}' is not a scalar"));
+                }
+            }
+            Ok(())
+        };
+        require(
+            section("config")?,
+            "config",
+            &[
+                "cores",
+                "fe",
+                "scale",
+                "seed",
+                "rate_per_mcycle",
+                "zipf_s",
+                "horizon_cycles",
+                "store_capacity_bytes",
+                "store_policy",
+            ],
+        )?;
+        require(
+            section("totals")?,
+            "totals",
+            &[
+                "invocations",
+                "makespan_cycles",
+                "mean_latency_cycles",
+                "p50_latency_cycles",
+                "p95_latency_cycles",
+                "p99_latency_cycles",
+                "mean_utilization",
+            ],
+        )?;
+        require(
+            section("store")?,
+            "store",
+            &["hits", "misses", "hit_rate", "footprint_bytes", "peak_footprint_bytes"],
+        )?;
+        require(
+            section("replay")?,
+            "replay",
+            &[
+                "entries_restored",
+                "decode_errors",
+                "entries_dropped",
+                "stale_restored",
+                "watchdog_abandons",
+                "replay_unfinished",
+            ],
+        )?;
+        let cores =
+            json::get(obj, "cores").and_then(Value::as_array).ok_or("missing array 'cores'")?;
+        if cores.is_empty() {
+            return Err("empty 'cores' array".to_string());
+        }
+        let functions = json::get(obj, "functions")
+            .and_then(Value::as_array)
+            .ok_or("missing array 'functions'")?;
+        if functions.is_empty() {
+            return Err("empty 'functions' array".to_string());
+        }
+        for (i, f) in functions.iter().enumerate() {
+            let fo = f.as_object().ok_or_else(|| format!("functions[{i}] is not an object"))?;
+            require(
+                fo,
+                &format!("functions[{i}]"),
+                &[
+                    "function",
+                    "invocations",
+                    "p50_latency_cycles",
+                    "p95_latency_cycles",
+                    "p99_latency_cycles",
+                    "metadata_hit_rate",
+                ],
+            )?;
+            json::get(fo, "replay")
+                .and_then(Value::as_object)
+                .ok_or_else(|| format!("functions[{i}]: missing replay block"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::ClusterSim;
+    use ignite_workloads::arrival::ArrivalConfig;
+
+    fn report() -> ClusterReport {
+        let cfg = ClusterConfig {
+            arrival: ArrivalConfig { horizon_cycles: 800_000, ..ArrivalConfig::default() },
+            ..ClusterConfig::default()
+        };
+        let outcome = ClusterSim::new(cfg.clone()).run();
+        ClusterReport::new(cfg, outcome)
+    }
+
+    #[test]
+    fn emitted_report_validates() {
+        let text = report().to_json();
+        ClusterReport::validate(&text).expect("own report must be schema-valid");
+    }
+
+    #[test]
+    fn serialization_is_byte_deterministic() {
+        let r = report();
+        assert_eq!(r.to_json(), r.to_json());
+        assert_eq!(report().to_json(), report().to_json());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema() {
+        let text = report().to_json().replace(CLUSTER_SCHEMA, "ignite-cluster-v0");
+        assert!(ClusterReport::validate(&text).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_missing_section() {
+        let text = report().to_json().replace("\"p95_latency_cycles\"", "\"q95\"");
+        assert!(ClusterReport::validate(&text).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(ClusterReport::validate("not json").is_err());
+        assert!(ClusterReport::validate("{}").is_err());
+    }
+}

@@ -1,0 +1,575 @@
+//! The discrete-event cluster simulation proper.
+//!
+//! Two event sources drive the loop: trace arrivals and core completions.
+//! Invocations queue FIFO; a free core with the lowest index takes the
+//! head of the queue. At equal timestamps, completions are processed
+//! before arrivals (a core freed at cycle `t` can serve a request arriving
+//! at `t`), and cores free in index order — every tie-break is total, so a
+//! fixed (seed, config) reproduces the run bit-exactly in any process.
+//!
+//! Each core owns a persistent [`Machine`] that is **never flushed**:
+//! whatever function ran last left its code in the caches and its branches
+//! in the BTB, and the next function finds exactly as much of its own
+//! state as the interleaving allowed to survive. Only the abstract
+//! back-end data model needs help — the per-(core, function) interleaving
+//! distance sets [`InvocationCtx::data_cold_fraction`].
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ignite_core::{MetadataStore, StoreConfig, StoreStats};
+use ignite_engine::config::FrontEndConfig;
+use ignite_engine::machine::{Machine, PreparedFunction};
+use ignite_engine::metrics::InvocationResult;
+use ignite_engine::sim::{run_invocation_ctx, InvocationCtx};
+use ignite_uarch::UarchConfig;
+use ignite_workloads::arrival::{Arrival, ArrivalConfig, Trace};
+use ignite_workloads::suite::Suite;
+
+use crate::fanout::{self, PanicFailure};
+
+/// Everything that defines one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of simulated cores.
+    pub cores: usize,
+    /// Front-end configuration of every core.
+    pub fe: FrontEndConfig,
+    /// Workload suite scale (1.0 = paper scale).
+    pub scale: f64,
+    /// Arrival process parameters (ignored when replaying a trace).
+    pub arrival: ArrivalConfig,
+    /// Node-wide metadata store sizing and policy.
+    pub store: StoreConfig,
+    /// Interleaving distance (invocations by *other* functions on the same
+    /// core) at which a function's data working set counts as fully cold.
+    pub distance_saturation: f64,
+    /// Metadata transfer bandwidth between the node store and a core's
+    /// replay engine; fetch/writeback cycles are charged to service time.
+    pub dram_bytes_per_cycle: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            cores: 4,
+            fe: FrontEndConfig::ignite(),
+            scale: 0.02,
+            arrival: ArrivalConfig::default(),
+            store: StoreConfig::default(),
+            distance_saturation: 8.0,
+            dram_bytes_per_cycle: 8.0,
+        }
+    }
+}
+
+/// How one core was used over the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoreUsage {
+    /// Invocations this core served.
+    pub invocations: u64,
+    /// Cycles spent serving (busy) out of the makespan.
+    pub busy_cycles: u64,
+    /// `busy_cycles / makespan`, 0.0 for an empty run.
+    pub utilization: f64,
+}
+
+/// Aggregated measurements for one suite function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSummary {
+    /// Table-1 abbreviation.
+    pub abbr: String,
+    /// Invocations completed.
+    pub invocations: u64,
+    /// Latency percentiles (arrival → completion), in cycles.
+    pub p50_latency: u64,
+    /// 95th percentile latency.
+    pub p95_latency: u64,
+    /// 99th percentile latency.
+    pub p99_latency: u64,
+    /// Mean service time (dispatch → completion), in cycles.
+    pub mean_service: f64,
+    /// Mean queueing delay (arrival → dispatch), in cycles.
+    pub mean_queue: f64,
+    /// Mean data-cold fraction at dispatch (0 = always back-to-back warm).
+    pub mean_cold_fraction: f64,
+    /// Metadata store hits for this function's container.
+    pub metadata_hits: u64,
+    /// Metadata store misses.
+    pub metadata_misses: u64,
+    /// Per-invocation engine measurements, summed over all invocations.
+    pub result: InvocationResult,
+}
+
+impl FunctionSummary {
+    /// Store hit rate for this function, 0.0 when it never dispatched.
+    pub fn metadata_hit_rate(&self) -> f64 {
+        let total = self.metadata_hits + self.metadata_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.metadata_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The outcome of one cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutcome {
+    /// Invocations completed (equals the trace length).
+    pub invocations: u64,
+    /// Cycle of the last completion (0 for an empty trace).
+    pub makespan: u64,
+    /// Per-core usage.
+    pub cores: Vec<CoreUsage>,
+    /// Per-function summaries, in suite order.
+    pub functions: Vec<FunctionSummary>,
+    /// Node-wide metadata store counters.
+    pub store: StoreStats,
+    /// Store bytes resident at the end of the run.
+    pub footprint_bytes: usize,
+    /// Store bytes resident at the high-water mark.
+    pub peak_footprint_bytes: usize,
+    /// Cluster-wide latency percentiles over all invocations, in cycles.
+    pub p50_latency: u64,
+    /// 95th percentile.
+    pub p95_latency: u64,
+    /// 99th percentile.
+    pub p99_latency: u64,
+    /// Mean latency over all invocations, in cycles.
+    pub mean_latency: f64,
+}
+
+impl ClusterOutcome {
+    /// Engine measurements summed over every function (the aggregate
+    /// `ReplayStats` live in `.replay` / `.replay_unfinished`).
+    pub fn total_result(&self) -> InvocationResult {
+        let mut total = InvocationResult::default();
+        for f in &self.functions {
+            total.merge(&f.result);
+        }
+        total
+    }
+
+    /// Mean core utilization.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.cores.is_empty() {
+            0.0
+        } else {
+            self.cores.iter().map(|c| c.utilization).sum::<f64>() / self.cores.len() as f64
+        }
+    }
+}
+
+struct Core {
+    machine: Machine,
+    busy_until: u64,
+    busy: bool,
+    /// Dispatches on this core so far (the per-core sequence number).
+    seq: u64,
+    /// Function index → `seq` at its last dispatch here.
+    last_seq: BTreeMap<usize, u64>,
+    busy_cycles: u64,
+    invocations: u64,
+}
+
+struct FunctionState {
+    abbr: String,
+    latencies: Vec<u64>,
+    service_cycles: u64,
+    queue_cycles: u64,
+    cold_sum: f64,
+    hits: u64,
+    misses: u64,
+    /// Global invocation counter (seeds the trace walker, so control flow
+    /// drifts across invocations like the per-function protocol's does).
+    count: u64,
+    result: InvocationResult,
+}
+
+/// The simulator: a prepared fleet ready to serve traces.
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    uarch: UarchConfig,
+    functions: Vec<PreparedFunction>,
+    abbrs: Vec<String>,
+}
+
+impl ClusterSim {
+    /// Prepares the paper suite at the configured scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero cores or a non-positive scale.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.cores > 0, "need at least one core");
+        let suite = Suite::paper_suite_scaled(cfg.scale);
+        let functions: Vec<PreparedFunction> = suite
+            .functions()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| PreparedFunction::from_suite(f, i as u64))
+            .collect();
+        let abbrs = suite.functions().iter().map(|f| f.profile.abbr.clone()).collect();
+        ClusterSim { cfg, uarch: UarchConfig::ice_lake_like(), functions, abbrs }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Generates the configured arrival process and serves it.
+    pub fn run(&self) -> ClusterOutcome {
+        let mut arrival = self.cfg.arrival;
+        arrival.functions = self.functions.len();
+        self.run_trace(&arrival.generate())
+    }
+
+    /// Serves an explicit (possibly replayed) trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references more functions than the suite has.
+    pub fn run_trace(&self, trace: &Trace) -> ClusterOutcome {
+        assert!(
+            trace.functions <= self.functions.len(),
+            "trace declares {} functions, suite has {}",
+            trace.functions,
+            self.functions.len()
+        );
+        let ignite_on = self.cfg.fe.select.ignite.is_some();
+        let mut store = MetadataStore::new(self.cfg.store);
+        let mut cores: Vec<Core> = (0..self.cfg.cores)
+            .map(|_| Core {
+                machine: Machine::new(&self.uarch, &self.cfg.fe),
+                busy_until: 0,
+                busy: false,
+                seq: 0,
+                last_seq: BTreeMap::new(),
+                busy_cycles: 0,
+                invocations: 0,
+            })
+            .collect();
+        let mut fns: Vec<FunctionState> = self
+            .abbrs
+            .iter()
+            .map(|abbr| FunctionState {
+                abbr: abbr.clone(),
+                latencies: Vec::new(),
+                service_cycles: 0,
+                queue_cycles: 0,
+                cold_sum: 0.0,
+                hits: 0,
+                misses: 0,
+                count: 0,
+                result: InvocationResult::default(),
+            })
+            .collect();
+
+        let mut queue: VecDeque<Arrival> = VecDeque::new();
+        let mut next_arrival = 0usize;
+        let mut now = 0u64;
+        let mut makespan = 0u64;
+        let mut all_latencies: Vec<u64> = Vec::new();
+        let mut latency_sum = 0u64;
+
+        loop {
+            // Dispatch the FIFO queue onto free cores, lowest index first.
+            while !queue.is_empty() {
+                let Some(ci) = cores.iter().position(|c| !c.busy) else { break };
+                let a = queue.pop_front().expect("non-empty queue");
+                let completion = self.dispatch(
+                    &a,
+                    now,
+                    &mut cores[ci],
+                    &mut fns[a.function as usize],
+                    &mut store,
+                    ignite_on,
+                );
+                makespan = makespan.max(completion);
+                let latency = completion - a.cycle;
+                all_latencies.push(latency);
+                latency_sum += latency;
+                fns[a.function as usize].latencies.push(latency);
+            }
+
+            // Next event: the earliest completion or arrival.
+            let next_completion = cores.iter().filter(|c| c.busy).map(|c| c.busy_until).min();
+            let next_arrival_cycle = trace.arrivals.get(next_arrival).map(|a| a.cycle);
+            now = match (next_completion, next_arrival_cycle) {
+                (None, None) => break,
+                (Some(c), None) => c,
+                (None, Some(a)) => a,
+                (Some(c), Some(a)) => c.min(a),
+            };
+            // Completions first (a core freed at `now` can serve an arrival
+            // at `now`), in core-index order.
+            for c in &mut cores {
+                if c.busy && c.busy_until <= now {
+                    c.busy = false;
+                }
+            }
+            // Then arrivals at `now`, in trace order.
+            while trace.arrivals.get(next_arrival).is_some_and(|a| a.cycle <= now) {
+                queue.push_back(trace.arrivals[next_arrival]);
+                next_arrival += 1;
+            }
+        }
+
+        // Summaries.
+        all_latencies.sort_unstable();
+        let functions = fns
+            .into_iter()
+            .map(|mut f| {
+                f.latencies.sort_unstable();
+                let n = f.latencies.len() as f64;
+                FunctionSummary {
+                    abbr: f.abbr,
+                    invocations: f.latencies.len() as u64,
+                    p50_latency: percentile(&f.latencies, 50),
+                    p95_latency: percentile(&f.latencies, 95),
+                    p99_latency: percentile(&f.latencies, 99),
+                    mean_service: if n == 0.0 { 0.0 } else { f.service_cycles as f64 / n },
+                    mean_queue: if n == 0.0 { 0.0 } else { f.queue_cycles as f64 / n },
+                    mean_cold_fraction: if n == 0.0 { 0.0 } else { f.cold_sum / n },
+                    metadata_hits: f.hits,
+                    metadata_misses: f.misses,
+                    result: f.result,
+                }
+            })
+            .collect();
+        let cores = cores
+            .into_iter()
+            .map(|c| CoreUsage {
+                invocations: c.invocations,
+                busy_cycles: c.busy_cycles,
+                utilization: if makespan == 0 {
+                    0.0
+                } else {
+                    c.busy_cycles as f64 / makespan as f64
+                },
+            })
+            .collect();
+        let n = all_latencies.len();
+        ClusterOutcome {
+            invocations: n as u64,
+            makespan,
+            cores,
+            functions,
+            store: *store.stats(),
+            footprint_bytes: store.footprint_bytes(),
+            peak_footprint_bytes: store.peak_footprint_bytes(),
+            p50_latency: percentile(&all_latencies, 50),
+            p95_latency: percentile(&all_latencies, 95),
+            p99_latency: percentile(&all_latencies, 99),
+            mean_latency: if n == 0 { 0.0 } else { latency_sum as f64 / n as f64 },
+        }
+    }
+
+    /// Runs one invocation on a core; returns its completion cycle.
+    fn dispatch(
+        &self,
+        a: &Arrival,
+        now: u64,
+        core: &mut Core,
+        fstate: &mut FunctionState,
+        store: &mut MetadataStore,
+        ignite_on: bool,
+    ) -> u64 {
+        let f = &self.functions[a.function as usize];
+        // Interleaving distance → data coldness. Distance d counts the
+        // invocations of *other* functions on this core since this function
+        // last ran here; d = 0 (back-to-back) is fully warm, and coldness
+        // saturates at `distance_saturation`.
+        let cold = match core.last_seq.get(&(a.function as usize)) {
+            None => 1.0,
+            Some(&s) => {
+                let d = (core.seq - s - 1) as f64;
+                (d / self.cfg.distance_saturation.max(1.0)).min(1.0)
+            }
+        };
+        core.last_seq.insert(a.function as usize, core.seq);
+        core.seq += 1;
+
+        // Stage the function's metadata region from the node store into
+        // the core's replay engine, charging the transfer.
+        let mut md_cycles = 0u64;
+        if ignite_on {
+            let fetched = store.fetch(f.container).cloned();
+            match fetched {
+                Some(md) => {
+                    fstate.hits += 1;
+                    md_cycles += self.transfer_cycles(md.byte_len());
+                    core.machine
+                        .ignite
+                        .as_mut()
+                        .expect("ignite selected")
+                        .install_metadata(f.container, md);
+                }
+                None => fstate.misses += 1,
+            }
+        }
+
+        core.machine.context_switch();
+        let ctx = InvocationCtx { data_cold_fraction: cold };
+        let res = run_invocation_ctx(&mut core.machine, f, fstate.count, ctx);
+        fstate.count += 1;
+
+        // Write the (merged) region back to the node store.
+        if ignite_on {
+            if let Some(md) =
+                core.machine.ignite.as_mut().expect("ignite selected").take_metadata(f.container)
+            {
+                md_cycles += self.transfer_cycles(md.byte_len());
+                store.insert(f.container, md);
+            }
+        }
+
+        let service = res.cycles + md_cycles;
+        core.busy = true;
+        core.busy_until = now + service;
+        core.busy_cycles += service;
+        core.invocations += 1;
+        fstate.service_cycles += service;
+        fstate.queue_cycles += now - a.cycle;
+        fstate.cold_sum += cold;
+        fstate.result.merge(&res);
+        now + service
+    }
+
+    /// Cycles to move `bytes` of metadata at the configured bandwidth.
+    fn transfer_cycles(&self, bytes: usize) -> u64 {
+        (bytes as f64 / self.cfg.dram_bytes_per_cycle.max(1.0)).ceil() as u64
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted slice (0 for empty data).
+fn percentile(sorted: &[u64], p: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * u64::from(p)).div_ceil(100).max(1) as usize;
+    sorted[rank - 1]
+}
+
+/// Runs the same cluster at several store capacities, sharded across
+/// `threads` worker threads with per-point panic isolation (one diverging
+/// point reports an error; the rest of the sweep completes).
+pub fn sweep_capacities(
+    cfg: &ClusterConfig,
+    capacities: &[usize],
+    threads: usize,
+) -> Vec<Result<ClusterOutcome, PanicFailure>> {
+    fanout::run_indexed(capacities.len(), threads, |i| {
+        let mut point = cfg.clone();
+        point.store.capacity_bytes = capacities[i];
+        ClusterSim::new(point).run()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ClusterConfig {
+        ClusterConfig {
+            arrival: ArrivalConfig { horizon_cycles: 1_500_000, ..ArrivalConfig::default() },
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_every_arrival() {
+        let sim = ClusterSim::new(quick_cfg());
+        let trace = {
+            let mut a = sim.config().arrival;
+            a.functions = 20;
+            a.generate()
+        };
+        let out = sim.run_trace(&trace);
+        assert_eq!(out.invocations as usize, trace.arrivals.len());
+        assert!(out.makespan > 0);
+        let per_core: u64 = out.cores.iter().map(|c| c.invocations).sum();
+        assert_eq!(per_core, out.invocations);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sim = ClusterSim::new(quick_cfg());
+        assert_eq!(sim.run(), sim.run());
+    }
+
+    #[test]
+    fn store_hits_accumulate_under_repeat_traffic() {
+        let out = ClusterSim::new(quick_cfg()).run();
+        assert!(out.store.hits > 0, "hot functions must find their metadata");
+        assert!(out.store.hit_rate() > 0.3, "hit rate {}", out.store.hit_rate());
+        assert!(out.peak_footprint_bytes > 0);
+        assert!(out.peak_footprint_bytes <= quick_cfg().store.capacity_bytes);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let out = ClusterSim::new(quick_cfg()).run();
+        assert!(out.p50_latency <= out.p95_latency);
+        assert!(out.p95_latency <= out.p99_latency);
+        for f in out.functions.iter().filter(|f| f.invocations > 0) {
+            assert!(f.p50_latency <= f.p99_latency, "{}", f.abbr);
+            assert!(f.mean_service > 0.0, "{}", f.abbr);
+        }
+    }
+
+    #[test]
+    fn popular_functions_run_data_warmer() {
+        let out = ClusterSim::new(quick_cfg()).run();
+        let head = &out.functions[0];
+        let tail =
+            out.functions.iter().rev().find(|f| f.invocations > 1).expect("some tail traffic");
+        assert!(head.invocations > tail.invocations, "Zipf head gets more traffic");
+        assert!(
+            head.mean_cold_fraction < tail.mean_cold_fraction,
+            "head cold {} must be below tail cold {}",
+            head.mean_cold_fraction,
+            tail.mean_cold_fraction
+        );
+    }
+
+    #[test]
+    fn no_store_traffic_without_ignite() {
+        let mut cfg = quick_cfg();
+        cfg.fe = FrontEndConfig::nl();
+        let out = ClusterSim::new(cfg).run();
+        assert_eq!(out.store.hits + out.store.misses, 0);
+        assert_eq!(out.footprint_bytes, 0);
+    }
+
+    #[test]
+    fn capacity_sweep_is_monotone_in_hit_rate() {
+        let cfg = quick_cfg();
+        let caps = [2 * 1024, 8 * 1024, 256 * 1024];
+        let outs: Vec<ClusterOutcome> =
+            sweep_capacities(&cfg, &caps, 3).into_iter().map(|r| r.expect("no panics")).collect();
+        for w in outs.windows(2) {
+            assert!(
+                w[0].store.hit_rate() <= w[1].store.hit_rate(),
+                "hit rate must not drop with capacity: {} vs {}",
+                w[0].store.hit_rate(),
+                w[1].store.hit_rate()
+            );
+        }
+        assert!(
+            outs[0].store.hit_rate() < outs[2].store.hit_rate(),
+            "a 2 KiB store must hit less than a 256 KiB one"
+        );
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let data: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&data, 50), 50);
+        assert_eq!(percentile(&data, 95), 95);
+        assert_eq!(percentile(&data, 99), 99);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+}

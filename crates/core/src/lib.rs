@@ -57,6 +57,7 @@ pub mod fault;
 pub mod os;
 pub mod record;
 pub mod replay;
+pub mod store;
 
 use ignite_uarch::btb::Btb;
 use ignite_uarch::cbp::Cbp;
@@ -67,6 +68,7 @@ use ignite_uarch::Cycle;
 pub use codec::{CodecConfig, CodecError};
 pub use fault::FaultPlan;
 pub use replay::{ReplayConfig, ReplayStats, ReplayStep};
+pub use store::{EvictionPolicy, MetadataStore, StoreConfig, StoreStats};
 
 use record::Recorder;
 use replay::Replayer;
@@ -169,6 +171,21 @@ impl Ignite {
             self.fault_stats.entries_dropped += claimed as u64;
         }
         self.active = Some(container);
+    }
+
+    /// Installs a metadata region owned by an external store (see
+    /// [`store::MetadataStore`]) so the next [`Ignite::begin_invocation`]
+    /// of `container` replays it. Convenience forwarding to
+    /// [`os::IgniteOs::install`].
+    pub fn install_metadata(&mut self, container: u64, md: codec::Metadata) {
+        self.os.install(container, md);
+    }
+
+    /// Takes the (double-buffer merged) region back out after
+    /// [`Ignite::end_invocation`]. Convenience forwarding to
+    /// [`os::IgniteOs::take`].
+    pub fn take_metadata(&mut self, container: u64) -> Option<codec::Metadata> {
+        self.os.take(container)
     }
 
     /// Notes that a restored BTB entry resteered at commit (its recorded

@@ -194,6 +194,23 @@ impl IgniteOs {
         self.regions.insert(container, merged);
     }
 
+    /// Installs an externally stored metadata region for `container`,
+    /// replacing whatever this OS held. Cluster-level metadata stores own
+    /// regions across invocations and hand them to a per-core OS instance
+    /// just before dispatch; empty regions are ignored.
+    pub fn install(&mut self, container: u64, md: Metadata) {
+        if !md.is_empty() {
+            self.regions.insert(container, md);
+        }
+    }
+
+    /// Removes and returns the stored region for `container` (the inverse
+    /// of [`IgniteOs::install`]: the caller takes ownership back after the
+    /// invocation finished and the region was double-buffer merged).
+    pub fn take(&mut self, container: u64) -> Option<Metadata> {
+        self.regions.remove(&container)
+    }
+
     /// Number of containers with stored metadata.
     pub fn containers(&self) -> usize {
         self.regions.len()

@@ -1,0 +1,358 @@
+//! A bounded, node-wide Ignite metadata store.
+//!
+//! The paper sizes one metadata region per container (120 KiB, §5.3) and
+//! notes that regions live in ordinary DRAM managed by the OS. On a real
+//! worker serving thousands of containers the *aggregate* footprint is what
+//! matters: the host caps how much DRAM it donates to Ignite and evicts
+//! regions of functions that have gone quiet. [`MetadataStore`] models that
+//! cap — a capacity in bytes plus an eviction policy — and accounts every
+//! byte moved in or out so the cluster simulator can charge record/replay
+//! DRAM bandwidth and report hit rates and footprint.
+//!
+//! All bookkeeping uses `BTreeMap` (deterministic iteration order): victim
+//! selection must be bit-reproducible across processes.
+
+use std::collections::BTreeMap;
+
+use crate::codec::Metadata;
+
+/// Which region to sacrifice when the store is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used region.
+    Lru,
+    /// Evict the largest region first (ties broken by recency): frees the
+    /// most bytes per eviction, at the cost of punishing big functions.
+    SizeAware,
+    /// LRU among regions that are *not* pinned; the `pinned_hot` regions
+    /// with the highest hit counts are protected (evicted only if nothing
+    /// else remains).
+    PinHot,
+}
+
+impl EvictionPolicy {
+    /// Stable lowercase name, as written into reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::SizeAware => "size-aware",
+            EvictionPolicy::PinHot => "pin-hot",
+        }
+    }
+
+    /// Parses a policy name (the inverse of [`EvictionPolicy::name`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lru" => Some(EvictionPolicy::Lru),
+            "size-aware" => Some(EvictionPolicy::SizeAware),
+            "pin-hot" => Some(EvictionPolicy::PinHot),
+            _ => None,
+        }
+    }
+}
+
+/// Store sizing and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Total bytes the store may hold (0 disables storage entirely).
+    pub capacity_bytes: usize,
+    /// Eviction policy when a new region does not fit.
+    pub policy: EvictionPolicy,
+    /// For [`EvictionPolicy::PinHot`]: how many of the hottest regions
+    /// (by lifetime hit count) are protected from eviction.
+    pub pinned_hot: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        // Room for a few dozen reduced-scale regions: bounded, but not
+        // starved, matching the paper's "tens of KiB per function" regime.
+        StoreConfig { capacity_bytes: 256 * 1024, policy: EvictionPolicy::Lru, pinned_hot: 4 }
+    }
+}
+
+/// Lifetime counters (all monotonically increasing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Fetches that found a region.
+    pub hits: u64,
+    /// Fetches that found nothing (cold or evicted).
+    pub misses: u64,
+    /// Regions written (fresh recordings and double-buffer merges).
+    pub insertions: u64,
+    /// Regions evicted to make room.
+    pub evictions: u64,
+    /// Regions rejected outright (larger than the whole store).
+    pub rejected: u64,
+    /// Bytes streamed out of the store on fetch (replay-side DRAM reads).
+    pub bytes_read: u64,
+    /// Bytes streamed into the store on insert (record-side DRAM writes).
+    pub bytes_written: u64,
+    /// Bytes discarded by eviction.
+    pub bytes_evicted: u64,
+}
+
+impl StoreStats {
+    /// Fraction of fetches that hit, 0.0 when nothing was fetched.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    md: Metadata,
+    last_used: u64,
+    hits: u64,
+}
+
+/// The bounded store: container id → region, with capacity enforcement.
+#[derive(Debug, Clone)]
+pub struct MetadataStore {
+    cfg: StoreConfig,
+    entries: BTreeMap<u64, Entry>,
+    /// Logical clock advanced on every fetch/insert (recency order).
+    clock: u64,
+    total_bytes: usize,
+    peak_bytes: usize,
+    stats: StoreStats,
+}
+
+impl MetadataStore {
+    /// An empty store.
+    pub fn new(cfg: StoreConfig) -> Self {
+        MetadataStore {
+            cfg,
+            entries: BTreeMap::new(),
+            clock: 0,
+            total_bytes: 0,
+            peak_bytes: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Bytes currently resident.
+    pub fn footprint_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// High-water mark of [`MetadataStore::footprint_bytes`].
+    pub fn peak_footprint_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Number of resident regions.
+    pub fn regions(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Fetches `container`'s region for replay, counting a hit or miss and
+    /// charging the read bandwidth.
+    pub fn fetch(&mut self, container: u64) -> Option<&Metadata> {
+        self.clock += 1;
+        match self.entries.get_mut(&container) {
+            Some(e) => {
+                e.last_used = self.clock;
+                e.hits += 1;
+                self.stats.hits += 1;
+                self.stats.bytes_read += e.md.byte_len() as u64;
+                Some(&e.md)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `container`'s region, evicting per policy
+    /// until it fits. A region larger than the whole store is rejected —
+    /// evicting everything for an entry that cannot help anyone else would
+    /// be strictly worse than dropping it.
+    pub fn insert(&mut self, container: u64, md: Metadata) {
+        if md.is_empty() {
+            return;
+        }
+        let len = md.byte_len();
+        // A replaced region keeps its hit history: re-recording a hot
+        // function must not strip its PinHot protection.
+        let prior_hits = match self.entries.remove(&container) {
+            Some(old) => {
+                self.total_bytes -= old.md.byte_len();
+                old.hits
+            }
+            None => 0,
+        };
+        if len > self.cfg.capacity_bytes {
+            self.stats.rejected += 1;
+            return;
+        }
+        while self.total_bytes + len > self.cfg.capacity_bytes {
+            let victim = self.pick_victim().expect("non-empty store while over capacity");
+            let e = self.entries.remove(&victim).expect("victim resident");
+            self.total_bytes -= e.md.byte_len();
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += e.md.byte_len() as u64;
+        }
+        self.clock += 1;
+        self.stats.insertions += 1;
+        self.stats.bytes_written += len as u64;
+        self.total_bytes += len;
+        self.peak_bytes = self.peak_bytes.max(self.total_bytes);
+        self.entries.insert(container, Entry { md, last_used: self.clock, hits: prior_hits });
+    }
+
+    /// The container to evict next under the configured policy.
+    ///
+    /// Every comparison ends in the container id, so victim selection is a
+    /// total order — deterministic regardless of insertion history.
+    fn pick_victim(&self) -> Option<u64> {
+        let lru = |it: &mut dyn Iterator<Item = (&u64, &Entry)>| {
+            it.min_by_key(|(c, e)| (e.last_used, **c)).map(|(c, _)| *c)
+        };
+        match self.cfg.policy {
+            EvictionPolicy::Lru => lru(&mut self.entries.iter()),
+            EvictionPolicy::SizeAware => self
+                .entries
+                .iter()
+                .min_by_key(|(c, e)| (std::cmp::Reverse(e.md.byte_len()), e.last_used, **c))
+                .map(|(c, _)| *c),
+            EvictionPolicy::PinHot => {
+                // The `pinned_hot` hottest regions (by hit count, ties to
+                // lower container id) are protected.
+                let mut by_heat: Vec<(u64, u64)> =
+                    self.entries.iter().map(|(c, e)| (e.hits, *c)).collect();
+                by_heat.sort_by_key(|&(hits, c)| (std::cmp::Reverse(hits), c));
+                let pinned: Vec<u64> =
+                    by_heat.iter().take(self.cfg.pinned_hot).map(|&(_, c)| c).collect();
+                lru(&mut self.entries.iter().filter(|(c, _)| !pinned.contains(c)))
+                    .or_else(|| lru(&mut self.entries.iter()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecConfig, Encoder};
+    use ignite_uarch::addr::Addr;
+    use ignite_uarch::btb::{BranchKind, BtbEntry};
+
+    /// A region of roughly `entries` records (size grows with `entries`).
+    fn region(entries: u64) -> Metadata {
+        let mut enc = Encoder::new(CodecConfig::default());
+        for i in 0..entries {
+            enc.push(&BtbEntry::new(
+                Addr::new(0x1000 + i * 64),
+                Addr::new(0x1000 + i * 64 + 16),
+                BranchKind::Conditional,
+            ));
+        }
+        enc.finish()
+    }
+
+    fn store(capacity: usize, policy: EvictionPolicy) -> MetadataStore {
+        MetadataStore::new(StoreConfig { capacity_bytes: capacity, policy, pinned_hot: 1 })
+    }
+
+    #[test]
+    fn fetch_miss_then_hit() {
+        let mut s = store(4096, EvictionPolicy::Lru);
+        assert!(s.fetch(1).is_none());
+        s.insert(1, region(10));
+        assert!(s.fetch(1).is_some());
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(s.stats().misses, 1);
+        assert!(s.stats().bytes_read > 0);
+        assert!((s.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let one = region(10).byte_len();
+        let mut s = store(one * 3 + 2, EvictionPolicy::Lru);
+        for c in 0..3 {
+            s.insert(c, region(10));
+        }
+        s.fetch(0); // 1 is now LRU
+        s.insert(3, region(10));
+        assert!(s.fetch(1).is_none(), "LRU region evicted");
+        assert!(s.fetch(0).is_some());
+        assert_eq!(s.stats().evictions, 1);
+    }
+
+    #[test]
+    fn size_aware_evicts_largest() {
+        let small = region(5).byte_len();
+        let big = region(60).byte_len();
+        let mut s = store(big + small * 2 + 2, EvictionPolicy::SizeAware);
+        s.insert(0, region(60));
+        s.insert(1, region(5));
+        s.insert(2, region(5));
+        s.fetch(0); // most recently used, but biggest
+        s.insert(3, region(30));
+        assert!(s.fetch(0).is_none(), "largest region evicted despite recency");
+        assert!(s.fetch(1).is_some());
+    }
+
+    #[test]
+    fn pin_hot_protects_hot_region() {
+        let one = region(10).byte_len();
+        let mut s = store(one * 2 + 2, EvictionPolicy::PinHot);
+        s.insert(0, region(10));
+        s.insert(1, region(10));
+        for _ in 0..5 {
+            s.fetch(0); // 0 is hot...
+        }
+        s.fetch(1); // ...but 1 is more recent
+        s.insert(2, region(10));
+        assert!(s.fetch(0).is_some(), "hot region pinned");
+        assert!(s.fetch(1).is_none(), "unpinned LRU region evicted");
+    }
+
+    #[test]
+    fn oversized_region_rejected_without_eviction() {
+        let mut s = store(region(10).byte_len(), EvictionPolicy::Lru);
+        s.insert(0, region(10));
+        s.insert(1, region(500));
+        assert_eq!(s.stats().rejected, 1);
+        assert!(s.fetch(0).is_some(), "resident regions survive a rejected insert");
+    }
+
+    #[test]
+    fn footprint_tracks_bytes() {
+        let mut s = store(1 << 20, EvictionPolicy::Lru);
+        s.insert(0, region(10));
+        let after_one = s.footprint_bytes();
+        s.insert(1, region(20));
+        assert!(s.footprint_bytes() > after_one);
+        assert_eq!(s.peak_footprint_bytes(), s.footprint_bytes());
+        s.insert(0, region(2)); // replacement shrinks the footprint
+        assert!(s.footprint_bytes() < s.peak_footprint_bytes());
+        assert_eq!(s.regions(), 2);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [EvictionPolicy::Lru, EvictionPolicy::SizeAware, EvictionPolicy::PinHot] {
+            assert_eq!(EvictionPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(EvictionPolicy::parse("fifo"), None);
+    }
+}

@@ -178,6 +178,26 @@ impl Machine {
         }
     }
 
+    /// Prepares the machine for an invocation of a *different* context on
+    /// the same core, without flushing any microarchitectural state.
+    ///
+    /// This is the cluster scheduler's dispatch path: caches, BTB and
+    /// predictors keep whatever the previous invocations left behind, so
+    /// lukewarmness emerges from interleaving rather than from a scripted
+    /// flush. Only architectural per-context state changes hands — the RAS
+    /// empties (it refills within a few calls), and per-invocation stream
+    /// state in Boomerang/Confluence resets exactly as
+    /// [`Machine::between_invocations`] does.
+    pub fn context_switch(&mut self) {
+        self.ras.flush();
+        if let Some(b) = &mut self.boomerang {
+            b.reset();
+        }
+        if let Some(c) = &mut self.confluence {
+            c.end_invocation();
+        }
+    }
+
     /// Resets all measurement statistics (start of a measured invocation).
     pub fn reset_stats(&mut self) {
         self.hierarchy.reset_stats();

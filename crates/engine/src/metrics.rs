@@ -114,6 +114,9 @@ pub struct InvocationResult {
     /// (`decode_errors`, `entries_dropped`, `stale_restored`,
     /// `watchdog_abandons`) — zero when Ignite is not configured.
     pub replay: ReplayStats,
+    /// Replay records that existed but were not consumed before the
+    /// invocation ended (throttling or a short invocation cut replay off).
+    pub replay_unfinished: u64,
 }
 
 impl InvocationResult {
@@ -175,6 +178,7 @@ impl InvocationResult {
         self.accuracy_btb.merge(&other.accuracy_btb);
         self.accuracy_cbp.merge(&other.accuracy_cbp);
         self.replay.merge(&other.replay);
+        self.replay_unfinished += other.replay_unfinished;
     }
 }
 

@@ -60,11 +60,48 @@ struct Pending {
     eval: Option<Eval>,
 }
 
+/// Externally supplied per-invocation context.
+///
+/// The default protocol ([`run_invocation`]) derives everything from the
+/// machine's [`StatePolicy`](crate::config::StatePolicy); schedulers that
+/// own cross-invocation state (the cluster simulator) use
+/// [`run_invocation_ctx`] to feed in what the policy cannot know — how cold
+/// this invocation's *data* working set is after other functions ran on the
+/// same core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvocationCtx {
+    /// Fraction of the data working set that must be re-fetched cold
+    /// (0.0 = back-to-back warm, 1.0 = fully evicted). Clamped to [0, 1].
+    pub data_cold_fraction: f64,
+}
+
+impl Default for InvocationCtx {
+    fn default() -> Self {
+        InvocationCtx { data_cold_fraction: 1.0 }
+    }
+}
+
 /// Runs one invocation and returns its measurements.
 ///
 /// `invocation` seeds the trace walker; consecutive invocations of the same
 /// function share most control flow (the commonality Ignite exploits).
 pub fn run_invocation(m: &mut Machine, f: &PreparedFunction, invocation: u64) -> InvocationResult {
+    let data_cold_fraction = if m.fe.policy.warm_data { 0.0 } else { 1.0 };
+    run_invocation_ctx(m, f, invocation, InvocationCtx { data_cold_fraction })
+}
+
+/// Like [`run_invocation`], with caller-owned warm/cold context.
+///
+/// Front-end state (caches, BTB, predictors) is *not* touched here: it is
+/// whatever the machine accumulated, so a scheduler interleaving many
+/// functions on one core gets emergent lukewarmness for free. Only the
+/// abstract back-end data-stall model needs the explicit cold fraction.
+pub fn run_invocation_ctx(
+    m: &mut Machine,
+    f: &PreparedFunction,
+    invocation: u64,
+    ctx: InvocationCtx,
+) -> InvocationResult {
     let mut res = InvocationResult::default();
     let start_cycle = m.now;
     let ideal = m.fe.select.ideal;
@@ -97,7 +134,7 @@ pub fn run_invocation(m: &mut Machine, f: &PreparedFunction, invocation: u64) ->
     let mut mech_clock = m.now;
     let has_mechanisms = m.jukebox.is_some() || m.ignite.is_some() || m.confluence.is_some();
     // Cold-data pool for the back-end stall model.
-    let mut data_pool: f64 = if m.fe.policy.warm_data { 0.0 } else { f.data_ws_lines as f64 };
+    let mut data_pool: f64 = f.data_ws_lines as f64 * ctx.data_cold_fraction.clamp(0.0, 1.0);
 
     loop {
         // Keep the lookahead buffer stocked.
@@ -298,6 +335,7 @@ pub fn run_invocation(m: &mut Machine, f: &PreparedFunction, invocation: u64) ->
         let stats = ig.end_invocation(f.container);
         res.traffic.record_metadata_bytes += stats.record_bytes;
         res.replay = stats.replay;
+        res.replay_unfinished = stats.replay_unfinished;
         res.accuracy_l2 = RestoreAccuracy {
             covered: stats.replay.l2_prefetches.saturating_sub(l2_over),
             uncovered: res.accuracy_l2.uncovered,

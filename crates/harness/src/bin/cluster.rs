@@ -1,0 +1,252 @@
+//! `cluster`: serve interleaved serverless traffic over the front-end
+//! model and emit a versioned JSON report.
+//!
+//! ```text
+//! cargo run --release -p ignite-harness --bin cluster -- [OPTIONS]
+//!
+//! OPTIONS:
+//!   --cores N          simulated cores (default 4)
+//!   --fe NAME          front-end config: nl, boomerang, jukebox,
+//!                      boomerang-jukebox, confluence, ignite,
+//!                      ignite-tage, ideal (default ignite)
+//!   --scale F          suite scale, 1.0 = paper (default 0.02)
+//!   --seed S           arrival seed (default 42)
+//!   --rate R           arrivals per million cycles (default 60)
+//!   --zipf S           Zipf popularity exponent (default 1.0)
+//!   --horizon CYCLES   arrival horizon (default 4000000)
+//!   --capacity BYTES   metadata store capacity (default 262144)
+//!   --policy P         eviction: lru, size-aware, pin-hot (default lru)
+//!   --threads N        sweep worker threads (default: all cores)
+//!   --sweep B1,B2,...  run a store-capacity sweep, print a table
+//!   --trace FILE       replay an ignite-trace-v1 file
+//!   --emit-trace FILE  write the generated trace and exit
+//!   --out FILE         write the JSON report here (default: stdout)
+//!   --validate FILE    validate an existing report and exit
+//! ```
+
+use std::process::ExitCode;
+
+use ignite_cluster::{sweep_capacities, ClusterConfig, ClusterReport, ClusterSim};
+use ignite_core::EvictionPolicy;
+use ignite_engine::config::FrontEndConfig;
+use ignite_workloads::arrival::Trace;
+
+struct Args {
+    cfg: ClusterConfig,
+    threads: usize,
+    sweep: Option<Vec<usize>>,
+    trace: Option<String>,
+    emit_trace: Option<String>,
+    out: Option<String>,
+    validate: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cluster [--cores N] [--fe NAME] [--scale F] [--seed S] [--rate R] \
+         [--zipf S] [--horizon CYCLES] [--capacity BYTES] [--policy P] [--threads N] \
+         [--sweep B1,B2,...] [--trace FILE] [--emit-trace FILE] [--out FILE] \
+         [--validate FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn front_end(name: &str) -> Option<FrontEndConfig> {
+    Some(match name {
+        "nl" => FrontEndConfig::nl(),
+        "boomerang" => FrontEndConfig::boomerang(),
+        "jukebox" => FrontEndConfig::jukebox(),
+        "boomerang-jukebox" => FrontEndConfig::boomerang_jukebox(),
+        "confluence" => FrontEndConfig::confluence(),
+        "ignite" => FrontEndConfig::ignite(),
+        "ignite-tage" => FrontEndConfig::ignite_tage(),
+        "ideal" => FrontEndConfig::ideal(),
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cfg: ClusterConfig::default(),
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        sweep: None,
+        trace: None,
+        emit_trace: None,
+        out: None,
+        validate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().unwrap_or_else(|| {
+            eprintln!("cluster: {flag} needs a value");
+            usage();
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cores" => args.cfg.cores = parse(&value(&mut it, "--cores"), "--cores"),
+            "--fe" => {
+                let name = value(&mut it, "--fe");
+                args.cfg.fe = front_end(&name).unwrap_or_else(|| {
+                    eprintln!("cluster: unknown front-end '{name}'");
+                    usage();
+                });
+            }
+            "--scale" => args.cfg.scale = parse(&value(&mut it, "--scale"), "--scale"),
+            "--seed" => args.cfg.arrival.seed = parse(&value(&mut it, "--seed"), "--seed"),
+            "--rate" => {
+                args.cfg.arrival.rate_per_mcycle = parse(&value(&mut it, "--rate"), "--rate");
+            }
+            "--zipf" => args.cfg.arrival.zipf_s = parse(&value(&mut it, "--zipf"), "--zipf"),
+            "--horizon" => {
+                args.cfg.arrival.horizon_cycles = parse(&value(&mut it, "--horizon"), "--horizon");
+            }
+            "--capacity" => {
+                args.cfg.store.capacity_bytes = parse(&value(&mut it, "--capacity"), "--capacity");
+            }
+            "--policy" => {
+                let name = value(&mut it, "--policy");
+                args.cfg.store.policy = EvictionPolicy::parse(&name).unwrap_or_else(|| {
+                    eprintln!("cluster: unknown policy '{name}'");
+                    usage();
+                });
+            }
+            "--threads" => args.threads = parse(&value(&mut it, "--threads"), "--threads"),
+            "--sweep" => {
+                let list = value(&mut it, "--sweep");
+                args.sweep = Some(list.split(',').map(|c| parse(c.trim(), "--sweep")).collect());
+            }
+            "--trace" => args.trace = Some(value(&mut it, "--trace")),
+            "--emit-trace" => args.emit_trace = Some(value(&mut it, "--emit-trace")),
+            "--out" => args.out = Some(value(&mut it, "--out")),
+            "--validate" => args.validate = Some(value(&mut it, "--validate")),
+            _ => {
+                eprintln!("cluster: unknown argument '{arg}'");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cluster: bad value '{s}' for {flag}");
+        usage();
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if let Some(path) = &args.validate {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cluster: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match ClusterReport::validate(&text) {
+            Ok(()) => {
+                println!("{path}: valid {}", ignite_cluster::CLUSTER_SCHEMA);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cluster: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut cfg = args.cfg;
+    cfg.arrival.functions = 20; // the full paper suite
+
+    if let Some(path) = &args.emit_trace {
+        let trace = cfg.arrival.generate();
+        if let Err(e) = std::fs::write(path, trace.to_text()) {
+            eprintln!("cluster: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} arrivals to {path}", trace.arrivals.len());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(capacities) = &args.sweep {
+        // Independent sweep points shard across threads; a panicking point
+        // reports its failure without tearing down the rest.
+        let results = sweep_capacities(&cfg, capacities, args.threads);
+        println!(
+            "{:>12} {:>9} {:>10} {:>14} {:>14} {:>12}",
+            "capacity", "hit_rate", "evictions", "mean_lat_cyc", "p95_lat_cyc", "peak_bytes"
+        );
+        let mut failures = 0;
+        for (cap, r) in capacities.iter().zip(results) {
+            match r {
+                Ok(out) => println!(
+                    "{:>12} {:>9.3} {:>10} {:>14.0} {:>14} {:>12}",
+                    cap,
+                    out.store.hit_rate(),
+                    out.store.evictions,
+                    out.mean_latency,
+                    out.p95_latency,
+                    out.peak_footprint_bytes
+                ),
+                Err(f) => {
+                    eprintln!("cluster: capacity {cap} failed: {f}");
+                    failures += 1;
+                }
+            }
+        }
+        return if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    let sim = ClusterSim::new(cfg.clone());
+    let outcome = match &args.trace {
+        None => sim.run(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cluster: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Trace::parse(&text) {
+                Ok(trace) => sim.run_trace(&trace),
+                Err(e) => {
+                    eprintln!("cluster: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let report = ClusterReport::new(cfg, outcome);
+    let text = report.to_json();
+    if let Err(e) = ClusterReport::validate(&text) {
+        eprintln!("cluster: emitted report failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "{} invocations over {} cycles | mean latency {:.0} cycles (p95 {}) | \
+         store hit rate {:.3} | peak footprint {} bytes",
+        report.outcome.invocations,
+        report.outcome.makespan,
+        report.outcome.mean_latency,
+        report.outcome.p95_latency,
+        report.outcome.store.hit_rate(),
+        report.outcome.peak_footprint_bytes
+    );
+    match &args.out {
+        None => print!("{text}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cluster: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,9 +1,8 @@
 //! Suite-wide experiment execution with thread parallelism and
-//! per-function panic isolation.
+//! per-function panic isolation (via the shared
+//! [`ignite_cluster::fanout`] implementation).
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, PoisonError};
-
+use ignite_cluster::fanout;
 use ignite_engine::config::FrontEndConfig;
 use ignite_engine::machine::PreparedFunction;
 use ignite_engine::metrics::InvocationResult;
@@ -27,16 +26,6 @@ impl std::fmt::Display for FunctionFailure {
 }
 
 impl std::error::Error for FunctionFailure {}
-
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
 
 /// The harness: a prepared suite plus run parameters.
 #[derive(Debug)]
@@ -125,44 +114,17 @@ impl Harness {
         &self,
         fe: &FrontEndConfig,
     ) -> Vec<Result<InvocationResult, FunctionFailure>> {
-        let next = Mutex::new(0usize);
-        let results: Mutex<Vec<Option<Result<InvocationResult, FunctionFailure>>>> =
-            Mutex::new(vec![None; self.functions.len()]);
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(self.functions.len()).max(1) {
-                scope.spawn(|| loop {
-                    let i = {
-                        // A worker that panicked inside `catch_unwind` never
-                        // poisons these locks, but a defensive recovery keeps
-                        // the queue draining even if one did.
-                        let mut n = next.lock().unwrap_or_else(PoisonError::into_inner);
-                        let i = *n;
-                        *n += 1;
-                        i
-                    };
-                    if i >= self.functions.len() {
-                        break;
-                    }
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        if self.chaos_panic_at == Some(i) {
-                            panic!("chaos hook: injected panic at function index {i}");
-                        }
-                        run_function(&self.uarch, fe, &self.functions[i], self.opts)
-                    }))
-                    .map_err(|payload| FunctionFailure {
-                        abbr: self.abbrs[i].clone(),
-                        message: panic_message(payload),
-                    });
-                    results.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(outcome);
-                });
+        fanout::run_indexed(self.functions.len(), self.threads, |i| {
+            if self.chaos_panic_at == Some(i) {
+                panic!("chaos hook: injected panic at function index {i}");
             }
-        });
-        results
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
-            .into_iter()
-            .map(|r| r.expect("every function slot is filled"))
-            .collect()
+            run_function(&self.uarch, fe, &self.functions[i], self.opts)
+        })
+        .into_iter()
+        .map(|r| {
+            r.map_err(|p| FunctionFailure { abbr: self.abbrs[p.index].clone(), message: p.message })
+        })
+        .collect()
     }
 
     /// Runs one front-end configuration over every suite function,
@@ -227,6 +189,8 @@ impl Harness {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ignite_cluster::fanout::panic_message;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     fn tiny() -> Harness {
         let mut h = Harness::new(0.02, RunOptions::quick());

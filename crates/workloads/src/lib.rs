@@ -34,11 +34,13 @@
 //! assert!(instrs >= 5_000);
 //! ```
 
+pub mod arrival;
 pub mod cfg;
 pub mod gen;
 pub mod suite;
 pub mod trace;
 
+pub use arrival::{Arrival, ArrivalConfig, Trace};
 pub use cfg::{BasicBlock, CodeImage, Terminator};
 pub use suite::{FunctionProfile, Language, Suite, SuiteFunction};
 pub use trace::{BlockExec, ExecutedBranch, TraceWalker};

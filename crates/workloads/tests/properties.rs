@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use ignite_uarch::addr::Addr;
 use ignite_uarch::btb::BranchKind;
+use ignite_workloads::arrival::{ArrivalConfig, Trace};
 use ignite_workloads::gen::{generate, GenParams};
 use ignite_workloads::trace::TraceWalker;
 
@@ -36,6 +37,20 @@ fn arb_params() -> impl Strategy<Value = GenParams> {
                 dead_code_fraction: dead,
             }
         })
+}
+
+/// Arrival configs whose expected count (rate × horizon / 1e6) is at
+/// least ~100, so statistical assertions have headroom.
+fn arb_arrivals() -> impl Strategy<Value = ArrivalConfig> {
+    (any::<u64>(), 1usize..32, 60.0f64..160.0, 0.0f64..2.0, 1_800_000u64..3_500_000).prop_map(
+        |(seed, functions, rate_per_mcycle, zipf_s, horizon_cycles)| ArrivalConfig {
+            seed,
+            functions,
+            rate_per_mcycle,
+            zipf_s,
+            horizon_cycles,
+        },
+    )
 }
 
 proptest! {
@@ -131,6 +146,64 @@ proptest! {
         let a: Vec<_> = TraceWalker::new(&img, invocation, 2_000).collect();
         let b: Vec<_> = TraceWalker::new(&img, invocation, 2_000).collect();
         prop_assert_eq!(a, b);
+    }
+
+    /// Arrival generation is a pure function of the config: same seed ⇒
+    /// bit-identical trace, different seeds ⇒ different traces (for any
+    /// non-degenerate rate).
+    #[test]
+    fn arrivals_are_seed_deterministic(cfg in arb_arrivals(), other_seed in any::<u64>()) {
+        let a = cfg.generate();
+        let b = cfg.generate();
+        prop_assert_eq!(&a.arrivals, &b.arrivals);
+        if other_seed != cfg.seed {
+            let c = ArrivalConfig { seed: other_seed, ..cfg }.generate();
+            prop_assert_ne!(&a.arrivals, &c.arrivals);
+        }
+    }
+
+    /// Arrivals are well-formed: nondecreasing cycles within the horizon,
+    /// function ids within range, and per-function counts summing to the
+    /// trace length.
+    #[test]
+    fn arrivals_are_well_formed(cfg in arb_arrivals()) {
+        let trace = cfg.generate();
+        for pair in trace.arrivals.windows(2) {
+            prop_assert!(pair[0].cycle <= pair[1].cycle, "arrival order");
+        }
+        for a in &trace.arrivals {
+            prop_assert!(a.cycle <= cfg.horizon_cycles);
+            prop_assert!((a.function as usize) < cfg.functions);
+        }
+        let counts = trace.counts();
+        prop_assert_eq!(counts.len(), cfg.functions);
+        prop_assert_eq!(counts.iter().sum::<u64>(), trace.arrivals.len() as u64);
+    }
+
+    /// The empirical arrival rate tracks the configured Poisson rate.
+    /// The expected count is ≥100 for every point in the strategy, so a
+    /// ±45% band is many standard deviations wide — failures mean a
+    /// broken generator, not bad luck.
+    #[test]
+    fn arrival_rate_is_honored(cfg in arb_arrivals()) {
+        let trace = cfg.generate();
+        let expected = cfg.rate_per_mcycle * cfg.horizon_cycles as f64 / 1e6;
+        let got = trace.arrivals.len() as f64;
+        prop_assert!(
+            got > expected * 0.55 && got < expected * 1.45,
+            "expected ~{expected} arrivals, generated {got}"
+        );
+    }
+
+    /// The trace text format round-trips exactly for any generated trace.
+    #[test]
+    fn trace_text_round_trips(cfg in arb_arrivals()) {
+        let trace = cfg.generate();
+        let parsed = Trace::parse(&trace.to_text());
+        prop_assert!(parsed.is_ok(), "emitted trace must parse: {:?}", parsed.err());
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(parsed.functions, trace.functions);
+        prop_assert_eq!(parsed.arrivals, trace.arrivals);
     }
 
     /// Cross-invocation commonality: executed-block overlap stays high for
