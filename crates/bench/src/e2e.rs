@@ -72,22 +72,26 @@ pub fn e2e_benches(mode: Mode) -> Vec<Bench> {
             }
         })
         .chain(std::iter::once(cluster_bench(mode)))
+        .chain(std::iter::once(cluster_obs_bench(mode)))
         .collect()
+}
+
+fn cluster_config(mode: Mode) -> ClusterConfig {
+    let horizon = match mode {
+        Mode::Quick => 600_000,
+        Mode::Full => 3_000_000,
+    };
+    ClusterConfig {
+        cores: 2,
+        arrival: ArrivalConfig { horizon_cycles: horizon, ..ArrivalConfig::default() },
+        ..ClusterConfig::default()
+    }
 }
 
 /// The cluster-layer bench: a reduced fleet (2 cores) serving a fixed-seed
 /// Zipf(1.0) trace under the Ignite config with a bounded metadata store.
 fn cluster_bench(mode: Mode) -> Bench {
-    let horizon = match mode {
-        Mode::Quick => 600_000,
-        Mode::Full => 3_000_000,
-    };
-    let cfg = ClusterConfig {
-        cores: 2,
-        arrival: ArrivalConfig { horizon_cycles: horizon, ..ArrivalConfig::default() },
-        ..ClusterConfig::default()
-    };
-    let sim = Rc::new(ClusterSim::new(cfg));
+    let sim = Rc::new(ClusterSim::new(cluster_config(mode)));
     let first = sim.run().total_result();
     Bench {
         name: "e2e/cluster".to_string(),
@@ -101,6 +105,28 @@ fn cluster_bench(mode: Mode) -> Bench {
     }
 }
 
+/// The same cluster run with event tracing enabled into a ring buffer.
+/// Comparing its MIPS against `e2e/cluster` measures the end-to-end
+/// observability overhead, which the acceptance gate keeps under 2%.
+fn cluster_obs_bench(mode: Mode) -> Bench {
+    let sim = Rc::new(ClusterSim::new(cluster_config(mode)));
+    let first = sim.run().total_result();
+    Bench {
+        name: "e2e/cluster-obs".to_string(),
+        kind: Kind::EndToEnd,
+        config: Some("cluster".to_string()),
+        cpi: Some(first.cpi()),
+        run: Box::new(move || {
+            let mut buf = ignite_obs::TraceBuffer::new(1 << 18);
+            let r = sim.run_obs(&mut buf).total_result();
+            // Keep the buffer alive through the run; its length depends on
+            // the trace and must not be optimized away.
+            assert!(!buf.is_empty());
+            (r.instructions, r.cycles)
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,8 +135,13 @@ mod tests {
     #[test]
     fn e2e_benches_cover_every_config() {
         let benches = e2e_benches(Mode::Quick);
-        assert_eq!(benches.len(), configs().len() + 1, "per-config benches plus e2e/cluster");
+        assert_eq!(
+            benches.len(),
+            configs().len() + 2,
+            "per-config benches plus e2e/cluster and e2e/cluster-obs"
+        );
         assert!(benches.iter().any(|b| b.name == "e2e/cluster"));
+        assert!(benches.iter().any(|b| b.name == "e2e/cluster-obs"));
         for b in &benches {
             assert!(b.cpi.unwrap() > 0.0, "{}: degenerate CPI", b.name);
         }

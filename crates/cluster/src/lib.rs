@@ -23,7 +23,11 @@
 //!   path;
 //! * queueing/latency accounting: per-function p50/p95/p99 invocation
 //!   latency, core utilization, metadata hit rate and footprint, emitted
-//!   as a versioned JSON report (schema [`report::CLUSTER_SCHEMA`]).
+//!   as a versioned JSON report (schema [`report::CLUSTER_SCHEMA`]);
+//! * observability: every DES transition reported to an
+//!   [`ignite_obs::EventSink`] ([`sim::ClusterSim::run_trace_obs`]),
+//!   exportable as a validated Chrome trace ([`tracecheck`]) and as
+//!   deterministic Prometheus-style metrics ([`prom`]).
 //!
 //! Everything is bit-deterministic for a fixed seed, across thread counts
 //! and processes: the event loop breaks ties by (completion before
@@ -32,11 +36,16 @@
 
 pub mod fanout;
 pub mod json;
+pub mod prom;
 pub mod report;
 pub mod sim;
+pub mod tracecheck;
 
 pub use fanout::{run_indexed, PanicFailure};
+pub use prom::{metrics_for, record_metrics};
 pub use report::{ClusterReport, CLUSTER_SCHEMA};
 pub use sim::{
     sweep_capacities, ClusterConfig, ClusterOutcome, ClusterSim, CoreUsage, FunctionSummary,
+    LATENCY_BUCKETS,
 };
+pub use tracecheck::{validate_trace, TraceSummary};

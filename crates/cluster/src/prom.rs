@@ -1,0 +1,234 @@
+//! Prometheus-style metrics exposition for cluster runs.
+//!
+//! Maps a ([`ClusterConfig`], [`ClusterOutcome`]) pair onto an
+//! [`ignite_obs::MetricsRegistry`]: run totals, the latency histogram on
+//! the [`LATENCY_BUCKETS`] grid, per-core usage, node-store counters,
+//! aggregate replay/degradation counters and a per-function breakdown.
+//! The registry's exposition is byte-deterministic, so two same-seed
+//! runs — in different processes — emit identical metrics text (the
+//! `obs` integration tests rely on this).
+//!
+//! Callers that sweep a parameter pass the swept value through
+//! `extra_labels` (e.g. `store_capacity` for the capacity sweep) so one
+//! scrape file can hold every point of the sweep.
+
+use ignite_obs::MetricsRegistry;
+
+use crate::sim::{ClusterConfig, ClusterOutcome, LATENCY_BUCKETS};
+
+/// Builds the metrics registry for one finished run.
+pub fn metrics_for(cfg: &ClusterConfig, out: &ClusterOutcome) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    record_metrics(&mut reg, cfg, out, &[]);
+    reg
+}
+
+/// Records one run into an existing registry under extra labels, so a
+/// sweep can accumulate every point into a single exposition.
+pub fn record_metrics(
+    reg: &mut MetricsRegistry,
+    cfg: &ClusterConfig,
+    out: &ClusterOutcome,
+    extra_labels: &[(&str, &str)],
+) {
+    fn with<'a>(
+        base: &[(&'a str, &'a str)],
+        more: &[(&'a str, &'a str)],
+    ) -> Vec<(&'a str, &'a str)> {
+        let mut v = base.to_vec();
+        v.extend_from_slice(more);
+        v
+    }
+    let base: Vec<(&str, &str)> = {
+        let mut v = vec![("fe", cfg.fe.name.as_str())];
+        v.extend_from_slice(extra_labels);
+        v
+    };
+
+    reg.inc_counter(
+        "ignite_cluster_invocations_total",
+        "Invocations completed over the run",
+        &base,
+        out.invocations,
+    );
+    reg.set_gauge(
+        "ignite_cluster_makespan_cycles",
+        "Cycle of the last completion",
+        &base,
+        out.makespan as f64,
+    );
+    reg.set_gauge(
+        "ignite_cluster_mean_utilization",
+        "Mean core utilization over the makespan",
+        &base,
+        out.mean_utilization(),
+    );
+    reg.merge_histogram(
+        "ignite_cluster_latency_cycles",
+        "Invocation latency (arrival to completion)",
+        &LATENCY_BUCKETS,
+        &base,
+        &out.latency_histogram,
+        out.latency_sum,
+    );
+    for (p, v) in [(50u32, out.p50_latency), (95, out.p95_latency), (99, out.p99_latency)] {
+        let q = format!("{}", f64::from(p) / 100.0);
+        reg.set_gauge(
+            "ignite_cluster_latency_quantile_cycles",
+            "Nearest-rank latency percentiles",
+            &with(&base, &[("quantile", q.as_str())]),
+            v as f64,
+        );
+    }
+
+    for (i, core) in out.cores.iter().enumerate() {
+        let id = i.to_string();
+        let labels = with(&base, &[("core", id.as_str())]);
+        reg.inc_counter(
+            "ignite_core_invocations_total",
+            "Invocations served per core",
+            &labels,
+            core.invocations,
+        );
+        reg.inc_counter(
+            "ignite_core_busy_cycles_total",
+            "Busy cycles per core",
+            &labels,
+            core.busy_cycles,
+        );
+        reg.set_gauge(
+            "ignite_core_utilization",
+            "Busy fraction of the makespan per core",
+            &labels,
+            core.utilization,
+        );
+    }
+
+    let st = &out.store;
+    for (name, help, v) in [
+        ("ignite_store_hits_total", "Metadata store hits", st.hits),
+        ("ignite_store_misses_total", "Metadata store misses", st.misses),
+        ("ignite_store_insertions_total", "Metadata store insertions", st.insertions),
+        ("ignite_store_evictions_total", "Metadata store evictions", st.evictions),
+        ("ignite_store_rejected_total", "Oversized regions rejected", st.rejected),
+        ("ignite_store_bytes_evicted_total", "Bytes evicted from the store", st.bytes_evicted),
+    ] {
+        reg.inc_counter(name, help, &base, v);
+    }
+    reg.set_gauge(
+        "ignite_store_footprint_bytes",
+        "Store bytes resident at end of run",
+        &base,
+        out.footprint_bytes as f64,
+    );
+    reg.set_gauge(
+        "ignite_store_peak_footprint_bytes",
+        "Store bytes resident at the high-water mark",
+        &base,
+        out.peak_footprint_bytes as f64,
+    );
+
+    let total = out.total_result();
+    for (name, help, v) in [
+        ("ignite_replay_entries_restored_total", "BTB entries restored by replay", {
+            total.replay.entries_restored
+        }),
+        ("ignite_replay_decode_errors_total", "Metadata regions dropped undecodable", {
+            total.replay.decode_errors
+        }),
+        ("ignite_replay_entries_dropped_total", "Replay entries dropped", {
+            total.replay.entries_dropped
+        }),
+        ("ignite_replay_stale_restored_total", "Stale entries restored then corrected", {
+            total.replay.stale_restored
+        }),
+        ("ignite_replay_watchdog_abandons_total", "Replays abandoned by the watchdog", {
+            total.replay.watchdog_abandons
+        }),
+        ("ignite_replay_unfinished_total", "Invocation ends with replay entries pending", {
+            total.replay_unfinished
+        }),
+    ] {
+        reg.inc_counter(name, help, &base, v);
+    }
+
+    for f in &out.functions {
+        let labels = with(&base, &[("function", f.abbr.as_str())]);
+        reg.inc_counter(
+            "ignite_function_invocations_total",
+            "Invocations completed per function",
+            &labels,
+            f.invocations,
+        );
+        reg.set_gauge(
+            "ignite_function_p99_latency_cycles",
+            "Per-function 99th percentile latency",
+            &labels,
+            f.p99_latency as f64,
+        );
+        reg.set_gauge(
+            "ignite_function_metadata_hit_rate",
+            "Per-function metadata store hit rate",
+            &labels,
+            f.metadata_hit_rate(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::ClusterSim;
+    use ignite_workloads::arrival::ArrivalConfig;
+
+    fn run() -> (ClusterConfig, ClusterOutcome) {
+        let cfg = ClusterConfig {
+            arrival: ArrivalConfig { horizon_cycles: 800_000, ..ArrivalConfig::default() },
+            ..ClusterConfig::default()
+        };
+        let out = ClusterSim::new(cfg.clone()).run();
+        (cfg, out)
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_complete() {
+        let (cfg, out) = run();
+        let a = metrics_for(&cfg, &out).expose();
+        let b = metrics_for(&cfg, &out).expose();
+        assert_eq!(a, b);
+        for needle in [
+            "ignite_cluster_invocations_total",
+            "ignite_cluster_latency_cycles_bucket",
+            "le=\"+Inf\"",
+            "ignite_core_utilization",
+            "ignite_store_hits_total",
+            "ignite_replay_entries_restored_total",
+            "ignite_function_p99_latency_cycles",
+        ] {
+            assert!(a.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn histogram_count_matches_invocations() {
+        let (cfg, out) = run();
+        let text = metrics_for(&cfg, &out).expose();
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with("ignite_cluster_latency_cycles_count"))
+            .expect("histogram count present");
+        let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(count, out.invocations);
+    }
+
+    #[test]
+    fn sweep_points_share_one_registry_under_labels() {
+        let (cfg, out) = run();
+        let mut reg = MetricsRegistry::new();
+        record_metrics(&mut reg, &cfg, &out, &[("store_capacity", "4096")]);
+        record_metrics(&mut reg, &cfg, &out, &[("store_capacity", "65536")]);
+        let text = reg.expose();
+        assert!(text.contains("store_capacity=\"4096\""));
+        assert!(text.contains("store_capacity=\"65536\""));
+    }
+}

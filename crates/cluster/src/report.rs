@@ -27,8 +27,16 @@ pub struct ClusterReport {
     pub outcome: ClusterOutcome,
 }
 
+/// Renders a float for the report. Non-finite values serialize as `0`
+/// rather than `json::number`'s `null`: every numeric field in the schema
+/// is required to be a scalar, and a `null` (or a bare `NaN`) would make
+/// the emitted report fail its own validator.
 fn num(x: f64) -> String {
-    json::number(x)
+    if x.is_finite() {
+        json::number(x)
+    } else {
+        "0".to_string()
+    }
 }
 
 fn push_replay(out: &mut String, indent: &str, replay: &ReplayStats, unfinished: u64) {
@@ -281,6 +289,45 @@ mod tests {
     fn validate_rejects_missing_section() {
         let text = report().to_json().replace("\"p95_latency_cycles\"", "\"q95\"");
         assert!(ClusterReport::validate(&text).is_err());
+    }
+
+    #[test]
+    fn non_finite_config_floats_serialize_as_zero() {
+        let mut r = report();
+        r.config.arrival.zipf_s = f64::NAN;
+        r.config.dram_bytes_per_cycle = f64::INFINITY;
+        let text = r.to_json();
+        // Regression: these used to serialize as `null`, which the
+        // report's own validator rejects (every numeric field must be a
+        // scalar).
+        assert!(!text.contains("null"), "non-finite floats must not serialize as null");
+        assert!(!text.contains("NaN"));
+        ClusterReport::validate(&text).expect("report with pinned zeros must validate");
+        assert!(text.contains("\"zipf_s\": 0,"));
+        assert!(text.contains("\"dram_bytes_per_cycle\": 0\n"));
+    }
+
+    #[test]
+    fn zero_arrival_functions_emit_finite_zeros() {
+        // A short, heavily skewed arrival process starves the suite tail:
+        // at least one function must complete zero invocations, and its
+        // ratio fields (hit rate, CPI, means) must come out as 0.
+        let cfg = ClusterConfig {
+            arrival: ArrivalConfig {
+                horizon_cycles: 300_000,
+                zipf_s: 2.5,
+                ..ArrivalConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let outcome = ClusterSim::new(cfg.clone()).run();
+        assert!(
+            outcome.functions.iter().any(|f| f.invocations == 0),
+            "config must starve at least one function"
+        );
+        let text = ClusterReport::new(cfg, outcome).to_json();
+        assert!(!text.contains("null"));
+        ClusterReport::validate(&text).expect("starved functions must still validate");
     }
 
     #[test]

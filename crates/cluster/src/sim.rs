@@ -20,12 +20,22 @@ use ignite_core::{MetadataStore, StoreConfig, StoreStats};
 use ignite_engine::config::FrontEndConfig;
 use ignite_engine::machine::{Machine, PreparedFunction};
 use ignite_engine::metrics::InvocationResult;
-use ignite_engine::sim::{run_invocation_ctx, InvocationCtx};
+use ignite_engine::sim::{run_invocation_obs, InvocationCtx};
+use ignite_obs::{Event, EventKind, EventSink, NullSink, Track};
 use ignite_uarch::UarchConfig;
 use ignite_workloads::arrival::{Arrival, ArrivalConfig, Trace};
 use ignite_workloads::suite::Suite;
 
 use crate::fanout::{self, PanicFailure};
+
+/// Inclusive upper bounds of the cluster latency histogram, in cycles
+/// (doubling grid; latencies above the last bound land in the implicit
+/// overflow bucket). [`ClusterOutcome::latency_histogram`] and the
+/// metrics exposition in [`crate::prom`] share this grid.
+pub const LATENCY_BUCKETS: [u64; 10] = [
+    50_000, 100_000, 200_000, 400_000, 800_000, 1_600_000, 3_200_000, 6_400_000, 12_800_000,
+    25_600_000,
+];
 
 /// Everything that defines one cluster run.
 #[derive(Debug, Clone)]
@@ -137,6 +147,11 @@ pub struct ClusterOutcome {
     pub p99_latency: u64,
     /// Mean latency over all invocations, in cycles.
     pub mean_latency: f64,
+    /// Latency counts per [`LATENCY_BUCKETS`] bound (non-cumulative),
+    /// plus one trailing overflow bucket.
+    pub latency_histogram: Vec<u64>,
+    /// Sum of all invocation latencies, in cycles.
+    pub latency_sum: u64,
 }
 
 impl ClusterOutcome {
@@ -220,9 +235,14 @@ impl ClusterSim {
 
     /// Generates the configured arrival process and serves it.
     pub fn run(&self) -> ClusterOutcome {
+        self.run_obs(&mut NullSink)
+    }
+
+    /// [`ClusterSim::run`] with event observation.
+    pub fn run_obs<S: EventSink>(&self, sink: &mut S) -> ClusterOutcome {
         let mut arrival = self.cfg.arrival;
         arrival.functions = self.functions.len();
-        self.run_trace(&arrival.generate())
+        self.run_trace_obs(&arrival.generate(), sink)
     }
 
     /// Serves an explicit (possibly replayed) trace.
@@ -231,6 +251,17 @@ impl ClusterSim {
     ///
     /// Panics if the trace references more functions than the suite has.
     pub fn run_trace(&self, trace: &Trace) -> ClusterOutcome {
+        self.run_trace_obs(trace, &mut NullSink)
+    }
+
+    /// [`ClusterSim::run_trace`] with event observation: every DES
+    /// transition (arrival, dispatch, context switch, invocation span,
+    /// completion), every store access outcome and every record/replay
+    /// episode is reported to `sink`. With a sink whose
+    /// [`EventSink::enabled`] is `false` (the [`NullSink`]) this is
+    /// bit-identical to [`ClusterSim::run_trace`] — every emission site
+    /// is guarded, so the disabled path adds no work and no state.
+    pub fn run_trace_obs<S: EventSink>(&self, trace: &Trace, sink: &mut S) -> ClusterOutcome {
         assert!(
             trace.functions <= self.functions.len(),
             "trace declares {} functions, suite has {}",
@@ -282,9 +313,11 @@ impl ClusterSim {
                     &a,
                     now,
                     &mut cores[ci],
+                    ci,
                     &mut fns[a.function as usize],
                     &mut store,
                     ignite_on,
+                    sink,
                 );
                 makespan = makespan.max(completion);
                 let latency = completion - a.cycle;
@@ -311,7 +344,16 @@ impl ClusterSim {
             }
             // Then arrivals at `now`, in trace order.
             while trace.arrivals.get(next_arrival).is_some_and(|a| a.cycle <= now) {
-                queue.push_back(trace.arrivals[next_arrival]);
+                let a = trace.arrivals[next_arrival];
+                if sink.enabled() {
+                    sink.record(Event {
+                        ts: a.cycle,
+                        dur: 0,
+                        track: Track::Cluster,
+                        kind: EventKind::Arrival { function: a.function },
+                    });
+                }
+                queue.push_back(a);
                 next_arrival += 1;
             }
         }
@@ -351,6 +393,11 @@ impl ClusterSim {
             })
             .collect();
         let n = all_latencies.len();
+        let mut latency_histogram = vec![0u64; LATENCY_BUCKETS.len() + 1];
+        for &l in &all_latencies {
+            let i = LATENCY_BUCKETS.iter().position(|&b| l <= b).unwrap_or(LATENCY_BUCKETS.len());
+            latency_histogram[i] += 1;
+        }
         ClusterOutcome {
             invocations: n as u64,
             makespan,
@@ -363,18 +410,23 @@ impl ClusterSim {
             p95_latency: percentile(&all_latencies, 95),
             p99_latency: percentile(&all_latencies, 99),
             mean_latency: if n == 0 { 0.0 } else { latency_sum as f64 / n as f64 },
+            latency_histogram,
+            latency_sum,
         }
     }
 
     /// Runs one invocation on a core; returns its completion cycle.
-    fn dispatch(
+    #[allow(clippy::too_many_arguments)] // internal hot path; a context struct would be rebuilt per call
+    fn dispatch<S: EventSink>(
         &self,
         a: &Arrival,
         now: u64,
         core: &mut Core,
+        ci: usize,
         fstate: &mut FunctionState,
         store: &mut MetadataStore,
         ignite_on: bool,
+        sink: &mut S,
     ) -> u64 {
         let f = &self.functions[a.function as usize];
         // Interleaving distance → data coldness. Distance d counts the
@@ -391,6 +443,16 @@ impl ClusterSim {
         core.last_seq.insert(a.function as usize, core.seq);
         core.seq += 1;
 
+        let track = Track::Core(ci as u32);
+        if sink.enabled() {
+            sink.record(Event {
+                ts: now,
+                dur: 0,
+                track,
+                kind: EventKind::Dispatch { function: a.function, queue_cycles: now - a.cycle },
+            });
+        }
+
         // Stage the function's metadata region from the node store into
         // the core's replay engine, charging the transfer.
         let mut md_cycles = 0u64;
@@ -400,32 +462,94 @@ impl ClusterSim {
                 Some(md) => {
                     fstate.hits += 1;
                     md_cycles += self.transfer_cycles(md.byte_len());
+                    if sink.enabled() {
+                        sink.record(Event {
+                            ts: now,
+                            dur: 0,
+                            track: Track::Store,
+                            kind: EventKind::StoreHit {
+                                container: f.container,
+                                bytes: md.byte_len() as u64,
+                            },
+                        });
+                    }
                     core.machine
                         .ignite
                         .as_mut()
                         .expect("ignite selected")
                         .install_metadata(f.container, md);
                 }
-                None => fstate.misses += 1,
+                None => {
+                    fstate.misses += 1;
+                    if sink.enabled() {
+                        sink.record(Event {
+                            ts: now,
+                            dur: 0,
+                            track: Track::Store,
+                            kind: EventKind::StoreMiss { container: f.container },
+                        });
+                    }
+                }
             }
         }
 
         core.machine.context_switch();
+        if sink.enabled() {
+            sink.record(Event { ts: now, dur: 0, track, kind: EventKind::ContextSwitch });
+        }
         let ctx = InvocationCtx { data_cold_fraction: cold };
-        let res = run_invocation_ctx(&mut core.machine, f, fstate.count, ctx);
+        // Map machine-local cycles onto the cluster clock: the engine
+        // portion starts after the metadata fetch transfer, and the
+        // machine clock (busy cycles only) never exceeds cluster time.
+        debug_assert!(core.machine.now <= now, "machine clock ahead of cluster clock");
+        let ts_offset = (now + md_cycles).saturating_sub(core.machine.now);
+        let res =
+            run_invocation_obs(&mut core.machine, f, fstate.count, ctx, sink, track, ts_offset);
         fstate.count += 1;
 
         // Write the (merged) region back to the node store.
+        let mut store_events: Vec<EventKind> = Vec::new();
         if ignite_on {
             if let Some(md) =
                 core.machine.ignite.as_mut().expect("ignite selected").take_metadata(f.container)
             {
+                let bytes = md.byte_len() as u64;
                 md_cycles += self.transfer_cycles(md.byte_len());
-                store.insert(f.container, md);
+                let outcome = store.insert(f.container, md);
+                if sink.enabled() {
+                    for (victim, victim_bytes) in outcome.evicted {
+                        store_events.push(EventKind::StoreEvict {
+                            container: victim,
+                            bytes: victim_bytes as u64,
+                        });
+                    }
+                    if outcome.rejected {
+                        store_events.push(EventKind::StoreReject { container: f.container, bytes });
+                    }
+                }
             }
         }
 
         let service = res.cycles + md_cycles;
+        if sink.enabled() {
+            // The writeback (and any evictions it forced) lands at
+            // completion time; the span covers fetch + engine + writeback.
+            for kind in store_events {
+                sink.record(Event { ts: now + service, dur: 0, track: Track::Store, kind });
+            }
+            sink.record(Event {
+                ts: now,
+                dur: service,
+                track,
+                kind: EventKind::Invocation { function: a.function, invocation: fstate.count - 1 },
+            });
+            sink.record(Event {
+                ts: now + service,
+                dur: 0,
+                track,
+                kind: EventKind::Complete { function: a.function, service_cycles: service },
+            });
+        }
         core.busy = true;
         core.busy_until = now + service;
         core.busy_cycles += service;
@@ -444,12 +568,15 @@ impl ClusterSim {
 }
 
 /// Nearest-rank percentile of an already-sorted slice (0 for empty data).
+///
+/// `rank = max(1, ceil(n·p/100))`, clamped to `n` so an out-of-range `p`
+/// (> 100) saturates at the maximum instead of indexing past the slice.
 fn percentile(sorted: &[u64], p: u32) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
     let rank = (sorted.len() as u64 * u64::from(p)).div_ceil(100).max(1) as usize;
-    sorted[rank - 1]
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 /// Runs the same cluster at several store capacities, sharded across
@@ -571,5 +698,97 @@ mod tests {
         assert_eq!(percentile(&data, 99), 99);
         assert_eq!(percentile(&[7], 99), 7);
         assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn percentile_out_of_range_saturates_at_max() {
+        // Regression: p > 100 used to compute rank > n and index past the
+        // slice; it must saturate at the maximum instead.
+        assert_eq!(percentile(&[1, 2, 3], 101), 3);
+        assert_eq!(percentile(&[5], 400), 5);
+    }
+
+    /// Brute-force nearest-rank reference: the smallest value `v` in the
+    /// data such that at least `p`% of the data is ≤ `v`.
+    fn percentile_reference(sorted: &[u64], p: u32) -> u64 {
+        for &v in sorted {
+            let at_or_below = sorted.iter().filter(|&&y| y <= v).count() as u64;
+            if at_or_below * 100 >= u64::from(p) * sorted.len() as u64 {
+                return v;
+            }
+        }
+        *sorted.last().expect("non-empty")
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn percentile_matches_brute_force(
+            mut data in proptest::collection::vec(0u64..1_000_000, 1..200),
+            p in 0u32..101,
+        ) {
+            data.sort_unstable();
+            proptest::prop_assert_eq!(percentile(&data, p), percentile_reference(&data, p));
+        }
+
+        #[test]
+        fn percentiles_are_monotone_and_max_bounded(
+            mut data in proptest::collection::vec(0u64..1_000_000, 1..200),
+        ) {
+            data.sort_unstable();
+            let max = *data.last().expect("non-empty");
+            let curve: Vec<u64> = (0..=100).map(|p| percentile(&data, p)).collect();
+            for w in curve.windows(2) {
+                proptest::prop_assert!(w[0] <= w[1], "percentile curve must be monotone");
+            }
+            proptest::prop_assert_eq!(curve[100], max);
+            if data.len() < 100 {
+                // With fewer than 100 samples the 99th percentile is the max.
+                proptest::prop_assert_eq!(percentile(&data, 99), max);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_abandons_are_not_double_counted() {
+        let mut cfg = quick_cfg();
+        let ig = cfg.fe.select.ignite.as_mut().expect("default cluster fe selects ignite");
+        // Replay that can never catch up: no throttle headroom and a hair
+        // trigger watchdog, so stalled replays abandon instead of pending.
+        ig.replay.throttle_threshold = 0;
+        ig.replay.watchdog_stall_steps = 4;
+        ig.replay.prefetch_instructions = false;
+        let out = ClusterSim::new(cfg).run();
+        let total = out.total_result();
+        assert!(total.replay.watchdog_abandons > 0, "config must force abandons");
+        assert!(total.replay.entries_dropped > 0, "abandoned entries count as dropped");
+        // Regression: entries the watchdog dropped used to also be
+        // reported as unfinished, counting the same invocation twice.
+        assert_eq!(total.replay_unfinished, 0);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_covers_transitions() {
+        let sim = ClusterSim::new(quick_cfg());
+        let plain = sim.run();
+        let mut buf = ignite_obs::TraceBuffer::new(1 << 20);
+        let observed = sim.run_obs(&mut buf);
+        assert_eq!(plain, observed, "observation must not perturb the simulation");
+        assert_eq!(buf.dropped(), 0, "buffer sized for the whole run");
+        let names: std::collections::BTreeSet<&str> = buf.iter().map(|e| e.kind.name()).collect();
+        for required in
+            ["arrival", "dispatch", "context-switch", "invocation", "complete", "store-hit"]
+        {
+            assert!(names.contains(required), "missing {required} events; have {names:?}");
+        }
+    }
+
+    #[test]
+    fn latency_histogram_accounts_every_invocation() {
+        let out = ClusterSim::new(quick_cfg()).run();
+        assert_eq!(out.latency_histogram.len(), LATENCY_BUCKETS.len() + 1);
+        assert_eq!(out.latency_histogram.iter().sum::<u64>(), out.invocations);
+        assert!(out.latency_sum >= out.invocations * out.p50_latency / 2);
     }
 }

@@ -199,6 +199,22 @@ impl Ignite {
         self.replayer.as_ref().is_some_and(|r| !r.is_done())
     }
 
+    /// Total records in the armed replay stream (0 without a replayer).
+    /// Observability accessor: lets the engine label replay-begin events.
+    pub fn replay_total_entries(&self) -> u64 {
+        self.replayer.as_ref().map_or(0, |r| r.total_entries() as u64)
+    }
+
+    /// Records the armed replayer has restored so far (0 without one).
+    pub fn replay_restored(&self) -> u64 {
+        self.replayer.as_ref().map_or(0, |r| r.stats().entries_restored)
+    }
+
+    /// Whether a recorder is armed for the current invocation.
+    pub fn is_recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
     /// Runs one cycle of the replay engine.
     pub fn step(
         &mut self,
@@ -242,8 +258,10 @@ impl Ignite {
         let replayed = self.replayer.take();
         if let Some(replayer) = &replayed {
             stats.replay = *replayer.stats();
-            stats.replay_unfinished =
-                (replayer.total_entries() as u64).saturating_sub(stats.replay.entries_restored);
+            // Unfinished = still pending at the cursor. Deriving it from
+            // `total - restored` would re-count watchdog-abandoned records,
+            // which are already in `entries_dropped`.
+            stats.replay_unfinished = replayer.pending_entries() as u64;
         }
         stats.replay.merge(&std::mem::take(&mut self.fault_stats));
         if let Some(recorder) = self.recorder.take() {
@@ -367,6 +385,49 @@ mod tests {
         ignite.step(0, &mut m.btb, &mut m.cbp, &mut m.itlb, &mut m.hierarchy); // one step only
         let s = ignite.end_invocation(1);
         assert!(s.replay_unfinished > 0);
+    }
+
+    #[test]
+    fn watchdog_abandoned_entries_not_double_counted() {
+        // Regression: `replay_unfinished` was computed as
+        // `total_entries - entries_restored`, which re-counted the records
+        // a watchdog abandon had already booked in `entries_dropped` —
+        // the aggregate report charged each abandoned invocation twice.
+        let mut m = machine();
+        let cfg = IgniteConfig {
+            replay: ReplayConfig {
+                throttle_threshold: 0,
+                watchdog_stall_steps: 8,
+                prefetch_instructions: false,
+                ..ReplayConfig::default()
+            },
+            ..IgniteConfig::default()
+        };
+        let mut ignite = Ignite::new(cfg);
+        ignite.begin_invocation(1);
+        for i in 0..50 {
+            m.btb.insert(entry(i), false);
+        }
+        ignite.observe_btb_insertions(&mut m.btb);
+        ignite.end_invocation(1);
+        m.btb.flush();
+
+        // Nothing consumes the restored entries, so replay throttles
+        // forever and the watchdog abandons it.
+        ignite.begin_invocation(1);
+        let mut now = 0;
+        while ignite.replay_pending() && now < 1_000 {
+            ignite.step(now, &mut m.btb, &mut m.cbp, &mut m.itlb, &mut m.hierarchy);
+            now += 1;
+        }
+        let s = ignite.end_invocation(1);
+        assert_eq!(s.replay.watchdog_abandons, 1, "watchdog must have fired");
+        assert!(s.replay.entries_dropped > 0);
+        assert_eq!(
+            s.replay_unfinished, 0,
+            "watchdog-dropped records must not also count as unfinished"
+        );
+        assert_eq!(s.replay.entries_restored + s.replay.entries_dropped, 50);
     }
 
     #[test]

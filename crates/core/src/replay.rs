@@ -240,6 +240,14 @@ impl Replayer {
         self.entries.len()
     }
 
+    /// Records neither restored nor dropped yet: still pending when the
+    /// invocation ends, these are the genuinely *unfinished* entries.
+    /// Watchdog-abandoned records advance the cursor and count as
+    /// dropped, so pending and dropped never overlap.
+    pub fn pending_entries(&self) -> usize {
+        self.entries.len() - self.cursor
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> &ReplayStats {
         &self.stats

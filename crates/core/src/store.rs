@@ -111,6 +111,20 @@ struct Entry {
     hits: u64,
 }
 
+/// What one [`MetadataStore::insert`] did, for observability: the
+/// cluster layer turns evictions/rejections into timeline events
+/// without this crate depending on the sink machinery.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Regions evicted to make room, as `(container, bytes)` in
+    /// eviction order. Empty in the common case (no allocation).
+    pub evicted: Vec<(u64, usize)>,
+    /// The region was larger than the whole store and was dropped.
+    pub rejected: bool,
+    /// The insert replaced a region already resident under this key.
+    pub replaced: bool,
+}
+
 /// The bounded store: container id → region, with capacity enforcement.
 #[derive(Debug, Clone)]
 pub struct MetadataStore {
@@ -184,37 +198,47 @@ impl MetadataStore {
     /// until it fits. A region larger than the whole store is rejected —
     /// evicting everything for an entry that cannot help anyone else would
     /// be strictly worse than dropping it.
-    pub fn insert(&mut self, container: u64, md: Metadata) {
+    pub fn insert(&mut self, container: u64, md: Metadata) -> InsertOutcome {
+        let mut outcome = InsertOutcome::default();
         if md.is_empty() {
-            return;
+            return outcome;
         }
         let len = md.byte_len();
+        // Reject before touching resident state: an oversized replacement
+        // must not tear down the region it failed to replace (and must
+        // not disturb the footprint accounting while doing so).
+        if len > self.cfg.capacity_bytes {
+            self.stats.rejected += 1;
+            outcome.rejected = true;
+            return outcome;
+        }
         // A replaced region keeps its hit history: re-recording a hot
         // function must not strip its PinHot protection.
         let prior_hits = match self.entries.remove(&container) {
             Some(old) => {
                 self.total_bytes -= old.md.byte_len();
+                outcome.replaced = true;
                 old.hits
             }
             None => 0,
         };
-        if len > self.cfg.capacity_bytes {
-            self.stats.rejected += 1;
-            return;
-        }
         while self.total_bytes + len > self.cfg.capacity_bytes {
             let victim = self.pick_victim().expect("non-empty store while over capacity");
             let e = self.entries.remove(&victim).expect("victim resident");
             self.total_bytes -= e.md.byte_len();
             self.stats.evictions += 1;
             self.stats.bytes_evicted += e.md.byte_len() as u64;
+            outcome.evicted.push((victim, e.md.byte_len()));
         }
         self.clock += 1;
         self.stats.insertions += 1;
         self.stats.bytes_written += len as u64;
         self.total_bytes += len;
+        // Peak is sampled *after* the insert lands so overwrite-with-larger
+        // is captured at its true high-water mark.
         self.peak_bytes = self.peak_bytes.max(self.total_bytes);
         self.entries.insert(container, Entry { md, last_used: self.clock, hits: prior_hits });
+        outcome
     }
 
     /// The container to evict next under the configured policy.
@@ -346,6 +370,77 @@ mod tests {
         s.insert(0, region(2)); // replacement shrinks the footprint
         assert!(s.footprint_bytes() < s.peak_footprint_bytes());
         assert_eq!(s.regions(), 2);
+    }
+
+    #[test]
+    fn oversized_replacement_preserves_resident_region() {
+        // Regression: `insert` used to remove the resident entry (and
+        // debit its bytes) before the oversized-rejection check, so a
+        // too-big replacement silently destroyed the region it failed
+        // to replace.
+        let mut s = store(region(10).byte_len(), EvictionPolicy::Lru);
+        s.insert(0, region(10));
+        let footprint = s.footprint_bytes();
+        let outcome = s.insert(0, region(500));
+        assert!(outcome.rejected);
+        assert!(!outcome.replaced);
+        assert_eq!(s.stats().rejected, 1);
+        assert!(s.fetch(0).is_some(), "resident region must survive a rejected replacement");
+        assert_eq!(s.footprint_bytes(), footprint, "rejected insert must not move accounting");
+        assert_eq!(s.regions(), 1);
+    }
+
+    #[test]
+    fn overwrite_grow_samples_peak_after_insert() {
+        let mut s = store(1 << 20, EvictionPolicy::Lru);
+        s.insert(0, region(10));
+        s.insert(1, region(10));
+        let before = s.footprint_bytes();
+        s.insert(0, region(40)); // overwrite with a larger blob
+        let after = s.footprint_bytes();
+        assert!(after > before);
+        assert_eq!(
+            s.peak_footprint_bytes(),
+            after,
+            "peak must include the grown replacement, not the pre-insert footprint"
+        );
+    }
+
+    #[test]
+    fn overwrite_shrink_keeps_prior_peak() {
+        let mut s = store(1 << 20, EvictionPolicy::Lru);
+        s.insert(0, region(40));
+        s.insert(1, region(10));
+        let high_water = s.footprint_bytes();
+        s.insert(0, region(2)); // overwrite with a smaller blob
+        assert!(s.footprint_bytes() < high_water);
+        assert_eq!(s.peak_footprint_bytes(), high_water, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn evict_then_reinsert_keeps_peak_monotone() {
+        let one = region(10).byte_len();
+        let mut s = store(one * 2 + 2, EvictionPolicy::Lru);
+        s.insert(0, region(10));
+        s.insert(1, region(10));
+        let full = s.footprint_bytes();
+        let outcome = s.insert(2, region(10)); // evicts 0
+        assert_eq!(outcome.evicted.len(), 1);
+        assert_eq!(outcome.evicted[0].0, 0);
+        let peak_after_evict = s.peak_footprint_bytes();
+        s.insert(0, region(10)); // evicts again; footprint never exceeded `full`
+        assert!(s.peak_footprint_bytes() >= s.footprint_bytes());
+        assert_eq!(s.peak_footprint_bytes(), peak_after_evict);
+        assert_eq!(s.peak_footprint_bytes(), full.max(s.footprint_bytes()));
+    }
+
+    #[test]
+    fn insert_outcome_reports_replacement() {
+        let mut s = store(1 << 20, EvictionPolicy::Lru);
+        let fresh = s.insert(0, region(10));
+        assert!(!fresh.replaced && !fresh.rejected && fresh.evicted.is_empty());
+        let replaced = s.insert(0, region(12));
+        assert!(replaced.replaced);
     }
 
     #[test]

@@ -115,6 +115,9 @@ pub struct Machine {
     pub ignite: Option<Ignite>,
     /// Global clock (persists across invocations).
     pub now: Cycle,
+    /// Lifetime count of [`Machine::context_switch`] calls (observability:
+    /// the cluster's dispatch path reads it into context-switch events).
+    pub context_switches: u64,
     flush_rng: SplitMix64,
 }
 
@@ -136,6 +139,7 @@ impl Machine {
             confluence: fe.select.confluence.map(Confluence::new),
             ignite: fe.select.ignite.map(Ignite::new),
             now: 0,
+            context_switches: 0,
             flush_rng: SplitMix64::new(0xF1A5_60D5),
         }
     }
@@ -189,6 +193,7 @@ impl Machine {
     /// state in Boomerang/Confluence resets exactly as
     /// [`Machine::between_invocations`] does.
     pub fn context_switch(&mut self) {
+        self.context_switches += 1;
         self.ras.flush();
         if let Some(b) = &mut self.boomerang {
             b.reset();

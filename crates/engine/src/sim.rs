@@ -22,6 +22,7 @@
 
 use std::collections::VecDeque;
 
+use ignite_obs::{Event, EventKind, EventSink, NullSink, Phase, Track};
 use ignite_uarch::addr::{lines_spanned, LINE_BYTES};
 use ignite_uarch::btb::{BranchKind, BtbEntry};
 use ignite_uarch::cache::FillKind;
@@ -102,6 +103,27 @@ pub fn run_invocation_ctx(
     invocation: u64,
     ctx: InvocationCtx,
 ) -> InvocationResult {
+    run_invocation_obs(m, f, invocation, ctx, &mut NullSink, Track::Core(0), 0)
+}
+
+/// Like [`run_invocation_ctx`], emitting observability events into `sink`.
+///
+/// Events carry timestamps in the *caller's* clock: `ts_offset` is added
+/// to every machine-local cycle stamp (the cluster passes
+/// `dispatch_time - machine.now`, aligning per-core machine clocks to the
+/// cluster clock). With [`NullSink`] every emission site is guarded by an
+/// inlined constant `false` and compiles out — [`run_invocation_ctx`] is
+/// exactly this function monomorphized that way, so results are
+/// bit-identical whether or not observability is wired up.
+pub fn run_invocation_obs<S: EventSink>(
+    m: &mut Machine,
+    f: &PreparedFunction,
+    invocation: u64,
+    ctx: InvocationCtx,
+    sink: &mut S,
+    track: Track,
+    ts_offset: u64,
+) -> InvocationResult {
     let mut res = InvocationResult::default();
     let start_cycle = m.now;
     let ideal = m.fe.select.ideal;
@@ -117,6 +139,35 @@ pub fn run_invocation_ctx(
     }
     if let Some(ig) = &mut m.ignite {
         ig.begin_invocation(f.container);
+    }
+
+    // Whether a live replay session's drain event is still owed; always
+    // false on the NullSink path, so the per-mech-step check below folds
+    // away with the rest of the instrumentation.
+    let mut replay_live = false;
+    if sink.enabled() {
+        if let Some(ig) = &m.ignite {
+            if ig.is_recording() {
+                sink.record(Event {
+                    ts: ts_offset + m.now,
+                    dur: 0,
+                    track,
+                    kind: EventKind::RecordBegin { container: f.container },
+                });
+            }
+            if ig.replay_pending() {
+                replay_live = true;
+                sink.record(Event {
+                    ts: ts_offset + m.now,
+                    dur: 0,
+                    track,
+                    kind: EventKind::ReplayBegin {
+                        container: f.container,
+                        entries: ig.replay_total_entries(),
+                    },
+                });
+            }
+        }
     }
 
     let mut walker = TraceWalker::with_noise(&f.image, invocation, f.invocation_instrs, f.noise);
@@ -152,6 +203,22 @@ pub fn run_invocation_ctx(
         if has_mechanisms {
             while mech_clock <= m.now {
                 step_mechanisms(m, f, mech_clock, &mut res);
+                if replay_live {
+                    if let Some(ig) = &m.ignite {
+                        if !ig.replay_pending() {
+                            replay_live = false;
+                            sink.record(Event {
+                                ts: ts_offset + mech_clock,
+                                dur: 0,
+                                track,
+                                kind: EventKind::ReplayEnd {
+                                    container: f.container,
+                                    restored: ig.replay_restored(),
+                                },
+                            });
+                        }
+                    }
+                }
                 mech_clock += 1;
             }
         }
@@ -332,6 +399,7 @@ pub fn run_invocation_ctx(
         jb.end_invocation(f.container);
     }
     if let Some(ig) = &mut m.ignite {
+        let was_recording = ig.is_recording();
         let stats = ig.end_invocation(f.container);
         res.traffic.record_metadata_bytes += stats.record_bytes;
         res.replay = stats.replay;
@@ -341,6 +409,47 @@ pub fn run_invocation_ctx(
             uncovered: res.accuracy_l2.uncovered,
             overpredicted: l2_over,
         };
+        if sink.enabled() {
+            let end = ts_offset + m.now;
+            if replay_live {
+                // The invocation ended before replay drained; close the
+                // session with what it managed to restore.
+                sink.record(Event {
+                    ts: end,
+                    dur: 0,
+                    track,
+                    kind: EventKind::ReplayEnd {
+                        container: f.container,
+                        restored: stats.replay.entries_restored,
+                    },
+                });
+            }
+            if was_recording {
+                sink.record(Event {
+                    ts: end,
+                    dur: 0,
+                    track,
+                    kind: EventKind::RecordEnd {
+                        container: f.container,
+                        entries: stats.entries_recorded,
+                        bytes: stats.record_bytes,
+                    },
+                });
+            }
+            let d = &stats.replay;
+            if d.decode_errors + d.entries_dropped + d.watchdog_abandons + d.stale_restored > 0 {
+                sink.record(Event {
+                    ts: end,
+                    dur: 0,
+                    track,
+                    kind: EventKind::ReplayDegraded {
+                        decode_errors: d.decode_errors,
+                        entries_dropped: d.entries_dropped,
+                        watchdog_abandons: d.watchdog_abandons,
+                    },
+                });
+            }
+        }
     }
 
     // Fig. 10 partition: everything from DRAM on the instruction path that
@@ -348,6 +457,33 @@ pub fn run_invocation_ctx(
     let total_mem = m.hierarchy.memory_read_bytes();
     res.traffic.useful_instruction_bytes =
         total_mem.saturating_sub(res.traffic.useless_instruction_bytes);
+
+    // Top-Down attribution as spans tiling the invocation window: the
+    // categories are aggregates, not a schedule, so the tiling is a
+    // visual proportion (clamped to the window) rather than a timeline
+    // of when each stall happened.
+    if sink.enabled() {
+        let end = ts_offset + m.now;
+        let mut t = ts_offset + start_cycle;
+        for (category, phase) in [
+            (Category::Retiring, Phase::Retiring),
+            (Category::FetchBound, Phase::FetchBound),
+            (Category::BadSpeculation, Phase::BadSpeculation),
+            (Category::BackendBound, Phase::BackendBound),
+        ] {
+            let cycles = res.topdown.get(category).round() as u64;
+            let dur = cycles.min(end.saturating_sub(t));
+            if dur > 0 {
+                sink.record(Event {
+                    ts: t,
+                    dur,
+                    track,
+                    kind: EventKind::TopDown { phase, cycles },
+                });
+                t += dur;
+            }
+        }
+    }
 
     res
 }

@@ -22,14 +22,28 @@
 //!   --emit-trace FILE  write the generated trace and exit
 //!   --out FILE         write the JSON report here (default: stdout)
 //!   --validate FILE    validate an existing report and exit
+//!   --trace-out FILE     write a Chrome trace (Perfetto-loadable) of the
+//!                        run; one track per core plus queue/store tracks
+//!   --metrics-out FILE   write Prometheus-style metrics; with --sweep,
+//!                        every point appears under a store_capacity label
+//!   --validate-trace FILE  validate an existing Chrome trace and exit
 //! ```
 
 use std::process::ExitCode;
 
-use ignite_cluster::{sweep_capacities, ClusterConfig, ClusterReport, ClusterSim};
+use ignite_cluster::{
+    metrics_for, record_metrics, sweep_capacities, validate_trace, ClusterConfig, ClusterOutcome,
+    ClusterReport, ClusterSim,
+};
 use ignite_core::EvictionPolicy;
 use ignite_engine::config::FrontEndConfig;
+use ignite_obs::{to_chrome_json, ChromeOptions, MetricsRegistry, TraceBuffer};
 use ignite_workloads::arrival::Trace;
+
+/// Ring capacity for `--trace-out`: comfortably above the event count of
+/// the default configuration; overflow drops oldest events and is
+/// reported in the export's `dropped_events`.
+const TRACE_BUFFER_EVENTS: usize = 1 << 18;
 
 struct Args {
     cfg: ClusterConfig,
@@ -39,6 +53,9 @@ struct Args {
     emit_trace: Option<String>,
     out: Option<String>,
     validate: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    validate_trace: Option<String>,
 }
 
 fn usage() -> ! {
@@ -46,7 +63,8 @@ fn usage() -> ! {
         "usage: cluster [--cores N] [--fe NAME] [--scale F] [--seed S] [--rate R] \
          [--zipf S] [--horizon CYCLES] [--capacity BYTES] [--policy P] [--threads N] \
          [--sweep B1,B2,...] [--trace FILE] [--emit-trace FILE] [--out FILE] \
-         [--validate FILE]"
+         [--validate FILE] [--trace-out FILE] [--metrics-out FILE] \
+         [--validate-trace FILE]"
     );
     std::process::exit(2);
 }
@@ -74,6 +92,9 @@ fn parse_args() -> Args {
         emit_trace: None,
         out: None,
         validate: None,
+        trace_out: None,
+        metrics_out: None,
+        validate_trace: None,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -120,6 +141,11 @@ fn parse_args() -> Args {
             "--emit-trace" => args.emit_trace = Some(value(&mut it, "--emit-trace")),
             "--out" => args.out = Some(value(&mut it, "--out")),
             "--validate" => args.validate = Some(value(&mut it, "--validate")),
+            "--trace-out" => args.trace_out = Some(value(&mut it, "--trace-out")),
+            "--metrics-out" => args.metrics_out = Some(value(&mut it, "--metrics-out")),
+            "--validate-trace" => {
+                args.validate_trace = Some(value(&mut it, "--validate-trace"));
+            }
             _ => {
                 eprintln!("cluster: unknown argument '{arg}'");
                 usage();
@@ -159,6 +185,30 @@ fn main() -> ExitCode {
         };
     }
 
+    if let Some(path) = &args.validate_trace {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cluster: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_trace(&text) {
+            Ok(summary) => {
+                println!(
+                    "{path}: valid trace, {} events ({} dropped)",
+                    summary.total_events(),
+                    summary.dropped_events
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cluster: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let mut cfg = args.cfg;
     cfg.arrival.functions = 20; // the full paper suite
 
@@ -173,9 +223,14 @@ fn main() -> ExitCode {
     }
 
     if let Some(capacities) = &args.sweep {
+        if args.trace_out.is_some() {
+            eprintln!("cluster: --trace-out traces a single run; not supported with --sweep");
+            return ExitCode::FAILURE;
+        }
         // Independent sweep points shard across threads; a panicking point
         // reports its failure without tearing down the rest.
         let results = sweep_capacities(&cfg, capacities, args.threads);
+        let mut metrics = args.metrics_out.as_ref().map(|_| MetricsRegistry::new());
         println!(
             "{:>12} {:>9} {:>10} {:>14} {:>14} {:>12}",
             "capacity", "hit_rate", "evictions", "mean_lat_cyc", "p95_lat_cyc", "peak_bytes"
@@ -183,27 +238,55 @@ fn main() -> ExitCode {
         let mut failures = 0;
         for (cap, r) in capacities.iter().zip(results) {
             match r {
-                Ok(out) => println!(
-                    "{:>12} {:>9.3} {:>10} {:>14.0} {:>14} {:>12}",
-                    cap,
-                    out.store.hit_rate(),
-                    out.store.evictions,
-                    out.mean_latency,
-                    out.p95_latency,
-                    out.peak_footprint_bytes
-                ),
+                Ok(out) => {
+                    println!(
+                        "{:>12} {:>9.3} {:>10} {:>14.0} {:>14} {:>12}",
+                        cap,
+                        out.store.hit_rate(),
+                        out.store.evictions,
+                        out.mean_latency,
+                        out.p95_latency,
+                        out.peak_footprint_bytes
+                    );
+                    if let Some(reg) = &mut metrics {
+                        let mut point = cfg.clone();
+                        point.store.capacity_bytes = *cap;
+                        record_metrics(reg, &point, &out, &[("store_capacity", &cap.to_string())]);
+                    }
+                }
                 Err(f) => {
                     eprintln!("cluster: capacity {cap} failed: {f}");
                     failures += 1;
                 }
             }
         }
+        if let (Some(path), Some(reg)) = (&args.metrics_out, &metrics) {
+            if let Err(e) = std::fs::write(path, reg.expose()) {
+                eprintln!("cluster: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
         return if failures == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
     let sim = ClusterSim::new(cfg.clone());
+    let mut trace_buf = args.trace_out.as_ref().map(|_| TraceBuffer::new(TRACE_BUFFER_EVENTS));
+    let run = |sim: &ClusterSim, buf: &mut Option<TraceBuffer>| -> ClusterOutcome {
+        match buf {
+            Some(buf) => sim.run_obs(buf),
+            None => sim.run(),
+        }
+    };
+    let run_replay =
+        |sim: &ClusterSim, trace: &Trace, buf: &mut Option<TraceBuffer>| -> ClusterOutcome {
+            match buf {
+                Some(buf) => sim.run_trace_obs(trace, buf),
+                None => sim.run_trace(trace),
+            }
+        };
     let outcome = match &args.trace {
-        None => sim.run(),
+        None => run(&sim, &mut trace_buf),
         Some(path) => {
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
@@ -213,7 +296,7 @@ fn main() -> ExitCode {
                 }
             };
             match Trace::parse(&text) {
-                Ok(trace) => sim.run_trace(&trace),
+                Ok(trace) => run_replay(&sim, &trace, &mut trace_buf),
                 Err(e) => {
                     eprintln!("cluster: {path}: {e}");
                     return ExitCode::FAILURE;
@@ -221,6 +304,31 @@ fn main() -> ExitCode {
             }
         }
     };
+
+    if let (Some(path), Some(buf)) = (&args.trace_out, &trace_buf) {
+        let names: Vec<String> = outcome.functions.iter().map(|f| f.abbr.clone()).collect();
+        let text = to_chrome_json(
+            buf,
+            &ChromeOptions { process_name: "ignite-cluster", function_names: &names },
+        );
+        if let Err(e) = validate_trace(&text) {
+            eprintln!("cluster: emitted trace failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("cluster: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} ({} events, {} dropped)", buf.len(), buf.dropped());
+    }
+    if let Some(path) = &args.metrics_out {
+        let text = metrics_for(&cfg, &outcome).expose();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cluster: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
 
     let report = ClusterReport::new(cfg, outcome);
     let text = report.to_json();

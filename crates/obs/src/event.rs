@@ -1,0 +1,319 @@
+//! The event model: what instrumented code emits, and where it goes.
+//!
+//! Events are small `Copy` records stamped with a cluster-clock
+//! timestamp and a [`Track`] (timeline row). Instrumented code is
+//! generic over [`EventSink`] and checks [`EventSink::enabled`] before
+//! doing any work to assemble an event, so the disabled path costs
+//! nothing (see the crate docs for the zero-cost contract).
+
+use std::collections::VecDeque;
+
+/// Timeline row an event belongs to. Tracks map to Chrome trace `tid`s:
+/// the cluster queue is 0, the metadata store is 1, core `i` is `2 + i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// Cluster-level DES transitions (arrivals joining the queue).
+    Cluster,
+    /// Node metadata store traffic (hits, misses, evictions).
+    Store,
+    /// Per-core execution: dispatches, invocation spans, phases.
+    Core(u32),
+}
+
+impl Track {
+    /// Chrome trace thread id for this track.
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Cluster => 0,
+            Track::Store => 1,
+            Track::Core(i) => 2 + u64::from(i),
+        }
+    }
+
+    /// Human-readable track label for trace viewers.
+    pub fn label(self) -> String {
+        match self {
+            Track::Cluster => "queue".to_string(),
+            Track::Store => "store".to_string(),
+            Track::Core(i) => format!("core{i}"),
+        }
+    }
+}
+
+/// Top-Down cycle-attribution phase (mirrors
+/// `ignite_engine::topdown::Category` without depending on the engine —
+/// the dependency points the other way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Useful retirement.
+    Retiring,
+    /// Front-end (fetch) stalls — the cycles Ignite attacks.
+    FetchBound,
+    /// Wrong-path work squashed on resteer.
+    BadSpeculation,
+    /// Back-end (data) stalls.
+    BackendBound,
+}
+
+impl Phase {
+    /// Stable event name for this phase.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Retiring => "retiring",
+            Phase::FetchBound => "fetch-bound",
+            Phase::BadSpeculation => "bad-speculation",
+            Phase::BackendBound => "backend-bound",
+        }
+    }
+}
+
+/// What happened. Payload fields become `args` in the Chrome export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A request joined the dispatch queue.
+    Arrival { function: u32 },
+    /// A queued request was assigned a free core.
+    Dispatch { function: u32, queue_cycles: u64 },
+    /// A dispatched invocation ran to completion (span; `dur` is the
+    /// service time).
+    Invocation { function: u32, invocation: u64 },
+    /// An invocation finished and freed its core.
+    Complete { function: u32, service_cycles: u64 },
+    /// The core flushed transient front-end state between tenants.
+    ContextSwitch,
+    /// Top-Down cycle attribution for one invocation (span).
+    TopDown { phase: Phase, cycles: u64 },
+    /// Ignite armed its recorder for this container.
+    RecordBegin { container: u64 },
+    /// Recording finished; metadata was handed to the store.
+    RecordEnd { container: u64, entries: u64, bytes: u64 },
+    /// Ignite began replaying restored metadata.
+    ReplayBegin { container: u64, entries: u64 },
+    /// Replay drained (all entries restored or dropped).
+    ReplayEnd { container: u64, restored: u64 },
+    /// Replay degraded: decode errors, dropped entries, or a watchdog
+    /// abandon. Emitted at most once per invocation.
+    ReplayDegraded { decode_errors: u64, entries_dropped: u64, watchdog_abandons: u64 },
+    /// Store lookup hit; `bytes` were read back.
+    StoreHit { container: u64, bytes: u64 },
+    /// Store lookup missed (cold or previously evicted).
+    StoreMiss { container: u64 },
+    /// A resident region was evicted to make room.
+    StoreEvict { container: u64, bytes: u64 },
+    /// An insert was rejected (region larger than the store).
+    StoreReject { container: u64, bytes: u64 },
+}
+
+impl EventKind {
+    /// Stable event name used in the Chrome export and the validator.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Arrival { .. } => "arrival",
+            EventKind::Dispatch { .. } => "dispatch",
+            EventKind::Invocation { .. } => "invocation",
+            EventKind::Complete { .. } => "complete",
+            EventKind::ContextSwitch => "context-switch",
+            EventKind::TopDown { phase, .. } => phase.name(),
+            EventKind::RecordBegin { .. } => "record-begin",
+            EventKind::RecordEnd { .. } => "record-end",
+            EventKind::ReplayBegin { .. } => "replay-begin",
+            EventKind::ReplayEnd { .. } => "replay-end",
+            EventKind::ReplayDegraded { .. } => "replay-degraded",
+            EventKind::StoreHit { .. } => "store-hit",
+            EventKind::StoreMiss { .. } => "store-miss",
+            EventKind::StoreEvict { .. } => "store-evict",
+            EventKind::StoreReject { .. } => "store-reject",
+        }
+    }
+
+    /// Chrome trace category for this kind.
+    pub fn category(&self) -> &'static str {
+        match self {
+            EventKind::Arrival { .. }
+            | EventKind::Dispatch { .. }
+            | EventKind::Complete { .. }
+            | EventKind::ContextSwitch => "cluster",
+            EventKind::Invocation { .. } => "invocation",
+            EventKind::TopDown { .. } => "topdown",
+            EventKind::RecordBegin { .. }
+            | EventKind::RecordEnd { .. }
+            | EventKind::ReplayBegin { .. }
+            | EventKind::ReplayEnd { .. }
+            | EventKind::ReplayDegraded { .. } => "ignite",
+            EventKind::StoreHit { .. }
+            | EventKind::StoreMiss { .. }
+            | EventKind::StoreEvict { .. }
+            | EventKind::StoreReject { .. } => "store",
+        }
+    }
+
+    /// Whether this kind renders as a duration span (`ph: "X"`) rather
+    /// than an instant.
+    pub fn is_span(&self) -> bool {
+        matches!(self, EventKind::Invocation { .. } | EventKind::TopDown { .. })
+    }
+}
+
+/// One timeline event. `ts`/`dur` are in cluster cycles; `dur` is 0 for
+/// instants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub ts: u64,
+    pub dur: u64,
+    pub track: Track,
+    pub kind: EventKind,
+}
+
+/// Where instrumented code sends events.
+///
+/// Implementations must keep [`EventSink::enabled`] trivially inlinable:
+/// emission sites are guarded by it, and the disabled path must
+/// dead-code-eliminate completely.
+pub trait EventSink {
+    /// Whether emission sites should assemble and record events.
+    fn enabled(&self) -> bool;
+    /// Records one event. Only called when [`EventSink::enabled`].
+    fn record(&mut self, event: Event);
+}
+
+/// The zero-cost disabled sink: `enabled()` is a constant `false`, so
+/// monomorphized instrumentation vanishes entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn record(&mut self, event: Event) {
+        (**self).record(event);
+    }
+}
+
+/// Bounded ring-buffer event sink: keeps the most recent `capacity`
+/// events, dropping the oldest under pressure and counting the drops so
+/// exports can say the timeline is truncated.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer needs room for at least one event");
+        TraceBuffer { capacity, events: VecDeque::new(), dropped: 0 }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Buffered events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+}
+
+impl EventSink for TraceBuffer {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> Event {
+        Event { ts, dur: 0, track: Track::Cluster, kind: EventKind::ContextSwitch }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut buf = TraceBuffer::new(3);
+        for t in 0..5 {
+            buf.record(ev(t));
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 2);
+        let ts: Vec<u64> = buf.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn mut_ref_forwarding_preserves_enabled() {
+        fn emit<S: EventSink>(mut sink: S) {
+            assert!(sink.enabled());
+            sink.record(ev(7));
+        }
+        let mut buf = TraceBuffer::new(4);
+        emit(&mut buf);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn track_tids_are_disjoint() {
+        let tracks = [Track::Cluster, Track::Store, Track::Core(0), Track::Core(3)];
+        let tids: std::collections::BTreeSet<u64> = tracks.iter().map(|t| t.tid()).collect();
+        assert_eq!(tids.len(), tracks.len());
+        assert_eq!(Track::Core(0).tid(), 2);
+    }
+
+    #[test]
+    fn event_names_are_stable() {
+        assert_eq!(EventKind::Arrival { function: 0 }.name(), "arrival");
+        assert_eq!(EventKind::ContextSwitch.name(), "context-switch");
+        assert_eq!(
+            EventKind::TopDown { phase: Phase::FetchBound, cycles: 1 }.name(),
+            "fetch-bound"
+        );
+        assert!(EventKind::Invocation { function: 0, invocation: 0 }.is_span());
+        assert!(!EventKind::StoreMiss { container: 0 }.is_span());
+    }
+}

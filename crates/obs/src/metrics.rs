@@ -1,0 +1,321 @@
+//! Metrics registry with deterministic Prometheus-style exposition.
+//!
+//! Three instrument families — monotone `u64` counters, `f64` gauges,
+//! and fixed-bucket `u64` histograms — each addressable by name plus an
+//! optional label set. Everything is stored in `BTreeMap`s and labels
+//! are sorted by key, so [`MetricsRegistry::expose`] is byte-identical
+//! for identical inputs, across runs and across processes. Non-finite
+//! gauge values are pinned to `0` at write time: the exposition never
+//! contains `NaN` or `inf`.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum MetricData {
+    Counter(BTreeMap<String, u64>),
+    Gauge(BTreeMap<String, f64>),
+    Histogram { bounds: Vec<u64>, series: BTreeMap<String, HistSeries> },
+}
+
+#[derive(Debug, Clone, Default)]
+struct HistSeries {
+    /// Per-bound counts (non-cumulative), plus one overflow bucket.
+    counts: Vec<u64>,
+    sum: u64,
+    total: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Metric {
+    help: String,
+    data: MetricData,
+}
+
+/// Formats an `f64` for exposition: shortest round-trip form, with
+/// non-finite values pinned to `0`.
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders a label set as `{k="v",...}` with keys sorted, or `""` when
+/// empty.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::from("{");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Injects an extra label into an already-rendered label key (used for
+/// histogram `le`).
+fn with_le(key: &str, le: &str) -> String {
+    if key.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{},le=\"{le}\"}}", &key[..key.len() - 1])
+    }
+}
+
+/// A named collection of counters, gauges and histograms.
+///
+/// Instruments are created on first touch; re-using a name with a
+/// different instrument family (or different histogram bounds) panics —
+/// that is a bug in the instrumentation, not a runtime condition.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered metric names.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Adds `by` to a counter sample.
+    pub fn inc_counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], by: u64) {
+        let metric = self.metrics.entry(name.to_string()).or_insert_with(|| Metric {
+            help: help.to_string(),
+            data: MetricData::Counter(BTreeMap::new()),
+        });
+        let MetricData::Counter(series) = &mut metric.data else {
+            panic!("metric {name} already registered with a different type");
+        };
+        *series.entry(label_key(labels)).or_insert(0) += by;
+    }
+
+    /// Sets a gauge sample. Non-finite values are pinned to `0`.
+    pub fn set_gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        let metric = self.metrics.entry(name.to_string()).or_insert_with(|| Metric {
+            help: help.to_string(),
+            data: MetricData::Gauge(BTreeMap::new()),
+        });
+        let MetricData::Gauge(series) = &mut metric.data else {
+            panic!("metric {name} already registered with a different type");
+        };
+        let pinned = if value.is_finite() { value } else { 0.0 };
+        series.insert(label_key(labels), pinned);
+    }
+
+    /// Records one observation into a fixed-bucket histogram. `bounds`
+    /// are inclusive upper bucket bounds in increasing order; values
+    /// above the last bound land in the implicit `+Inf` bucket.
+    pub fn observe(
+        &mut self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        labels: &[(&str, &str)],
+        value: u64,
+    ) {
+        let series = self.histogram_series(name, help, bounds, labels);
+        let idx = bounds.iter().position(|&b| value <= b).unwrap_or(bounds.len());
+        series.counts[idx] += 1;
+        series.sum += value;
+        series.total += 1;
+    }
+
+    /// Merges precomputed bucket counts (one per bound, plus one
+    /// overflow count at the end) into a histogram sample. Lets callers
+    /// that already aggregated deterministically (e.g. the cluster
+    /// outcome) expose without replaying every observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != bounds.len() + 1`.
+    pub fn merge_histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        labels: &[(&str, &str)],
+        counts: &[u64],
+        sum: u64,
+    ) {
+        assert_eq!(counts.len(), bounds.len() + 1, "need one count per bound plus overflow");
+        let series = self.histogram_series(name, help, bounds, labels);
+        for (slot, c) in series.counts.iter_mut().zip(counts) {
+            *slot += c;
+        }
+        series.sum += sum;
+        series.total += counts.iter().sum::<u64>();
+    }
+
+    fn histogram_series(
+        &mut self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        labels: &[(&str, &str)],
+    ) -> &mut HistSeries {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "histogram bounds must increase");
+        let metric = self.metrics.entry(name.to_string()).or_insert_with(|| Metric {
+            help: help.to_string(),
+            data: MetricData::Histogram { bounds: bounds.to_vec(), series: BTreeMap::new() },
+        });
+        let MetricData::Histogram { bounds: have, series } = &mut metric.data else {
+            panic!("metric {name} already registered with a different type");
+        };
+        assert_eq!(have.as_slice(), bounds, "metric {name} re-registered with different bounds");
+        series.entry(label_key(labels)).or_insert_with(|| HistSeries {
+            counts: vec![0; bounds.len() + 1],
+            ..HistSeries::default()
+        })
+    }
+
+    /// Prometheus-style text exposition: `# HELP` / `# TYPE` preamble
+    /// per metric, samples sorted by label key, histograms expanded to
+    /// cumulative `_bucket{le=...}` plus `_sum` and `_count`.
+    pub fn expose(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in &self.metrics {
+            if !metric.help.is_empty() {
+                out.push_str(&format!("# HELP {name} {}\n", metric.help));
+            }
+            match &metric.data {
+                MetricData::Counter(series) => {
+                    out.push_str(&format!("# TYPE {name} counter\n"));
+                    for (labels, v) in series {
+                        out.push_str(&format!("{name}{labels} {v}\n"));
+                    }
+                }
+                MetricData::Gauge(series) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
+                    for (labels, v) in series {
+                        out.push_str(&format!("{name}{labels} {}\n", fmt_f64(*v)));
+                    }
+                }
+                MetricData::Histogram { bounds, series } => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    for (labels, h) in series {
+                        let mut cumulative = 0u64;
+                        for (bound, count) in bounds.iter().zip(&h.counts) {
+                            cumulative += count;
+                            let le = with_le(labels, &bound.to_string());
+                            out.push_str(&format!("{name}_bucket{le} {cumulative}\n"));
+                        }
+                        cumulative += h.counts[bounds.len()];
+                        let le = with_le(labels, "+Inf");
+                        out.push_str(&format!("{name}_bucket{le} {cumulative}\n"));
+                        out.push_str(&format!("{name}_sum{labels} {}\n", h.sum));
+                        out.push_str(&format!("{name}_count{labels} {}\n", h.total));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_is_deterministic_and_sorted() {
+        let build = || {
+            let mut reg = MetricsRegistry::new();
+            reg.inc_counter("zeta_total", "last metric", &[], 3);
+            reg.inc_counter("alpha_total", "first metric", &[("b", "2"), ("a", "1")], 1);
+            reg.inc_counter("alpha_total", "first metric", &[("a", "1"), ("b", "2")], 1);
+            reg.set_gauge("mid_gauge", "middle", &[], 1.5);
+            reg
+        };
+        let a = build().expose();
+        assert_eq!(a, build().expose());
+        // Metric names sorted, duplicate label sets merged regardless of order.
+        let alpha = a.find("alpha_total").unwrap();
+        let zeta = a.find("zeta_total").unwrap();
+        assert!(alpha < zeta);
+        assert!(a.contains("alpha_total{a=\"1\",b=\"2\"} 2\n"));
+        assert!(a.contains("mid_gauge 1.5\n"));
+    }
+
+    #[test]
+    fn non_finite_gauges_are_pinned_to_zero() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_gauge("g", "", &[("k", "nan")], f64::NAN);
+        reg.set_gauge("g", "", &[("k", "inf")], f64::INFINITY);
+        let text = reg.expose();
+        assert!(text.contains("g{k=\"inf\"} 0\n"));
+        assert!(text.contains("g{k=\"nan\"} 0\n"));
+        assert!(!text.contains("NaN") && !text.contains("inf\"} i"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut reg = MetricsRegistry::new();
+        let bounds = [10, 100, 1000];
+        for v in [5, 7, 50, 5000] {
+            reg.observe("lat", "latency", &bounds, &[], v);
+        }
+        let text = reg.expose();
+        assert!(text.contains("lat_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("lat_bucket{le=\"100\"} 3\n"));
+        assert!(text.contains("lat_bucket{le=\"1000\"} 3\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("lat_sum 5062\n"));
+        assert!(text.contains("lat_count 4\n"));
+    }
+
+    #[test]
+    fn merge_histogram_matches_observations() {
+        let bounds = [10, 100];
+        let mut by_obs = MetricsRegistry::new();
+        for v in [3, 30, 300] {
+            by_obs.observe("h", "", &bounds, &[("f", "x")], v);
+        }
+        let mut by_merge = MetricsRegistry::new();
+        by_merge.merge_histogram("h", "", &bounds, &[("f", "x")], &[1, 1, 1], 333);
+        assert_eq!(by_obs.expose(), by_merge.expose());
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc_counter("m", "", &[], 1);
+        reg.set_gauge("m", "", &[], 1.0);
+    }
+
+    #[test]
+    fn integer_valued_gauges_print_without_fraction() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_gauge("g", "", &[], 42.0);
+        assert!(reg.expose().contains("g 42\n"));
+    }
+}

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use ignite_uarch::addr::Addr;
 use ignite_uarch::btb::BranchKind;
-use ignite_workloads::arrival::{ArrivalConfig, Trace};
+use ignite_workloads::arrival::{ArrivalConfig, Trace, TraceParseError};
 use ignite_workloads::gen::{generate, GenParams};
 use ignite_workloads::trace::TraceWalker;
 
@@ -204,6 +204,49 @@ proptest! {
         let parsed = parsed.unwrap();
         prop_assert_eq!(parsed.functions, trace.functions);
         prop_assert_eq!(parsed.arrivals, trace.arrivals);
+    }
+
+    /// CRLF corruption of any valid trace is rejected with a typed error
+    /// naming the first converted line — never silently accepted.
+    #[test]
+    fn crlf_corruption_is_rejected(cfg in arb_arrivals(), corrupt_all in any::<bool>()) {
+        let trace = cfg.generate();
+        let text = trace.to_text();
+        let corrupted = if corrupt_all {
+            // The whole file converted (e.g. a checkout with autocrlf).
+            text.replace('\n', "\r\n")
+        } else {
+            // Only the final line ending converted (e.g. an append from a
+            // CRLF editor).
+            let mut t = text.trim_end_matches('\n').to_string();
+            t.push_str("\r\n");
+            t
+        };
+        match Trace::parse(&corrupted) {
+            Err(TraceParseError::CrlfLineEnding { line }) => {
+                let expect = if corrupt_all { 1 } else { 1 + trace.arrivals.len() };
+                prop_assert_eq!(line, expect, "error must name the first CRLF line");
+            }
+            other => prop_assert!(false, "CRLF trace must be rejected, got {:?}", other),
+        }
+    }
+
+    /// Trailing-whitespace corruption of a data line is likewise typed
+    /// and line-numbered.
+    #[test]
+    fn trailing_whitespace_is_rejected(cfg in arb_arrivals()) {
+        let trace = cfg.generate();
+        prop_assume!(!trace.arrivals.is_empty());
+        let mut lines: Vec<String> = trace.to_text().lines().map(String::from).collect();
+        let victim = 1 + (cfg.seed as usize % trace.arrivals.len());
+        lines[victim].push(' ');
+        let corrupted = lines.join("\n") + "\n";
+        match Trace::parse(&corrupted) {
+            Err(TraceParseError::StrayWhitespace { line }) => {
+                prop_assert_eq!(line, victim + 1);
+            }
+            other => prop_assert!(false, "stray whitespace must be rejected, got {:?}", other),
+        }
     }
 
     /// Cross-invocation commonality: executed-block overlap stays high for
