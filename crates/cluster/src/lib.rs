@@ -42,8 +42,8 @@ pub mod sim;
 pub mod tracecheck;
 
 pub use fanout::{run_indexed, PanicFailure};
-pub use prom::{metrics_for, record_metrics};
-pub use report::{ClusterReport, CLUSTER_SCHEMA};
+pub use prom::{metrics_for, record_metrics, record_trace_health};
+pub use report::{ClusterReport, ObsSummary, CLUSTER_SCHEMA};
 pub use sim::{
     sweep_capacities, ClusterConfig, ClusterOutcome, ClusterSim, CoreUsage, FunctionSummary,
     LATENCY_BUCKETS,

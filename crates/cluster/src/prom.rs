@@ -23,6 +23,24 @@ pub fn metrics_for(cfg: &ClusterConfig, out: &ClusterOutcome) -> MetricsRegistry
     reg
 }
 
+/// Records trace-buffer health for a traced run: how many events the
+/// ring buffer retained and how many it evicted under pressure. A
+/// nonzero drop counter means the exported trace is truncated.
+pub fn record_trace_health(reg: &mut MetricsRegistry, events: u64, dropped: u64) {
+    reg.inc_counter(
+        "ignite_trace_events_total",
+        "Events retained in the trace ring buffer",
+        &[],
+        events,
+    );
+    reg.inc_counter(
+        "ignite_trace_dropped_events_total",
+        "Events evicted from the trace ring buffer under pressure",
+        &[],
+        dropped,
+    );
+}
+
 /// Records one run into an existing registry under extra labels, so a
 /// sweep can accumulate every point into a single exposition.
 pub fn record_metrics(

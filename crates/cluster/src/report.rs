@@ -18,6 +18,18 @@ use crate::sim::{ClusterConfig, ClusterOutcome};
 /// Schema tag written into (and required of) every report.
 pub const CLUSTER_SCHEMA: &str = "ignite-cluster-v1";
 
+/// Observability health for a traced run: how much of the timeline the
+/// bounded ring buffer kept. A nonzero `trace_dropped` means the
+/// exported trace is truncated — surfaced here (and in the metrics
+/// exposition) so truncation is detectable instead of silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsSummary {
+    /// Events retained in the trace buffer at end of run.
+    pub trace_events: u64,
+    /// Events the ring buffer evicted under pressure.
+    pub trace_dropped: u64,
+}
+
 /// A run's configuration and outcome, ready to serialize.
 #[derive(Debug, Clone)]
 pub struct ClusterReport {
@@ -25,6 +37,11 @@ pub struct ClusterReport {
     pub config: ClusterConfig,
     /// What happened.
     pub outcome: ClusterOutcome,
+    /// Trace-buffer health, present only for traced runs. `None` (the
+    /// untraced default) serializes no `obs` section at all, keeping
+    /// untraced reports — including the golden snapshot — byte-identical
+    /// to pre-observability output.
+    pub obs: Option<ObsSummary>,
 }
 
 /// Renders a float for the report. Non-finite values serialize as `0`
@@ -56,7 +73,13 @@ fn push_replay(out: &mut String, indent: &str, replay: &ReplayStats, unfinished:
 impl ClusterReport {
     /// Pairs a configuration with its outcome.
     pub fn new(config: ClusterConfig, outcome: ClusterOutcome) -> Self {
-        ClusterReport { config, outcome }
+        ClusterReport { config, outcome, obs: None }
+    }
+
+    /// Attaches trace-buffer health (traced runs only).
+    pub fn with_obs(mut self, obs: ObsSummary) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Serializes the report.
@@ -123,6 +146,12 @@ impl ClusterReport {
         s.push_str("  \"replay\": {\n");
         push_replay(&mut s, "    ", &total.replay, total.replay_unfinished);
         s.push_str("  },\n");
+        if let Some(obs) = &self.obs {
+            s.push_str("  \"obs\": {\n");
+            let _ = writeln!(s, "    \"trace_events\": {},", obs.trace_events);
+            let _ = writeln!(s, "    \"trace_dropped\": {}", obs.trace_dropped);
+            s.push_str("  },\n");
+        }
         s.push_str("  \"functions\": [\n");
         for (i, f) in out_.functions.iter().enumerate() {
             s.push_str("    {\n");
@@ -218,6 +247,12 @@ impl ClusterReport {
                 "replay_unfinished",
             ],
         )?;
+        // The obs section is optional (traced runs only), but when
+        // present it must be well-formed.
+        if let Some(obs) = json::get(obj, "obs") {
+            let oo = obs.as_object().ok_or("'obs' is not an object")?;
+            require(oo, "obs", &["trace_events", "trace_dropped"])?;
+        }
         let cores =
             json::get(obj, "cores").and_then(Value::as_array).ok_or("missing array 'cores'")?;
         if cores.is_empty() {

@@ -456,10 +456,12 @@ impl ClusterSim {
         // Stage the function's metadata region from the node store into
         // the core's replay engine, charging the transfer.
         let mut md_cycles = 0u64;
+        let mut store_hit = false;
         if ignite_on {
             let fetched = store.fetch(f.container).cloned();
             match fetched {
                 Some(md) => {
+                    store_hit = true;
                     fstate.hits += 1;
                     md_cycles += self.transfer_cycles(md.byte_len());
                     if sink.enabled() {
@@ -548,6 +550,31 @@ impl ClusterSim {
                 dur: 0,
                 track,
                 kind: EventKind::Complete { function: a.function, service_cycles: service },
+            });
+            // Causal latency attribution. Latency decomposes exactly:
+            // `latency = queue + md_cycles + res.cycles`, and the engine's
+            // integer stall counters tile `res.cycles` into front-end
+            // penalty vs steady-state execution. Front-end stalls paid
+            // after a store miss are the re-record cost Ignite could not
+            // avoid; after a hit (or with Ignite off) they are the
+            // residual cold-front-end penalty.
+            let frontend = res.front_end_stall_cycles();
+            let execution = res.cycles - frontend;
+            let (cold_frontend, store_miss) =
+                if ignite_on && !store_hit { (0, frontend) } else { (frontend, 0) };
+            sink.record(Event {
+                ts: now + service,
+                dur: 0,
+                track,
+                kind: EventKind::Attribution {
+                    function: a.function,
+                    queue_cycles: now - a.cycle,
+                    dram_cycles: md_cycles,
+                    cold_frontend_cycles: cold_frontend,
+                    store_miss_cycles: store_miss,
+                    execution_cycles: execution,
+                    latency_cycles: (now + service) - a.cycle,
+                },
             });
         }
         core.busy = true;

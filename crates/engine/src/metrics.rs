@@ -100,6 +100,15 @@ pub struct InvocationResult {
     pub conditional_branches: u64,
     /// Front-end resteers (pipeline flushes).
     pub resteers: u64,
+    /// Integer cycles the fetch stage stalled on the L1-I/ITLB — the
+    /// exact provenance of the (fractional) FetchBound Top-Down bucket.
+    /// `fetch_stall_cycles + resteer_penalty_cycles + execution` tiles
+    /// `cycles` exactly, which the scope attribution invariant relies
+    /// on.
+    pub fetch_stall_cycles: u64,
+    /// Integer cycles paid as resteer penalties (the BadSpeculation
+    /// bucket's exact provenance).
+    pub resteer_penalty_cycles: u64,
     /// ITLB page walks.
     pub itlb_walks: u64,
     /// Memory traffic breakdown.
@@ -159,6 +168,13 @@ impl InvocationResult {
         mpki(self.subsequent_mispredictions, self.instructions)
     }
 
+    /// Integer front-end penalty cycles: fetch stalls plus resteer
+    /// penalties. Always `<= cycles`; the remainder is steady-state
+    /// retire/back-end execution.
+    pub fn front_end_stall_cycles(&self) -> u64 {
+        self.fetch_stall_cycles + self.resteer_penalty_cycles
+    }
+
     /// Sums another result into this one (for averaging across
     /// invocations).
     pub fn merge(&mut self, other: &InvocationResult) {
@@ -173,6 +189,8 @@ impl InvocationResult {
         self.conditional_branches += other.conditional_branches;
         self.resteers += other.resteers;
         self.itlb_walks += other.itlb_walks;
+        self.fetch_stall_cycles += other.fetch_stall_cycles;
+        self.resteer_penalty_cycles += other.resteer_penalty_cycles;
         self.traffic.merge(&other.traffic);
         self.accuracy_l2.merge(&other.accuracy_l2);
         self.accuracy_btb.merge(&other.accuracy_btb);

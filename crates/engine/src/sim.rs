@@ -274,6 +274,7 @@ pub fn run_invocation_obs<S: EventSink>(
                 t = t.max(r.ready_at);
             }
             m.now += stall;
+            res.fetch_stall_cycles += stall;
             res.topdown.add(Category::FetchBound, stall as f64);
         }
 
@@ -314,6 +315,7 @@ pub fn run_invocation_obs<S: EventSink>(
                 }
                 res.resteers += 1;
                 m.now += penalty;
+                res.resteer_penalty_cycles += penalty;
                 res.topdown.add(Category::BadSpeculation, penalty as f64);
                 if let Some(c) = &mut m.confluence {
                     c.on_resteer();
@@ -723,6 +725,27 @@ mod tests {
         let total = first.topdown.total();
         let cycles = first.cycles as f64;
         assert!((total - cycles).abs() / cycles < 0.02, "topdown {total} vs cycles {cycles}");
+    }
+
+    #[test]
+    fn integer_stall_counters_tile_the_cycle_count() {
+        use crate::topdown::Category;
+        for fe in [FrontEndConfig::nl(), FrontEndConfig::fdp(), FrontEndConfig::ignite()] {
+            let (first, second) = run(fe);
+            for r in [&first, &second] {
+                // The integer counters are the exact provenance of the
+                // (integral-valued) FetchBound / BadSpeculation buckets…
+                assert_eq!(r.topdown.get(Category::FetchBound), r.fetch_stall_cycles as f64);
+                assert_eq!(
+                    r.topdown.get(Category::BadSpeculation),
+                    r.resteer_penalty_cycles as f64
+                );
+                // …and together they never exceed the invocation's total
+                // cycles: the residual is steady-state execution.
+                assert!(r.front_end_stall_cycles() <= r.cycles);
+            }
+            assert!(first.fetch_stall_cycles > 0, "cold invocations stall on fetch");
+        }
     }
 
     #[test]

@@ -27,17 +27,25 @@
 //!   --metrics-out FILE   write Prometheus-style metrics; with --sweep,
 //!                        every point appears under a store_capacity label
 //!   --validate-trace FILE  validate an existing Chrome trace and exit
+//!   --scope-out FILE     write an ignite-scope-v1 causal latency
+//!                        attribution report for the run
+//!   --slo SPEC           enable burn-rate SLO alerting; SPEC is 'default'
+//!                        or comma-separated k=v pairs: threshold=CYCLES,
+//!                        objective=PCT, fast=CYCLES, slow=CYCLES,
+//!                        burn=MULT, min=N. Alerts land on their own
+//!                        trace track and in the scope report.
 //! ```
 
 use std::process::ExitCode;
 
 use ignite_cluster::{
-    metrics_for, record_metrics, sweep_capacities, validate_trace, ClusterConfig, ClusterOutcome,
-    ClusterReport, ClusterSim,
+    metrics_for, record_metrics, record_trace_health, sweep_capacities, validate_trace,
+    ClusterConfig, ClusterOutcome, ClusterReport, ClusterSim, ObsSummary,
 };
 use ignite_core::EvictionPolicy;
 use ignite_engine::config::FrontEndConfig;
-use ignite_obs::{to_chrome_json, ChromeOptions, MetricsRegistry, TraceBuffer};
+use ignite_obs::{to_chrome_json, ChromeOptions, MetricsRegistry, NullSink, TraceBuffer};
+use ignite_scope::{record_scope_metrics, ScopeAnalyzer, ScopeReport, SloConfig};
 use ignite_workloads::arrival::Trace;
 
 /// Ring capacity for `--trace-out`: comfortably above the event count of
@@ -56,6 +64,8 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     validate_trace: Option<String>,
+    scope_out: Option<String>,
+    slo: Option<SloConfig>,
 }
 
 fn usage() -> ! {
@@ -64,9 +74,57 @@ fn usage() -> ! {
          [--zipf S] [--horizon CYCLES] [--capacity BYTES] [--policy P] [--threads N] \
          [--sweep B1,B2,...] [--trace FILE] [--emit-trace FILE] [--out FILE] \
          [--validate FILE] [--trace-out FILE] [--metrics-out FILE] \
-         [--validate-trace FILE]"
+         [--validate-trace FILE] [--scope-out FILE] [--slo SPEC]"
     );
     std::process::exit(2);
+}
+
+/// Parses an `--slo` spec: `default`, or comma-separated `k=v` pairs
+/// over [`SloConfig::default`]. `objective` is a percent (95 -> 950
+/// milli) and `burn` a multiplier (2 -> 2000 milli); everything else is
+/// taken verbatim.
+fn parse_slo(spec: &str) -> SloConfig {
+    let mut slo = SloConfig::default();
+    if spec == "default" {
+        return slo;
+    }
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((k, v)) = part.split_once('=') else {
+            eprintln!("cluster: --slo expects k=v pairs, got '{part}'");
+            usage();
+        };
+        match k {
+            "threshold" => slo.threshold_cycles = parse(v, "--slo threshold"),
+            "objective" => {
+                let pct: f64 = parse(v, "--slo objective");
+                if !(0.0..100.0).contains(&pct) {
+                    eprintln!("cluster: --slo objective must be in [0, 100), got {pct}");
+                    usage();
+                }
+                slo.objective_milli = (pct * 10.0).round() as u32;
+            }
+            "fast" => slo.fast_window_cycles = parse(v, "--slo fast"),
+            "slow" => slo.slow_window_cycles = parse(v, "--slo slow"),
+            "burn" => {
+                let mult: f64 = parse(v, "--slo burn");
+                if !mult.is_finite() || mult <= 0.0 {
+                    eprintln!("cluster: --slo burn must be positive, got {mult}");
+                    usage();
+                }
+                slo.burn_milli = (mult * 1000.0).round() as u64;
+            }
+            "min" => slo.min_count = parse(v, "--slo min"),
+            _ => {
+                eprintln!("cluster: unknown --slo key '{k}'");
+                usage();
+            }
+        }
+    }
+    slo
 }
 
 fn front_end(name: &str) -> Option<FrontEndConfig> {
@@ -95,6 +153,8 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
         validate_trace: None,
+        scope_out: None,
+        slo: None,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -146,6 +206,8 @@ fn parse_args() -> Args {
             "--validate-trace" => {
                 args.validate_trace = Some(value(&mut it, "--validate-trace"));
             }
+            "--scope-out" => args.scope_out = Some(value(&mut it, "--scope-out")),
+            "--slo" => args.slo = Some(parse_slo(&value(&mut it, "--slo"))),
             _ => {
                 eprintln!("cluster: unknown argument '{arg}'");
                 usage();
@@ -227,6 +289,12 @@ fn main() -> ExitCode {
             eprintln!("cluster: --trace-out traces a single run; not supported with --sweep");
             return ExitCode::FAILURE;
         }
+        if args.scope_out.is_some() || args.slo.is_some() {
+            eprintln!(
+                "cluster: --scope-out/--slo analyze a single run; not supported with --sweep"
+            );
+            return ExitCode::FAILURE;
+        }
         // Independent sweep points shard across threads; a panicking point
         // reports its failure without tearing down the rest.
         let results = sweep_capacities(&cfg, capacities, args.threads);
@@ -271,22 +339,52 @@ fn main() -> ExitCode {
     }
 
     let sim = ClusterSim::new(cfg.clone());
-    let mut trace_buf = args.trace_out.as_ref().map(|_| TraceBuffer::new(TRACE_BUFFER_EVENTS));
-    let run = |sim: &ClusterSim, buf: &mut Option<TraceBuffer>| -> ClusterOutcome {
-        match buf {
-            Some(buf) => sim.run_obs(buf),
-            None => sim.run(),
+
+    // Four sink shapes, picked once: a plain run, a trace ring, the
+    // scope analyzer over a discarded stream, or the analyzer teeing
+    // into the ring (alerts land in the trace too).
+    enum Sinks {
+        Plain(NullSink),
+        Trace(TraceBuffer),
+        Scope(Box<ScopeAnalyzer<NullSink>>),
+        Both(Box<ScopeAnalyzer<TraceBuffer>>),
+    }
+    let scope_on = args.scope_out.is_some() || args.slo.is_some();
+    let with_slo = |an: ScopeAnalyzer<TraceBuffer>| match args.slo {
+        Some(slo) => an.with_slo(slo),
+        None => an,
+    };
+    let with_slo_null = |an: ScopeAnalyzer<NullSink>| match args.slo {
+        Some(slo) => an.with_slo(slo),
+        None => an,
+    };
+    let mut sinks = match (args.trace_out.is_some(), scope_on) {
+        (false, false) => Sinks::Plain(NullSink),
+        (true, false) => Sinks::Trace(TraceBuffer::new(TRACE_BUFFER_EVENTS)),
+        (false, true) => Sinks::Scope(Box::new(with_slo_null(ScopeAnalyzer::new(NullSink)))),
+        (true, true) => Sinks::Both(Box::new(with_slo(ScopeAnalyzer::new(TraceBuffer::new(
+            TRACE_BUFFER_EVENTS,
+        ))))),
+    };
+
+    let run = |sim: &ClusterSim, sinks: &mut Sinks| -> ClusterOutcome {
+        match sinks {
+            Sinks::Plain(s) => sim.run_obs(s),
+            Sinks::Trace(s) => sim.run_obs(s),
+            Sinks::Scope(s) => sim.run_obs(s.as_mut()),
+            Sinks::Both(s) => sim.run_obs(s.as_mut()),
         }
     };
-    let run_replay =
-        |sim: &ClusterSim, trace: &Trace, buf: &mut Option<TraceBuffer>| -> ClusterOutcome {
-            match buf {
-                Some(buf) => sim.run_trace_obs(trace, buf),
-                None => sim.run_trace(trace),
-            }
-        };
+    let run_replay = |sim: &ClusterSim, trace: &Trace, sinks: &mut Sinks| -> ClusterOutcome {
+        match sinks {
+            Sinks::Plain(s) => sim.run_trace_obs(trace, s),
+            Sinks::Trace(s) => sim.run_trace_obs(trace, s),
+            Sinks::Scope(s) => sim.run_trace_obs(trace, s.as_mut()),
+            Sinks::Both(s) => sim.run_trace_obs(trace, s.as_mut()),
+        }
+    };
     let outcome = match &args.trace {
-        None => run(&sim, &mut trace_buf),
+        None => run(&sim, &mut sinks),
         Some(path) => {
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
@@ -296,7 +394,7 @@ fn main() -> ExitCode {
                 }
             };
             match Trace::parse(&text) {
-                Ok(trace) => run_replay(&sim, &trace, &mut trace_buf),
+                Ok(trace) => run_replay(&sim, &trace, &mut sinks),
                 Err(e) => {
                     eprintln!("cluster: {path}: {e}");
                     return ExitCode::FAILURE;
@@ -304,6 +402,36 @@ fn main() -> ExitCode {
             }
         }
     };
+
+    let abbrs: Vec<String> = outcome.functions.iter().map(|f| f.abbr.clone()).collect();
+    let (trace_buf, scope_report) = match sinks {
+        Sinks::Plain(_) => (None, None),
+        Sinks::Trace(buf) => (Some(buf), None),
+        Sinks::Scope(an) => (None, Some(ScopeReport::from_analyzer(&an, &abbrs))),
+        Sinks::Both(an) => {
+            let report = ScopeReport::from_analyzer(&an, &abbrs);
+            (Some(an.into_inner()), Some(report))
+        }
+    };
+
+    if let Some(report) = &scope_report {
+        let text = report.to_json();
+        if let Err(e) = ScopeReport::validate(&text) {
+            eprintln!("cluster: emitted scope report failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "scope: {} invocations attributed | {} SLO violations | {} alert fires",
+            report.totals.invocations, report.totals.violations, report.totals.alert_fires
+        );
+        if let Some(path) = &args.scope_out {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cluster: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+    }
 
     if let (Some(path), Some(buf)) = (&args.trace_out, &trace_buf) {
         let names: Vec<String> = outcome.functions.iter().map(|f| f.abbr.clone()).collect();
@@ -322,15 +450,25 @@ fn main() -> ExitCode {
         eprintln!("wrote {path} ({} events, {} dropped)", buf.len(), buf.dropped());
     }
     if let Some(path) = &args.metrics_out {
-        let text = metrics_for(&cfg, &outcome).expose();
-        if let Err(e) = std::fs::write(path, text) {
+        let mut reg = metrics_for(&cfg, &outcome);
+        if let Some(buf) = &trace_buf {
+            record_trace_health(&mut reg, buf.len() as u64, buf.dropped());
+        }
+        if let Some(report) = &scope_report {
+            record_scope_metrics(&mut reg, report);
+        }
+        if let Err(e) = std::fs::write(path, reg.expose()) {
             eprintln!("cluster: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {path}");
     }
 
-    let report = ClusterReport::new(cfg, outcome);
+    let mut report = ClusterReport::new(cfg, outcome);
+    if let Some(buf) = &trace_buf {
+        report = report
+            .with_obs(ObsSummary { trace_events: buf.len() as u64, trace_dropped: buf.dropped() });
+    }
     let text = report.to_json();
     if let Err(e) = ClusterReport::validate(&text) {
         eprintln!("cluster: emitted report failed validation: {e}");

@@ -1,0 +1,116 @@
+//! `scope`: validate and compare Ignite run artifacts.
+//!
+//! ```text
+//! cargo run --release -p ignite-harness --bin scope -- COMMAND
+//!
+//! COMMANDS:
+//!   validate FILE                 validate an ignite-scope-v1 report
+//!   diff OLD NEW [OPTIONS]        compare two reports and flag
+//!                                 significant regressions/improvements
+//!
+//! DIFF OPTIONS:
+//!   --threshold PCT   relative significance threshold (default 5)
+//!   --advisory        report but always exit 0 (for advisory CI gates)
+//! ```
+//!
+//! `diff` auto-detects each input by schema tag: `ignite-cluster-v1`
+//! reports, `ignite-scope-v1` reports, or `ignite-bench-v1` benchmark
+//! files. Pass two files of the same schema; only metrics named in
+//! both are compared. Exit status is 1 when significant regressions
+//! were found and `--advisory` was not given.
+
+use std::process::ExitCode;
+
+use ignite_scope::{diff, load_samples, ScopeReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scope validate FILE\n       scope diff OLD NEW [--threshold PCT] [--advisory]"
+    );
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("scope: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("validate") => {
+            let [_, path] = argv.as_slice() else { usage() };
+            let text = match read(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            match ScopeReport::validate(&text) {
+                Ok(()) => {
+                    println!("{path}: valid {}", ignite_scope::SCOPE_SCHEMA);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("scope: {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("diff") => {
+            let rest = &argv[1..];
+            if rest.len() < 2 {
+                usage();
+            }
+            let (old_path, new_path) = (&rest[0], &rest[1]);
+            let mut threshold = 5.0f64;
+            let mut advisory = false;
+            let mut it = rest[2..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--threshold" => {
+                        let v = it.next().unwrap_or_else(|| {
+                            eprintln!("scope: --threshold needs a value");
+                            usage();
+                        });
+                        threshold = v.parse().unwrap_or_else(|_| {
+                            eprintln!("scope: bad threshold '{v}'");
+                            usage();
+                        });
+                    }
+                    "--advisory" => advisory = true,
+                    other => {
+                        eprintln!("scope: unknown argument '{other}'");
+                        usage();
+                    }
+                }
+            }
+            let (old_text, new_text) = match (read(old_path), read(new_path)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            let old = match load_samples(&old_text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("scope: {old_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let new = match load_samples(&new_text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("scope: {new_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = diff(&old, &new, threshold);
+            print!("{}", report.to_text());
+            if report.regressions() > 0 && !advisory {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -103,6 +103,28 @@ fn push_args(out: &mut String, kind: &EventKind) {
             field(out, "container", container);
             field(out, "bytes", bytes);
         }
+        EventKind::Attribution {
+            function,
+            queue_cycles,
+            dram_cycles,
+            cold_frontend_cycles,
+            store_miss_cycles,
+            execution_cycles,
+            latency_cycles,
+        } => {
+            field(out, "function", u64::from(function));
+            field(out, "queue_cycles", queue_cycles);
+            field(out, "dram_cycles", dram_cycles);
+            field(out, "cold_frontend_cycles", cold_frontend_cycles);
+            field(out, "store_miss_cycles", store_miss_cycles);
+            field(out, "execution_cycles", execution_cycles);
+            field(out, "latency_cycles", latency_cycles);
+        }
+        EventKind::AlertFire { function, burn_milli }
+        | EventKind::AlertResolve { function, burn_milli } => {
+            field(out, "function", u64::from(function));
+            field(out, "burn_milli", burn_milli);
+        }
     }
 }
 

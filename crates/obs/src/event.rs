@@ -9,7 +9,8 @@
 use std::collections::VecDeque;
 
 /// Timeline row an event belongs to. Tracks map to Chrome trace `tid`s:
-/// the cluster queue is 0, the metadata store is 1, core `i` is `2 + i`.
+/// the cluster queue is 0, the metadata store is 1, core `i` is `2 + i`,
+/// and the SLO alert track sits above every possible core tid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Track {
     /// Cluster-level DES transitions (arrivals joining the queue).
@@ -18,6 +19,8 @@ pub enum Track {
     Store,
     /// Per-core execution: dispatches, invocation spans, phases.
     Core(u32),
+    /// SLO burn-rate alert lifecycle (fire/resolve instants).
+    Alerts,
 }
 
 impl Track {
@@ -27,6 +30,7 @@ impl Track {
             Track::Cluster => 0,
             Track::Store => 1,
             Track::Core(i) => 2 + u64::from(i),
+            Track::Alerts => 3 + u64::from(u32::MAX),
         }
     }
 
@@ -36,6 +40,7 @@ impl Track {
             Track::Cluster => "queue".to_string(),
             Track::Store => "store".to_string(),
             Track::Core(i) => format!("core{i}"),
+            Track::Alerts => "alerts".to_string(),
         }
     }
 }
@@ -102,6 +107,26 @@ pub enum EventKind {
     StoreEvict { container: u64, bytes: u64 },
     /// An insert was rejected (region larger than the store).
     StoreReject { container: u64, bytes: u64 },
+    /// Causal latency attribution for one completed invocation. The
+    /// five components sum *exactly* to `latency_cycles` (the tested
+    /// scope invariant): time queued, metadata DRAM transfer, cold
+    /// front-end stalls after a store hit (or with Ignite off),
+    /// front-end stalls re-paid because the store missed and Ignite had
+    /// to re-record, and steady-state execution.
+    Attribution {
+        function: u32,
+        queue_cycles: u64,
+        dram_cycles: u64,
+        cold_frontend_cycles: u64,
+        store_miss_cycles: u64,
+        execution_cycles: u64,
+        latency_cycles: u64,
+    },
+    /// A multi-window SLO burn-rate alert started firing for a
+    /// function (`burn_milli` is the fast-window burn rate ×1000).
+    AlertFire { function: u32, burn_milli: u64 },
+    /// The alert's burn rate dropped back under the threshold.
+    AlertResolve { function: u32, burn_milli: u64 },
 }
 
 impl EventKind {
@@ -123,6 +148,9 @@ impl EventKind {
             EventKind::StoreMiss { .. } => "store-miss",
             EventKind::StoreEvict { .. } => "store-evict",
             EventKind::StoreReject { .. } => "store-reject",
+            EventKind::Attribution { .. } => "attribution",
+            EventKind::AlertFire { .. } => "alert-fire",
+            EventKind::AlertResolve { .. } => "alert-resolve",
         }
     }
 
@@ -144,6 +172,8 @@ impl EventKind {
             | EventKind::StoreMiss { .. }
             | EventKind::StoreEvict { .. }
             | EventKind::StoreReject { .. } => "store",
+            EventKind::Attribution { .. } => "scope",
+            EventKind::AlertFire { .. } | EventKind::AlertResolve { .. } => "slo",
         }
     }
 
@@ -299,10 +329,18 @@ mod tests {
 
     #[test]
     fn track_tids_are_disjoint() {
-        let tracks = [Track::Cluster, Track::Store, Track::Core(0), Track::Core(3)];
+        let tracks = [
+            Track::Cluster,
+            Track::Store,
+            Track::Core(0),
+            Track::Core(3),
+            Track::Core(u32::MAX),
+            Track::Alerts,
+        ];
         let tids: std::collections::BTreeSet<u64> = tracks.iter().map(|t| t.tid()).collect();
         assert_eq!(tids.len(), tracks.len());
         assert_eq!(Track::Core(0).tid(), 2);
+        assert!(Track::Alerts.tid() > Track::Core(u32::MAX).tid());
     }
 
     #[test]

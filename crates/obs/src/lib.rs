@@ -32,7 +32,9 @@
 pub mod chrome;
 pub mod event;
 pub mod metrics;
+pub mod sketch;
 
 pub use chrome::{to_chrome_json, ChromeOptions, CHROME_SCHEMA};
 pub use event::{Event, EventKind, EventSink, NullSink, Phase, TraceBuffer, Track};
 pub use metrics::MetricsRegistry;
+pub use sketch::QuantileSketch;

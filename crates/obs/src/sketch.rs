@@ -1,0 +1,351 @@
+//! A deterministic streaming quantile sketch for latency SLO tracking.
+//!
+//! HDR-histogram-style bucketing over `u64` values: everything below 128
+//! is counted exactly, and each power-of-two octave above that is split
+//! into 64 sub-buckets, so the reported quantile never overstates the
+//! true nearest-rank percentile by more than `value / 64` (~1.6%
+//! relative error). Buckets live in a `BTreeMap`, so iteration — and
+//! therefore every quantile query and the byte serialization — is fully
+//! deterministic across runs and processes.
+//!
+//! Sketches are mergeable ([`QuantileSketch::merge`]): merging the
+//! per-function sketches of a cluster run yields exactly the sketch the
+//! run would have built globally, which is how the scope report computes
+//! cluster-wide percentiles without retaining raw latencies.
+
+use std::collections::BTreeMap;
+
+/// Sub-bucket resolution: 2^6 = 64 sub-buckets per octave.
+const SUB_BITS: u32 = 6;
+/// Values below this are their own (exact) bucket.
+const LINEAR_LIMIT: u64 = 1 << (SUB_BITS + 1);
+/// Serialization magic ("igsk" + format version 1).
+const MAGIC: [u8; 5] = [b'i', b'g', b's', b'k', 1];
+
+/// Bucket index for a value (exact below [`LINEAR_LIMIT`], logarithmic
+/// with 64 sub-buckets per octave above it).
+fn bucket_index(v: u64) -> u32 {
+    if v < LINEAR_LIMIT {
+        return v as u32;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) as u32) & ((1 << SUB_BITS) - 1);
+    LINEAR_LIMIT as u32 + (msb - SUB_BITS - 1) * (1 << SUB_BITS) + sub
+}
+
+/// Inclusive upper bound of a bucket (the value a quantile query
+/// reports for ranks landing in it).
+fn bucket_upper(idx: u32) -> u64 {
+    if u64::from(idx) < LINEAR_LIMIT {
+        return u64::from(idx);
+    }
+    let rel = idx - LINEAR_LIMIT as u32;
+    let group = rel >> SUB_BITS;
+    let sub = rel & ((1 << SUB_BITS) - 1);
+    let shift = group + 1;
+    // The top bucket's upper bound is 2^64 - 1; compute in u128 so the
+    // shift cannot overflow.
+    let upper = ((u128::from(LINEAR_LIMIT / 2) + u128::from(sub) + 1) << shift) - 1;
+    upper.min(u128::from(u64::MAX)) as u64
+}
+
+/// A mergeable, byte-stable streaming quantile sketch over `u64` values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuantileSketch {
+    counts: BTreeMap<u32, u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn observe(&mut self, value: u64) {
+        if self.total == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        *self.counts.entry(bucket_index(value)).or_insert(0) += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Folds another sketch into this one. The result is identical to
+    /// having observed both value streams into a single sketch, in any
+    /// order — the scope report relies on this to build cluster-wide
+    /// quantiles from per-function sketches.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.total == 0 {
+            return;
+        }
+        if self.total == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (&idx, &c) in &other.counts {
+            *self.counts.entry(idx).or_insert(0) += c;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Nearest-rank quantile (`p` in percent, 0..=100): the upper bound
+    /// of the bucket holding the rank-`max(1, ceil(n·p/100))` smallest
+    /// value, clamped to the observed `[min, max]`. Returns 0 when
+    /// empty. Never below the exact nearest-rank percentile, and never
+    /// above it by more than `exact / 64` (exact below 128).
+    pub fn quantile(&self, p: u32) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (u128::from(self.total) * u128::from(p))
+            .div_ceil(100)
+            .clamp(1, u128::from(self.total)) as u64;
+        let mut cum = 0u64;
+        for (&idx, &c) in &self.counts {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Serializes the sketch to a deterministic byte string: identical
+    /// sketches — built in any process, in any observation order —
+    /// produce identical bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + 4 * 8 + 4 + self.counts.len() * 12);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.total.to_le_bytes());
+        out.extend_from_slice(&self.sum.to_le_bytes());
+        out.extend_from_slice(&self.min().to_le_bytes());
+        out.extend_from_slice(&self.max().to_le_bytes());
+        out.extend_from_slice(&(self.counts.len() as u32).to_le_bytes());
+        for (&idx, &c) in &self.counts {
+            out.extend_from_slice(&idx.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a sketch from [`QuantileSketch::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            let end = pos.checked_add(n).filter(|&e| e <= bytes.len());
+            let end = end.ok_or_else(|| format!("sketch truncated at byte {pos}"))?;
+            let s = &bytes[*pos..end];
+            *pos = end;
+            Ok(s)
+        };
+        let mut pos = 0usize;
+        if take(&mut pos, 5)? != MAGIC {
+            return Err("bad sketch magic/version".to_string());
+        }
+        let u64_at = |s: &[u8]| u64::from_le_bytes(s.try_into().expect("8 bytes"));
+        let total = u64_at(take(&mut pos, 8)?);
+        let sum = u64_at(take(&mut pos, 8)?);
+        let min = u64_at(take(&mut pos, 8)?);
+        let max = u64_at(take(&mut pos, 8)?);
+        let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+        let mut counts = BTreeMap::new();
+        let mut counted = 0u64;
+        let mut last: Option<u32> = None;
+        for _ in 0..n {
+            let idx = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+            let c = u64_at(take(&mut pos, 8)?);
+            if last.is_some_and(|l| idx <= l) || c == 0 {
+                return Err("sketch buckets not strictly increasing / empty".to_string());
+            }
+            last = Some(idx);
+            counted += c;
+            counts.insert(idx, c);
+        }
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        if counted != total {
+            return Err(format!("bucket counts sum to {counted}, header says {total}"));
+        }
+        Ok(QuantileSketch { counts, total, sum, min, max })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank percentile over a sorted slice (mirrors the
+    /// cluster's `percentile()` reference).
+    fn exact_percentile(sorted: &[u64], p: u32) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = (sorted.len() as u64 * u64::from(p)).div_ceil(100).max(1) as usize;
+        sorted[rank.min(sorted.len()) - 1]
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut s = QuantileSketch::new();
+        let data: Vec<u64> = (0..128).collect();
+        for &v in &data {
+            s.observe(v);
+        }
+        for p in [0, 25, 50, 75, 99, 100] {
+            assert_eq!(s.quantile(p), exact_percentile(&data, p), "p{p}");
+        }
+        assert_eq!(s.count(), 128);
+        assert_eq!(s.sum(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn bucket_bounds_cover_values() {
+        for v in [0, 1, 127, 128, 129, 255, 256, 1 << 20, u64::MAX - 1, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_upper(idx) >= v, "upper({idx}) < {v}");
+            if idx > 0 {
+                assert!(bucket_upper(idx - 1) < v, "value {v} below its bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sketch_is_zero() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.quantile(50), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn merge_equals_bulk_observation() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut bulk = QuantileSketch::new();
+        for i in 0..500u64 {
+            let v = i * 977 % 100_000;
+            if i % 2 == 0 {
+                a.observe(v)
+            } else {
+                b.observe(v)
+            }
+            bulk.observe(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, bulk);
+        assert_eq!(merged.to_bytes(), bulk.to_bytes());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut s = QuantileSketch::new();
+        for v in [3u64, 70_000, 70_001, 1 << 40, u64::MAX] {
+            s.observe(v);
+        }
+        let bytes = s.to_bytes();
+        let back = QuantileSketch::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, s);
+        assert_eq!(back.to_bytes(), bytes);
+        assert!(QuantileSketch::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(QuantileSketch::from_bytes(b"nope").is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn quantiles_bound_the_exact_percentile(
+            mut data in proptest::collection::vec(0u64..100_000_000, 1..300),
+        ) {
+            let mut s = QuantileSketch::new();
+            for &v in &data {
+                s.observe(v);
+            }
+            data.sort_unstable();
+            for p in 0..=100u32 {
+                let exact = exact_percentile(&data, p);
+                let approx = s.quantile(p);
+                proptest::prop_assert!(approx >= exact, "p{}: {} < exact {}", p, approx, exact);
+                proptest::prop_assert!(
+                    approx <= exact + exact / 64,
+                    "p{}: {} overshoots exact {} by more than 1/64",
+                    p, approx, exact
+                );
+            }
+        }
+
+        #[test]
+        fn quantile_curve_is_monotone_and_clamped(
+            data in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        ) {
+            let mut s = QuantileSketch::new();
+            for &v in &data {
+                s.observe(v);
+            }
+            let curve: Vec<u64> = (0..=100).map(|p| s.quantile(p)).collect();
+            for w in curve.windows(2) {
+                proptest::prop_assert!(w[0] <= w[1]);
+            }
+            proptest::prop_assert_eq!(curve[100], s.max());
+            proptest::prop_assert!(curve[0] >= s.min());
+        }
+
+        #[test]
+        fn serialization_is_order_independent(
+            data in proptest::collection::vec(0u64..10_000_000, 1..100),
+        ) {
+            let mut fwd = QuantileSketch::new();
+            for &v in &data {
+                fwd.observe(v);
+            }
+            let mut rev = QuantileSketch::new();
+            for &v in data.iter().rev() {
+                rev.observe(v);
+            }
+            proptest::prop_assert_eq!(fwd.to_bytes(), rev.to_bytes());
+        }
+    }
+}

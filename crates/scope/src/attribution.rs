@@ -1,0 +1,320 @@
+//! The [`ScopeAnalyzer`] tee sink: exact per-function latency
+//! attribution folded live off the event stream.
+
+use std::collections::BTreeMap;
+
+use ignite_obs::{Event, EventKind, EventSink, QuantileSketch, Track};
+
+use crate::slo::{SloConfig, SloTracker, Transition};
+
+/// One invocation's causal latency breakdown, copied out of its
+/// `Attribution` event. The five components sum exactly to
+/// `latency_cycles`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvocationAttribution {
+    /// Function index in suite order.
+    pub function: u32,
+    /// Completion cycle.
+    pub ts: u64,
+    /// Arrival → dispatch wait.
+    pub queue_cycles: u64,
+    /// Record/replay metadata DRAM transfer.
+    pub dram_cycles: u64,
+    /// Cold front-end stalls (store hit replaying, or Ignite off).
+    pub cold_frontend_cycles: u64,
+    /// Front-end stalls re-paid because the store missed and the
+    /// invocation had to re-record.
+    pub store_miss_cycles: u64,
+    /// Steady-state execution.
+    pub execution_cycles: u64,
+    /// End-to-end latency (arrival → completion).
+    pub latency_cycles: u64,
+}
+
+impl InvocationAttribution {
+    /// Sum of the five components; equals `latency_cycles` by the
+    /// attribution invariant.
+    pub fn component_sum(&self) -> u64 {
+        self.queue_cycles
+            + self.dram_cycles
+            + self.cold_frontend_cycles
+            + self.store_miss_cycles
+            + self.execution_cycles
+    }
+}
+
+/// Per-function attribution aggregates. All cycle fields are sums over
+/// the function's completed invocations.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionAttribution {
+    /// Invocations attributed.
+    pub invocations: u64,
+    /// Summed queueing cycles.
+    pub queue_cycles: u64,
+    /// Summed metadata DRAM cycles.
+    pub dram_cycles: u64,
+    /// Summed cold front-end cycles.
+    pub cold_frontend_cycles: u64,
+    /// Summed store-miss re-record cycles.
+    pub store_miss_cycles: u64,
+    /// Summed execution cycles.
+    pub execution_cycles: u64,
+    /// Summed end-to-end latency.
+    pub latency_cycles: u64,
+    /// Streaming latency quantiles.
+    pub latency: QuantileSketch,
+    /// SLO violations (0 when no SLO is configured).
+    pub violations: u64,
+    /// Alert fire transitions.
+    pub alert_fires: u64,
+    /// Alert resolve transitions.
+    pub alert_resolves: u64,
+}
+
+impl FunctionAttribution {
+    fn ingest(&mut self, a: &InvocationAttribution) {
+        self.invocations += 1;
+        self.queue_cycles += a.queue_cycles;
+        self.dram_cycles += a.dram_cycles;
+        self.cold_frontend_cycles += a.cold_frontend_cycles;
+        self.store_miss_cycles += a.store_miss_cycles;
+        self.execution_cycles += a.execution_cycles;
+        self.latency_cycles += a.latency_cycles;
+        self.latency.observe(a.latency_cycles);
+    }
+}
+
+/// An [`EventSink`] that forwards every event to an inner sink while
+/// folding `Attribution` events into per-function aggregates, and —
+/// when an [`SloConfig`] is present — driving a burn-rate tracker per
+/// function whose alert transitions are emitted into the inner sink on
+/// [`Track::Alerts`].
+///
+/// Wrap a `TraceBuffer` to get both a trace and attribution, or a
+/// `NullSink` for attribution alone. The analyzer itself is always
+/// enabled; the inner sink's own `enabled()` still gates forwarding, so
+/// wrapping `NullSink` costs no buffering.
+#[derive(Debug, Default)]
+pub struct ScopeAnalyzer<S: EventSink> {
+    inner: S,
+    slo: Option<SloConfig>,
+    per_function: BTreeMap<u32, FunctionAttribution>,
+    trackers: BTreeMap<u32, SloTracker>,
+    invocations: Vec<InvocationAttribution>,
+    overall: QuantileSketch,
+}
+
+impl<S: EventSink> ScopeAnalyzer<S> {
+    /// Wraps an inner sink, with no SLO tracking.
+    pub fn new(inner: S) -> Self {
+        ScopeAnalyzer {
+            inner,
+            slo: None,
+            per_function: BTreeMap::new(),
+            trackers: BTreeMap::new(),
+            invocations: Vec::new(),
+            overall: QuantileSketch::new(),
+        }
+    }
+
+    /// Enables burn-rate alerting under the given SLO.
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// The SLO in force, if any.
+    pub fn slo(&self) -> Option<&SloConfig> {
+        self.slo.as_ref()
+    }
+
+    /// Every attributed invocation, in completion-event (dispatch)
+    /// order.
+    pub fn invocations(&self) -> &[InvocationAttribution] {
+        &self.invocations
+    }
+
+    /// Per-function aggregates, keyed by function index.
+    pub fn per_function(&self) -> &BTreeMap<u32, FunctionAttribution> {
+        &self.per_function
+    }
+
+    /// Latency sketch over all invocations.
+    pub fn overall(&self) -> &QuantileSketch {
+        &self.overall
+    }
+
+    /// Total attributed invocations.
+    pub fn total_invocations(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// Cumulative SLO violations across all functions.
+    pub fn total_violations(&self) -> u64 {
+        self.per_function.values().map(|f| f.violations).sum()
+    }
+
+    /// Hands back the inner sink (e.g. to export the trace).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Borrows the inner sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: EventSink> EventSink for ScopeAnalyzer<S> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: Event) {
+        if self.inner.enabled() {
+            self.inner.record(event);
+        }
+        let EventKind::Attribution {
+            function,
+            queue_cycles,
+            dram_cycles,
+            cold_frontend_cycles,
+            store_miss_cycles,
+            execution_cycles,
+            latency_cycles,
+        } = event.kind
+        else {
+            return;
+        };
+        let a = InvocationAttribution {
+            function,
+            ts: event.ts,
+            queue_cycles,
+            dram_cycles,
+            cold_frontend_cycles,
+            store_miss_cycles,
+            execution_cycles,
+            latency_cycles,
+        };
+        debug_assert_eq!(a.component_sum(), a.latency_cycles, "attribution components must tile");
+        let agg = self.per_function.entry(function).or_default();
+        agg.ingest(&a);
+        self.overall.observe(latency_cycles);
+        self.invocations.push(a);
+        if let Some(cfg) = self.slo {
+            let tracker = self.trackers.entry(function).or_default();
+            if let Some(tr) = tracker.observe(&cfg, event.ts, latency_cycles) {
+                let agg = self.per_function.entry(function).or_default();
+                agg.violations = tracker.violations();
+                let kind = match tr {
+                    Transition::Fire { burn_milli } => {
+                        agg.alert_fires += 1;
+                        EventKind::AlertFire { function, burn_milli }
+                    }
+                    Transition::Resolve { burn_milli } => {
+                        agg.alert_resolves += 1;
+                        EventKind::AlertResolve { function, burn_milli }
+                    }
+                };
+                if self.inner.enabled() {
+                    self.inner.record(Event { ts: event.ts, dur: 0, track: Track::Alerts, kind });
+                }
+            } else {
+                self.per_function.get_mut(&function).expect("just inserted").violations =
+                    tracker.violations();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ignite_obs::{NullSink, TraceBuffer};
+
+    fn attr_event(function: u32, ts: u64, queue: u64, exec: u64) -> Event {
+        Event {
+            ts,
+            dur: 0,
+            track: Track::Cluster,
+            kind: EventKind::Attribution {
+                function,
+                queue_cycles: queue,
+                dram_cycles: 0,
+                cold_frontend_cycles: 0,
+                store_miss_cycles: 0,
+                execution_cycles: exec,
+                latency_cycles: queue + exec,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates_per_function() {
+        let mut an = ScopeAnalyzer::new(NullSink);
+        an.record(attr_event(0, 100, 10, 40));
+        an.record(attr_event(1, 200, 0, 70));
+        an.record(attr_event(0, 300, 30, 20));
+        assert_eq!(an.total_invocations(), 3);
+        assert_eq!(an.invocations().len(), 3);
+        let f0 = &an.per_function()[&0];
+        assert_eq!(f0.invocations, 2);
+        assert_eq!(f0.queue_cycles, 40);
+        assert_eq!(f0.execution_cycles, 60);
+        assert_eq!(f0.latency_cycles, 100);
+        assert_eq!(f0.latency.count(), 2);
+        for a in an.invocations() {
+            assert_eq!(a.component_sum(), a.latency_cycles);
+        }
+    }
+
+    #[test]
+    fn non_attribution_events_pass_through_untouched() {
+        let mut an = ScopeAnalyzer::new(TraceBuffer::new(16));
+        let ev = Event {
+            ts: 5,
+            dur: 0,
+            track: Track::Cluster,
+            kind: EventKind::Arrival { function: 3 },
+        };
+        an.record(ev);
+        assert_eq!(an.total_invocations(), 0);
+        let buf = an.into_inner();
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.iter().next(), Some(&ev));
+    }
+
+    #[test]
+    fn alert_transitions_reach_the_inner_sink_on_the_alerts_track() {
+        let slo = SloConfig {
+            threshold_cycles: 50,
+            objective_milli: 500,
+            fast_window_cycles: 1_000,
+            slow_window_cycles: 4_000,
+            burn_milli: 2_000,
+            min_count: 2,
+        };
+        let mut an = ScopeAnalyzer::new(TraceBuffer::new(64)).with_slo(slo);
+        for i in 0..4u64 {
+            an.record(attr_event(0, 100 * (i + 1), 0, 500));
+        }
+        assert!(an.per_function()[&0].alert_fires >= 1);
+        assert_eq!(an.per_function()[&0].violations, 4);
+        let buf = an.into_inner();
+        let fires: Vec<&Event> =
+            buf.iter().filter(|e| matches!(e.kind, EventKind::AlertFire { .. })).collect();
+        assert!(!fires.is_empty());
+        assert!(fires.iter().all(|e| e.track == Track::Alerts));
+    }
+
+    #[test]
+    fn null_inner_sink_still_aggregates() {
+        let mut an = ScopeAnalyzer::new(NullSink).with_slo(SloConfig {
+            min_count: 1,
+            threshold_cycles: 1,
+            ..SloConfig::default()
+        });
+        an.record(attr_event(7, 10, 0, 100));
+        assert_eq!(an.per_function()[&7].violations, 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! Differential run analysis: compare two serialized reports and flag
+//! significant regressions and improvements.
+//!
+//! [`load_samples`] auto-detects the input by schema tag — an
+//! `ignite-cluster-v1` report, an `ignite-scope-v1` report, or an
+//! `ignite-bench-v1` benchmark file — and flattens it into named
+//! metric samples, each with a direction (is higher better?) and a
+//! noise floor. [`diff`] then compares two sample sets: a change is
+//! *significant* only when it exceeds both a relative threshold and
+//! three times the combined noise floors, so bench jitter does not
+//! read as a regression.
+
+use std::fmt::Write as _;
+
+use ignite_cluster::json::{self, Value};
+
+/// One comparable metric from a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Stable path-style name, e.g. `totals/p99_latency_cycles`.
+    pub name: String,
+    /// The value.
+    pub value: f64,
+    /// Noise floor (same units as `value`); 0 when unknown.
+    pub noise: f64,
+    /// Whether larger values are better (utilization, hit rate) or
+    /// worse (latency, violations).
+    pub higher_is_better: bool,
+}
+
+fn sample(name: String, value: f64, noise: f64, higher_is_better: bool) -> MetricSample {
+    MetricSample { name, value, noise, higher_is_better }
+}
+
+fn num(obj: &[(String, Value)], key: &str) -> Option<f64> {
+    json::get(obj, key).and_then(Value::as_f64)
+}
+
+fn cluster_samples(obj: &[(String, Value)]) -> Vec<MetricSample> {
+    let mut out = Vec::new();
+    if let Some(t) = json::get(obj, "totals").and_then(Value::as_object) {
+        for (key, higher) in [
+            ("mean_latency_cycles", false),
+            ("p50_latency_cycles", false),
+            ("p95_latency_cycles", false),
+            ("p99_latency_cycles", false),
+            ("makespan_cycles", false),
+            ("mean_utilization", true),
+        ] {
+            if let Some(v) = num(t, key) {
+                out.push(sample(format!("totals/{key}"), v, 0.0, higher));
+            }
+        }
+    }
+    if let Some(st) = json::get(obj, "store").and_then(Value::as_object) {
+        if let Some(v) = num(st, "hit_rate") {
+            out.push(sample("store/hit_rate".to_string(), v, 0.0, true));
+        }
+    }
+    if let Some(fs) = json::get(obj, "functions").and_then(Value::as_array) {
+        for f in fs {
+            let Some(fo) = f.as_object() else { continue };
+            let Some(abbr) = json::get(fo, "function").and_then(Value::as_str) else { continue };
+            for (key, higher) in [("p99_latency_cycles", false), ("mean_service_cycles", false)] {
+                if let Some(v) = num(fo, key) {
+                    out.push(sample(format!("function/{abbr}/{key}"), v, 0.0, higher));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn scope_samples(obj: &[(String, Value)]) -> Vec<MetricSample> {
+    let mut out = Vec::new();
+    if let Some(t) = json::get(obj, "totals").and_then(Value::as_object) {
+        let inv = num(t, "invocations").unwrap_or(0.0);
+        if inv > 0.0 {
+            for key in [
+                "queue_cycles",
+                "dram_cycles",
+                "cold_frontend_cycles",
+                "store_miss_cycles",
+                "execution_cycles",
+                "latency_cycles",
+            ] {
+                if let Some(v) = num(t, key) {
+                    out.push(sample(format!("totals/mean_{key}"), v / inv, 0.0, false));
+                }
+            }
+        }
+        for key in ["p50_latency_cycles", "p95_latency_cycles", "p99_latency_cycles"] {
+            if let Some(v) = num(t, key) {
+                out.push(sample(format!("totals/{key}"), v, 0.0, false));
+            }
+        }
+        if let Some(v) = num(t, "slo_violations") {
+            out.push(sample("totals/slo_violations".to_string(), v, 0.0, false));
+        }
+    }
+    if let Some(fs) = json::get(obj, "functions").and_then(Value::as_array) {
+        for f in fs {
+            let Some(fo) = f.as_object() else { continue };
+            let Some(abbr) = json::get(fo, "function").and_then(Value::as_str) else { continue };
+            if let Some(v) = num(fo, "p99_latency_cycles") {
+                out.push(sample(format!("function/{abbr}/p99_latency_cycles"), v, 0.0, false));
+            }
+        }
+    }
+    out
+}
+
+fn bench_samples(obj: &[(String, Value)]) -> Vec<MetricSample> {
+    let mut out = Vec::new();
+    if let Some(rs) = json::get(obj, "results").and_then(Value::as_array) {
+        for r in rs {
+            let Some(ro) = r.as_object() else { continue };
+            let Some(name) = json::get(ro, "name").and_then(Value::as_str) else { continue };
+            let Some(wall) = num(ro, "wall_ns") else { continue };
+            let mad = num(ro, "mad_ns").unwrap_or(0.0);
+            out.push(sample(format!("bench/{name}/wall_ns"), wall, mad, false));
+        }
+    }
+    out
+}
+
+/// Flattens a serialized report into comparable samples, detecting the
+/// schema from the document's `schema` tag.
+pub fn load_samples(text: &str) -> Result<Vec<MetricSample>, String> {
+    let doc = json::parse(text)?;
+    let obj = doc.as_object().ok_or("document is not an object")?;
+    let schema =
+        json::get(obj, "schema").and_then(Value::as_str).ok_or("document has no 'schema' tag")?;
+    let samples = match schema {
+        "ignite-cluster-v1" => cluster_samples(obj),
+        "ignite-scope-v1" => scope_samples(obj),
+        "ignite-bench-v1" => bench_samples(obj),
+        other => return Err(format!("unsupported schema '{other}'")),
+    };
+    if samples.is_empty() {
+        return Err(format!("no comparable metrics in '{schema}' document"));
+    }
+    Ok(samples)
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub old: f64,
+    /// New value.
+    pub new: f64,
+    /// Relative change in percent (positive = increased).
+    pub delta_pct: f64,
+    /// Whether the change cleared both significance gates.
+    pub significant: bool,
+    /// Significant *and* in the worse direction.
+    pub regression: bool,
+    /// Significant *and* in the better direction.
+    pub improvement: bool,
+}
+
+/// The result of comparing two sample sets.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Every metric present in both inputs, in baseline order.
+    pub entries: Vec<DiffEntry>,
+    /// Metric names only in the baseline.
+    pub removed: Vec<String>,
+    /// Metric names only in the new run.
+    pub added: Vec<String>,
+}
+
+impl DiffReport {
+    /// Number of significant regressions.
+    pub fn regressions(&self) -> usize {
+        self.entries.iter().filter(|e| e.regression).count()
+    }
+
+    /// Number of significant improvements.
+    pub fn improvements(&self) -> usize {
+        self.entries.iter().filter(|e| e.improvement).count()
+    }
+
+    /// Human-readable summary, significant changes first.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "scope diff: {} metrics compared, {} regressions, {} improvements",
+            self.entries.len(),
+            self.regressions(),
+            self.improvements()
+        );
+        for e in self.entries.iter().filter(|e| e.significant) {
+            let tag = if e.regression { "REGRESSION " } else { "improvement" };
+            let _ = writeln!(
+                s,
+                "  {tag} {:<44} {:>14.2} -> {:>14.2} ({:+.2}%)",
+                e.name, e.old, e.new, e.delta_pct
+            );
+        }
+        for name in &self.removed {
+            let _ = writeln!(s, "  removed     {name}");
+        }
+        for name in &self.added {
+            let _ = writeln!(s, "  added       {name}");
+        }
+        s
+    }
+}
+
+/// Compares two sample sets. A change is significant when its absolute
+/// delta exceeds `threshold_pct` percent of the baseline *and* three
+/// times the combined noise floors; direction then decides regression
+/// vs improvement.
+pub fn diff(old: &[MetricSample], new: &[MetricSample], threshold_pct: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    for o in old {
+        let Some(n) = new.iter().find(|n| n.name == o.name) else {
+            report.removed.push(o.name.clone());
+            continue;
+        };
+        if o.value == 0.0 && n.value == 0.0 {
+            report.entries.push(DiffEntry {
+                name: o.name.clone(),
+                old: 0.0,
+                new: 0.0,
+                delta_pct: 0.0,
+                significant: false,
+                regression: false,
+                improvement: false,
+            });
+            continue;
+        }
+        let delta = n.value - o.value;
+        let delta_pct =
+            if o.value == 0.0 { 100.0 * delta.signum() } else { 100.0 * delta / o.value };
+        let noise_gate = 3.0 * (o.noise + n.noise);
+        let significant = delta_pct.abs() > threshold_pct && delta.abs() > noise_gate;
+        let worse = if o.higher_is_better { delta < 0.0 } else { delta > 0.0 };
+        report.entries.push(DiffEntry {
+            name: o.name.clone(),
+            old: o.value,
+            new: n.value,
+            delta_pct,
+            significant,
+            regression: significant && worse,
+            improvement: significant && !worse,
+        });
+    }
+    for n in new {
+        if !old.iter().any(|o| o.name == n.name) {
+            report.added.push(n.name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(name: &str, value: f64) -> MetricSample {
+        sample(name.to_string(), value, 0.0, false)
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let a = vec![s("x", 10.0), s("y", 0.0)];
+        let d = diff(&a, &a, 5.0);
+        assert_eq!(d.regressions(), 0);
+        assert_eq!(d.improvements(), 0);
+        assert_eq!(d.entries.len(), 2);
+    }
+
+    #[test]
+    fn direction_decides_regression() {
+        let old = vec![s("latency", 100.0)];
+        let new = vec![s("latency", 150.0)];
+        let d = diff(&old, &new, 10.0);
+        assert_eq!(d.regressions(), 1);
+        // Lower latency is an improvement.
+        let d = diff(&new, &old, 10.0);
+        assert_eq!(d.improvements(), 1);
+        // Higher-is-better flips the call.
+        let old = vec![sample("util".into(), 0.5, 0.0, true)];
+        let new = vec![sample("util".into(), 0.9, 0.0, true)];
+        assert_eq!(diff(&old, &new, 10.0).improvements(), 1);
+        assert_eq!(diff(&new, &old, 10.0).regressions(), 1);
+    }
+
+    #[test]
+    fn noise_floor_suppresses_jitter() {
+        let old = vec![sample("bench/x/wall_ns".into(), 1_000.0, 200.0, false)];
+        let new = vec![sample("bench/x/wall_ns".into(), 1_500.0, 200.0, false)];
+        // +50% but within 3*(200+200) = 1200 of noise: not significant.
+        let d = diff(&old, &new, 25.0);
+        assert_eq!(d.regressions(), 0);
+        // Same delta with tight noise is flagged.
+        let old = vec![sample("bench/x/wall_ns".into(), 1_000.0, 10.0, false)];
+        let new = vec![sample("bench/x/wall_ns".into(), 1_500.0, 10.0, false)];
+        assert_eq!(diff(&old, &new, 25.0).regressions(), 1);
+    }
+
+    #[test]
+    fn added_and_removed_metrics_are_listed_not_compared() {
+        let old = vec![s("a", 1.0)];
+        let new = vec![s("b", 1.0)];
+        let d = diff(&old, &new, 5.0);
+        assert!(d.entries.is_empty());
+        assert_eq!(d.removed, vec!["a".to_string()]);
+        assert_eq!(d.added, vec!["b".to_string()]);
+        let text = d.to_text();
+        assert!(text.contains("removed") && text.contains("added"));
+    }
+
+    #[test]
+    fn loads_bench_schema() {
+        let text = r#"{"schema": "ignite-bench-v1", "results": [
+            {"name": "decode", "kind": "micro", "wall_ns": 1200, "mad_ns": 15}
+        ]}"#;
+        let samples = load_samples(text).expect("bench samples");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].name, "bench/decode/wall_ns");
+        assert_eq!(samples[0].noise, 15.0);
+        assert!(!samples[0].higher_is_better);
+    }
+
+    #[test]
+    fn rejects_unknown_schema() {
+        assert!(load_samples(r#"{"schema": "nope"}"#).is_err());
+        assert!(load_samples("{}").is_err());
+    }
+}

@@ -1,0 +1,419 @@
+//! The `ignite-scope-v1` report: serialization, validation, and
+//! Prometheus exposition of an analyzer's aggregates.
+
+use std::fmt::Write as _;
+
+use ignite_cluster::json::{self, Value};
+use ignite_obs::{EventSink, MetricsRegistry, QuantileSketch};
+
+use crate::attribution::ScopeAnalyzer;
+use crate::slo::SloConfig;
+
+/// Schema tag written into (and required of) every scope report.
+pub const SCOPE_SCHEMA: &str = "ignite-scope-v1";
+
+/// Per-function rows of the report.
+#[derive(Debug, Clone)]
+pub struct FunctionScope {
+    /// Function index in suite order.
+    pub function: u32,
+    /// Table-1 abbreviation (or `fn-<i>` when unknown).
+    pub abbr: String,
+    /// Invocations attributed.
+    pub invocations: u64,
+    /// Summed queueing cycles.
+    pub queue_cycles: u64,
+    /// Summed metadata DRAM cycles.
+    pub dram_cycles: u64,
+    /// Summed cold front-end cycles.
+    pub cold_frontend_cycles: u64,
+    /// Summed store-miss re-record cycles.
+    pub store_miss_cycles: u64,
+    /// Summed execution cycles.
+    pub execution_cycles: u64,
+    /// Summed end-to-end latency.
+    pub latency_cycles: u64,
+    /// Sketch quantiles.
+    pub p50_latency: u64,
+    /// 95th percentile.
+    pub p95_latency: u64,
+    /// 99th percentile.
+    pub p99_latency: u64,
+    /// SLO violations.
+    pub violations: u64,
+    /// Alert fire transitions.
+    pub alert_fires: u64,
+    /// Alert resolve transitions.
+    pub alert_resolves: u64,
+}
+
+impl FunctionScope {
+    /// This row's numeric fields as a [`ScopeTotals`] (the two carry
+    /// the same measurements; only abbr/index are extra).
+    fn totals(&self) -> ScopeTotals {
+        ScopeTotals {
+            invocations: self.invocations,
+            queue_cycles: self.queue_cycles,
+            dram_cycles: self.dram_cycles,
+            cold_frontend_cycles: self.cold_frontend_cycles,
+            store_miss_cycles: self.store_miss_cycles,
+            execution_cycles: self.execution_cycles,
+            latency_cycles: self.latency_cycles,
+            p50_latency: self.p50_latency,
+            p95_latency: self.p95_latency,
+            p99_latency: self.p99_latency,
+            violations: self.violations,
+            alert_fires: self.alert_fires,
+            alert_resolves: self.alert_resolves,
+        }
+    }
+}
+
+/// Cluster-wide totals.
+#[derive(Debug, Clone, Default)]
+pub struct ScopeTotals {
+    /// Invocations attributed.
+    pub invocations: u64,
+    /// Summed queueing cycles.
+    pub queue_cycles: u64,
+    /// Summed metadata DRAM cycles.
+    pub dram_cycles: u64,
+    /// Summed cold front-end cycles.
+    pub cold_frontend_cycles: u64,
+    /// Summed store-miss re-record cycles.
+    pub store_miss_cycles: u64,
+    /// Summed execution cycles.
+    pub execution_cycles: u64,
+    /// Summed end-to-end latency.
+    pub latency_cycles: u64,
+    /// Sketch quantiles over all invocations.
+    pub p50_latency: u64,
+    /// 95th percentile.
+    pub p95_latency: u64,
+    /// 99th percentile.
+    pub p99_latency: u64,
+    /// SLO violations across all functions.
+    pub violations: u64,
+    /// Alert fire transitions across all functions.
+    pub alert_fires: u64,
+    /// Alert resolve transitions across all functions.
+    pub alert_resolves: u64,
+}
+
+/// The full report, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct ScopeReport {
+    /// SLO in force during the run, if any.
+    pub slo: Option<SloConfig>,
+    /// Cluster-wide totals.
+    pub totals: ScopeTotals,
+    /// Per-function rows, by function index.
+    pub functions: Vec<FunctionScope>,
+}
+
+impl ScopeReport {
+    /// Builds the report from a finished analyzer. `abbrs` maps
+    /// function index to its abbreviation (suite order, as in
+    /// `ClusterOutcome::functions`); indices past the end get `fn-<i>`.
+    pub fn from_analyzer<S: EventSink>(analyzer: &ScopeAnalyzer<S>, abbrs: &[String]) -> Self {
+        let q = |s: &QuantileSketch| (s.quantile(50), s.quantile(95), s.quantile(99));
+        let mut totals = ScopeTotals::default();
+        let mut functions = Vec::new();
+        for (&function, f) in analyzer.per_function() {
+            let (p50, p95, p99) = q(&f.latency);
+            let abbr =
+                abbrs.get(function as usize).cloned().unwrap_or_else(|| format!("fn-{function}"));
+            functions.push(FunctionScope {
+                function,
+                abbr,
+                invocations: f.invocations,
+                queue_cycles: f.queue_cycles,
+                dram_cycles: f.dram_cycles,
+                cold_frontend_cycles: f.cold_frontend_cycles,
+                store_miss_cycles: f.store_miss_cycles,
+                execution_cycles: f.execution_cycles,
+                latency_cycles: f.latency_cycles,
+                p50_latency: p50,
+                p95_latency: p95,
+                p99_latency: p99,
+                violations: f.violations,
+                alert_fires: f.alert_fires,
+                alert_resolves: f.alert_resolves,
+            });
+            totals.queue_cycles += f.queue_cycles;
+            totals.dram_cycles += f.dram_cycles;
+            totals.cold_frontend_cycles += f.cold_frontend_cycles;
+            totals.store_miss_cycles += f.store_miss_cycles;
+            totals.execution_cycles += f.execution_cycles;
+            totals.latency_cycles += f.latency_cycles;
+            totals.violations += f.violations;
+            totals.alert_fires += f.alert_fires;
+            totals.alert_resolves += f.alert_resolves;
+        }
+        totals.invocations = analyzer.total_invocations();
+        let (p50, p95, p99) = q(analyzer.overall());
+        totals.p50_latency = p50;
+        totals.p95_latency = p95;
+        totals.p99_latency = p99;
+        ScopeReport { slo: analyzer.slo().copied(), totals, functions }
+    }
+
+    /// Serializes to deterministic, pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        fn push_components(s: &mut String, indent: &str, c: &ScopeTotals) {
+            let _ = writeln!(s, "{indent}\"invocations\": {},", c.invocations);
+            let _ = writeln!(s, "{indent}\"queue_cycles\": {},", c.queue_cycles);
+            let _ = writeln!(s, "{indent}\"dram_cycles\": {},", c.dram_cycles);
+            let _ = writeln!(s, "{indent}\"cold_frontend_cycles\": {},", c.cold_frontend_cycles);
+            let _ = writeln!(s, "{indent}\"store_miss_cycles\": {},", c.store_miss_cycles);
+            let _ = writeln!(s, "{indent}\"execution_cycles\": {},", c.execution_cycles);
+            let _ = writeln!(s, "{indent}\"latency_cycles\": {},", c.latency_cycles);
+            let _ = writeln!(s, "{indent}\"p50_latency_cycles\": {},", c.p50_latency);
+            let _ = writeln!(s, "{indent}\"p95_latency_cycles\": {},", c.p95_latency);
+            let _ = writeln!(s, "{indent}\"p99_latency_cycles\": {},", c.p99_latency);
+            let _ = writeln!(s, "{indent}\"slo_violations\": {},", c.violations);
+            let _ = writeln!(s, "{indent}\"alert_fires\": {},", c.alert_fires);
+            let _ = writeln!(s, "{indent}\"alert_resolves\": {}", c.alert_resolves);
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{SCOPE_SCHEMA}\",");
+        match &self.slo {
+            None => s.push_str("  \"slo\": null,\n"),
+            Some(slo) => {
+                s.push_str("  \"slo\": {\n");
+                let _ = writeln!(s, "    \"threshold_cycles\": {},", slo.threshold_cycles);
+                let _ = writeln!(s, "    \"objective_milli\": {},", slo.objective_milli);
+                let _ = writeln!(s, "    \"fast_window_cycles\": {},", slo.fast_window_cycles);
+                let _ = writeln!(s, "    \"slow_window_cycles\": {},", slo.slow_window_cycles);
+                let _ = writeln!(s, "    \"burn_milli\": {},", slo.burn_milli);
+                let _ = writeln!(s, "    \"min_count\": {}", slo.min_count);
+                s.push_str("  },\n");
+            }
+        }
+        s.push_str("  \"totals\": {\n");
+        push_components(&mut s, "    ", &self.totals);
+        s.push_str("  },\n");
+        s.push_str("  \"functions\": [\n");
+        for (i, f) in self.functions.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"function\": {},", json::escape(&f.abbr));
+            let _ = writeln!(s, "      \"index\": {},", f.function);
+            push_components(&mut s, "      ", &f.totals());
+            s.push_str(if i + 1 == self.functions.len() { "    }\n" } else { "    },\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Validates serialized report text: parseable JSON, the right
+    /// schema tag, every required key, and the attribution invariant —
+    /// the five components sum exactly to the latency, in the totals
+    /// and in every function row — plus quantile ordering.
+    pub fn validate(text: &str) -> Result<(), String> {
+        let doc = json::parse(text)?;
+        let obj = doc.as_object().ok_or("report is not an object")?;
+        let schema = json::get(obj, "schema").and_then(Value::as_str);
+        if schema != Some(SCOPE_SCHEMA) {
+            return Err(format!("schema {schema:?}, want {SCOPE_SCHEMA:?}"));
+        }
+        match json::get(obj, "slo") {
+            None => return Err("missing 'slo'".to_string()),
+            Some(Value::Null) => {}
+            Some(v) => {
+                let so = v.as_object().ok_or("'slo' is not an object or null")?;
+                for k in [
+                    "threshold_cycles",
+                    "objective_milli",
+                    "fast_window_cycles",
+                    "slow_window_cycles",
+                    "burn_milli",
+                    "min_count",
+                ] {
+                    json::get(so, k)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("slo: missing number '{k}'"))?;
+                }
+            }
+        }
+        let check_section = |o: &[(String, Value)], ctx: &str| -> Result<(), String> {
+            let get = |k: &str| {
+                json::get(o, k)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{ctx}: missing number '{k}'"))
+            };
+            let queue = get("queue_cycles")?;
+            let dram = get("dram_cycles")?;
+            let cold = get("cold_frontend_cycles")?;
+            let miss = get("store_miss_cycles")?;
+            let exec = get("execution_cycles")?;
+            let lat = get("latency_cycles")?;
+            // Integer cycle counts survive the f64 round trip exactly
+            // below 2^53, so equality here is exact.
+            let sum = queue + dram + cold + miss + exec;
+            if sum != lat {
+                return Err(format!("{ctx}: components sum to {sum}, latency is {lat}"));
+            }
+            let p50 = get("p50_latency_cycles")?;
+            let p95 = get("p95_latency_cycles")?;
+            let p99 = get("p99_latency_cycles")?;
+            if !(p50 <= p95 && p95 <= p99) {
+                return Err(format!("{ctx}: quantiles not ordered: {p50} {p95} {p99}"));
+            }
+            for k in ["invocations", "slo_violations", "alert_fires", "alert_resolves"] {
+                get(k)?;
+            }
+            Ok(())
+        };
+        let totals =
+            json::get(obj, "totals").and_then(Value::as_object).ok_or("missing object 'totals'")?;
+        check_section(totals, "totals")?;
+        let functions = json::get(obj, "functions")
+            .and_then(Value::as_array)
+            .ok_or("missing array 'functions'")?;
+        let mut inv_sum = 0.0;
+        for (i, f) in functions.iter().enumerate() {
+            let fo = f.as_object().ok_or_else(|| format!("functions[{i}] is not an object"))?;
+            json::get(fo, "function")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("functions[{i}]: missing string 'function'"))?;
+            check_section(fo, &format!("functions[{i}]"))?;
+            inv_sum += json::get(fo, "invocations").and_then(Value::as_f64).unwrap_or(0.0);
+        }
+        let total_inv = json::get(totals, "invocations").and_then(Value::as_f64).unwrap_or(-1.0);
+        if inv_sum != total_inv {
+            return Err(format!("function invocations sum to {inv_sum}, totals say {total_inv}"));
+        }
+        Ok(())
+    }
+}
+
+/// Records the report into a metrics registry as
+/// `ignite_scope_*` families: per-component cycle counters labeled by
+/// component and function, invocation/violation/alert counters, and
+/// quantile gauges.
+pub fn record_scope_metrics(reg: &mut MetricsRegistry, report: &ScopeReport) {
+    for f in &report.functions {
+        let fl = [("function", f.abbr.as_str())];
+        for (component, cycles) in [
+            ("queue", f.queue_cycles),
+            ("dram", f.dram_cycles),
+            ("cold_frontend", f.cold_frontend_cycles),
+            ("store_miss", f.store_miss_cycles),
+            ("execution", f.execution_cycles),
+        ] {
+            reg.inc_counter(
+                "ignite_scope_component_cycles_total",
+                "Attributed latency cycles by causal component",
+                &[("component", component), ("function", f.abbr.as_str())],
+                cycles,
+            );
+        }
+        reg.inc_counter(
+            "ignite_scope_invocations_total",
+            "Invocations attributed by scope",
+            &fl,
+            f.invocations,
+        );
+        reg.inc_counter(
+            "ignite_scope_slo_violations_total",
+            "Invocations over the SLO latency threshold",
+            &fl,
+            f.violations,
+        );
+        reg.inc_counter(
+            "ignite_scope_alert_fires_total",
+            "Burn-rate alert fire transitions",
+            &fl,
+            f.alert_fires,
+        );
+        reg.set_gauge(
+            "ignite_scope_p99_latency_cycles",
+            "Sketch 99th-percentile latency",
+            &fl,
+            f.p99_latency as f64,
+        );
+    }
+    reg.set_gauge(
+        "ignite_scope_p99_latency_cycles",
+        "Sketch 99th-percentile latency",
+        &[("function", "all")],
+        report.totals.p99_latency as f64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribution::ScopeAnalyzer;
+    use ignite_obs::{Event, EventKind, NullSink, Track};
+
+    fn analyzer_with_traffic() -> ScopeAnalyzer<NullSink> {
+        let mut an = ScopeAnalyzer::new(NullSink).with_slo(SloConfig::default());
+        for i in 0u64..50 {
+            let function = (i % 3) as u32;
+            let queue = 13 * i;
+            let exec = 40_000 + 1_000 * i;
+            an.record(Event {
+                ts: 1_000 * (i + 1),
+                dur: 0,
+                track: Track::Cluster,
+                kind: EventKind::Attribution {
+                    function,
+                    queue_cycles: queue,
+                    dram_cycles: 128 * i,
+                    cold_frontend_cycles: if i % 2 == 0 { 9_000 } else { 0 },
+                    store_miss_cycles: if i % 2 == 1 { 9_000 } else { 0 },
+                    execution_cycles: exec,
+                    latency_cycles: queue + 128 * i + 9_000 + exec,
+                },
+            });
+        }
+        an
+    }
+
+    #[test]
+    fn report_round_trips_through_validate() {
+        let an = analyzer_with_traffic();
+        let report = ScopeReport::from_analyzer(&an, &["aes".into(), "img".into()]);
+        let text = report.to_json();
+        ScopeReport::validate(&text).expect("valid report");
+        // fn-2 had no abbr supplied.
+        assert!(text.contains("\"fn-2\""));
+        // Deterministic serialization.
+        assert_eq!(text, report.to_json());
+    }
+
+    #[test]
+    fn validate_rejects_broken_invariant() {
+        let an = analyzer_with_traffic();
+        let report = ScopeReport::from_analyzer(&an, &[]);
+        let good = report.to_json();
+        let bad = good.replacen("\"queue_cycles\": ", "\"queue_cycles\": 1", 1);
+        assert!(ScopeReport::validate(&bad).is_err());
+        assert!(ScopeReport::validate("{}").is_err());
+        assert!(ScopeReport::validate("not json").is_err());
+    }
+
+    #[test]
+    fn metrics_exposition_contains_every_component() {
+        let an = analyzer_with_traffic();
+        let report = ScopeReport::from_analyzer(&an, &[]);
+        let mut reg = MetricsRegistry::new();
+        record_scope_metrics(&mut reg, &report);
+        let text = reg.expose();
+        for needle in [
+            "ignite_scope_component_cycles_total",
+            "component=\"queue\"",
+            "component=\"dram\"",
+            "component=\"cold_frontend\"",
+            "component=\"store_miss\"",
+            "component=\"execution\"",
+            "ignite_scope_invocations_total",
+            "ignite_scope_slo_violations_total",
+            "ignite_scope_p99_latency_cycles",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

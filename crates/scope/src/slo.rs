@@ -1,0 +1,242 @@
+//! Multi-window burn-rate SLO tracking over the attribution stream.
+//!
+//! The SLO is availability-style: a fraction `objective_milli / 1000`
+//! of invocations must complete under `threshold_cycles`. The tracker
+//! follows the multi-window burn-rate recipe: an alert fires only when
+//! *both* a fast window (quick detection, quick resolution) and a slow
+//! window (resistance to blips) burn error budget faster than
+//! `burn_milli / 1000`×. All arithmetic is integer, so two processes
+//! fed the same stream make identical decisions.
+//!
+//! Attribution events are stamped with *completion* time but arrive in
+//! *dispatch* order, so timestamps are not monotone. The tracker keeps
+//! a watermark (the maximum timestamp seen) and evaluates windows
+//! against it; late events inside the slow window still count, and
+//! events older than the slow window are dropped.
+
+/// SLO definition plus burn-rate alert policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloConfig {
+    /// Latency above this is an SLO violation ("bad" invocation).
+    pub threshold_cycles: u64,
+    /// Objective in milli-units: 950 means 95.0% of invocations must
+    /// complete under the threshold. Must be < 1000.
+    pub objective_milli: u32,
+    /// Fast alert window, in cycles.
+    pub fast_window_cycles: u64,
+    /// Slow alert window, in cycles. Should be >= the fast window.
+    pub slow_window_cycles: u64,
+    /// Fire when both windows burn budget at >= this rate, in
+    /// milli-units: 2000 means 2x the sustainable rate.
+    pub burn_milli: u64,
+    /// Minimum completions in the slow window before alerting (keeps a
+    /// single bad invocation at startup from firing).
+    pub min_count: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            threshold_cycles: 1_000_000,
+            objective_milli: 950,
+            fast_window_cycles: 200_000,
+            slow_window_cycles: 800_000,
+            burn_milli: 2_000,
+            min_count: 10,
+        }
+    }
+}
+
+/// An alert state change, to be emitted as a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Burn rate crossed above the policy in both windows.
+    Fire {
+        /// Fast-window burn rate at the transition, in milli-units.
+        burn_milli: u64,
+    },
+    /// Burn rate dropped back below the policy.
+    Resolve {
+        /// Fast-window burn rate at the transition, in milli-units.
+        burn_milli: u64,
+    },
+}
+
+/// Burn-rate state for one function.
+#[derive(Debug, Clone, Default)]
+pub struct SloTracker {
+    /// (completion cycle, violated) samples within the slow window of
+    /// the watermark. Small (bounded by the slow window's traffic), so
+    /// linear scans per event are fine.
+    samples: Vec<(u64, bool)>,
+    /// Maximum completion timestamp seen.
+    watermark: u64,
+    /// Cumulative violations (never evicted).
+    violations: u64,
+    firing: bool,
+}
+
+/// Burn rate in milli-units: (bad/total) / (error budget fraction).
+/// 1000 means violations arrive exactly at the sustainable rate.
+fn burn_milli(bad: u64, total: u64, objective_milli: u32) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let budget = u64::from(1000 - objective_milli.min(999)).max(1);
+    let num = u128::from(bad) * 1_000_000;
+    let den = u128::from(total) * u128::from(budget);
+    (num / den) as u64
+}
+
+impl SloTracker {
+    /// Creates an idle tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the alert is currently firing.
+    pub fn firing(&self) -> bool {
+        self.firing
+    }
+
+    /// Cumulative SLO violations observed.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Feeds one completion and returns the alert transition it caused,
+    /// if any.
+    pub fn observe(&mut self, cfg: &SloConfig, ts: u64, latency_cycles: u64) -> Option<Transition> {
+        let bad = latency_cycles > cfg.threshold_cycles;
+        if bad {
+            self.violations += 1;
+        }
+        self.watermark = self.watermark.max(ts);
+        self.samples.push((ts, bad));
+        let slow_floor = self.watermark.saturating_sub(cfg.slow_window_cycles);
+        self.samples.retain(|&(t, _)| t >= slow_floor);
+
+        let fast_floor = self.watermark.saturating_sub(cfg.fast_window_cycles);
+        let mut fast = (0u64, 0u64);
+        let mut slow = (0u64, 0u64);
+        for &(t, b) in &self.samples {
+            slow.1 += 1;
+            slow.0 += u64::from(b);
+            if t >= fast_floor {
+                fast.1 += 1;
+                fast.0 += u64::from(b);
+            }
+        }
+        let fast_burn = burn_milli(fast.0, fast.1, cfg.objective_milli);
+        let slow_burn = burn_milli(slow.0, slow.1, cfg.objective_milli);
+        let over =
+            fast_burn >= cfg.burn_milli && slow_burn >= cfg.burn_milli && slow.1 >= cfg.min_count;
+        if over != self.firing {
+            self.firing = over;
+            return Some(if over {
+                Transition::Fire { burn_milli: fast_burn }
+            } else {
+                Transition::Resolve { burn_milli: fast_burn }
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight() -> SloConfig {
+        // Every invocation over 100 cycles is bad; alert after 4
+        // completions at >= 2x burn.
+        SloConfig {
+            threshold_cycles: 100,
+            objective_milli: 500,
+            fast_window_cycles: 1_000,
+            slow_window_cycles: 4_000,
+            burn_milli: 2_000,
+            min_count: 4,
+        }
+    }
+
+    #[test]
+    fn burn_rate_math() {
+        // 5% bad against a 95% objective is exactly sustainable: 1000.
+        assert_eq!(burn_milli(5, 100, 950), 1000);
+        // 10% bad burns twice the budget.
+        assert_eq!(burn_milli(10, 100, 950), 2000);
+        assert_eq!(burn_milli(0, 100, 950), 0);
+        assert_eq!(burn_milli(0, 0, 950), 0);
+    }
+
+    #[test]
+    fn fires_on_sustained_violation_and_resolves() {
+        let cfg = tight();
+        let mut t = SloTracker::new();
+        let mut fired = false;
+        for i in 0..8 {
+            match t.observe(&cfg, 100 * (i + 1), 500) {
+                Some(Transition::Fire { burn_milli }) => {
+                    fired = true;
+                    assert!(burn_milli >= cfg.burn_milli);
+                }
+                Some(Transition::Resolve { .. }) => panic!("resolved while violating"),
+                None => {}
+            }
+        }
+        assert!(fired, "sustained violations must fire");
+        assert!(t.firing());
+        assert_eq!(t.violations(), 8);
+        // Healthy traffic far in the future empties both windows.
+        let mut resolved = false;
+        for i in 0..8 {
+            if let Some(Transition::Resolve { .. }) = t.observe(&cfg, 100_000 + 100 * i, 1) {
+                resolved = true;
+            }
+        }
+        assert!(resolved, "healthy traffic must resolve");
+        assert!(!t.firing());
+    }
+
+    #[test]
+    fn min_count_suppresses_startup_blip() {
+        let cfg = tight();
+        let mut t = SloTracker::new();
+        // Three bad completions: burn is maximal but below min_count.
+        for i in 0..3 {
+            assert_eq!(t.observe(&cfg, 100 * (i + 1), 500), None);
+        }
+        assert!(!t.firing());
+    }
+
+    #[test]
+    fn out_of_order_timestamps_count_within_window() {
+        let cfg = tight();
+        let mut t = SloTracker::new();
+        // Watermark jumps ahead, then stragglers land inside the slow
+        // window; they must still contribute.
+        t.observe(&cfg, 5_000, 500);
+        t.observe(&cfg, 4_900, 500);
+        t.observe(&cfg, 4_800, 500);
+        let got = t.observe(&cfg, 4_700, 500);
+        assert!(matches!(got, Some(Transition::Fire { .. })));
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = SloConfig::default();
+        let run = || {
+            let mut t = SloTracker::new();
+            let mut transitions = Vec::new();
+            for i in 0u64..500 {
+                let lat = if i % 7 == 0 { 2_000_000 } else { 10_000 };
+                if let Some(tr) = t.observe(&cfg, i * 3_001, lat) {
+                    transitions.push((i, tr));
+                }
+            }
+            transitions
+        };
+        assert_eq!(run(), run());
+    }
+}
