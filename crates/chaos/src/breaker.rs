@@ -1,0 +1,186 @@
+//! Per-function circuit breaker: quarantine functions whose replay
+//! metadata faults repeatedly, trading warmth for availability.
+//!
+//! Classic three-state machine (DESIGN.md §13):
+//!
+//! ```text
+//!   Closed --(threshold consecutive faults)--> Open
+//!   Open   --(cooldown elapses; next request probes)--> HalfOpen
+//!   HalfOpen --(probe succeeds)--> Closed
+//!   HalfOpen --(probe faults)--> Open (fresh cooldown)
+//! ```
+//!
+//! "Fault" here means a *replay-metadata* fault (corrupt or lost store
+//! regions); store-unavailability windows do not count, because they
+//! say nothing about the function's own metadata health. While open,
+//! the cluster bypasses record/replay entirely for the function — it
+//! runs cold, which always succeeds.
+
+/// The breaker's current position in the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: replay allowed; counting consecutive faults.
+    Closed {
+        /// Consecutive faults observed since the last success.
+        faults: u32,
+    },
+    /// Quarantined: replay bypassed until the cooldown expires.
+    Open {
+        /// Cycle at which the next request may probe.
+        until: u64,
+    },
+    /// Cooldown expired: exactly one probe decides open vs closed.
+    HalfOpen,
+}
+
+/// A per-function circuit breaker with deterministic transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    threshold: u32,
+    cooldown_cycles: u64,
+    opens: u64,
+    closes: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker. `threshold == 0` disables it (it
+    /// never opens, and replay is always allowed).
+    pub fn new(threshold: u32, cooldown_cycles: u64) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed { faults: 0 },
+            threshold,
+            cooldown_cycles,
+            opens: 0,
+            closes: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has opened.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Times the breaker has re-closed after a successful probe.
+    pub fn closes(&self) -> u64 {
+        self.closes
+    }
+
+    /// Whether a request at `now` may attempt replay. Transitions
+    /// `Open -> HalfOpen` when the cooldown has expired (the caller's
+    /// request becomes the probe).
+    pub fn replay_allowed(&mut self, now: u64) -> bool {
+        if self.threshold == 0 {
+            return true;
+        }
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a replay-metadata fault observed at `now`.
+    pub fn record_fault(&mut self, now: u64) {
+        if self.threshold == 0 {
+            return;
+        }
+        match self.state {
+            BreakerState::Closed { faults } => {
+                let faults = faults + 1;
+                if faults >= self.threshold {
+                    self.state =
+                        BreakerState::Open { until: now.saturating_add(self.cooldown_cycles) };
+                    self.opens += 1;
+                } else {
+                    self.state = BreakerState::Closed { faults };
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open { until: now.saturating_add(self.cooldown_cycles) };
+                self.opens += 1;
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Records a clean (fault-free) replay fetch.
+    pub fn record_success(&mut self) {
+        if self.threshold == 0 {
+            return;
+        }
+        match self.state {
+            BreakerState::Closed { faults: 0 } => {}
+            BreakerState::Closed { .. } => self.state = BreakerState::Closed { faults: 0 },
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed { faults: 0 };
+                self.closes += 1;
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_faults() {
+        let mut b = CircuitBreaker::new(3, 100);
+        b.record_fault(10);
+        b.record_fault(20);
+        assert!(b.replay_allowed(25), "still closed below threshold");
+        b.record_fault(30);
+        assert_eq!(b.state(), BreakerState::Open { until: 130 });
+        assert_eq!(b.opens(), 1);
+        assert!(!b.replay_allowed(129));
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut b = CircuitBreaker::new(2, 100);
+        b.record_fault(1);
+        b.record_success();
+        b.record_fault(2);
+        assert!(b.replay_allowed(3), "non-consecutive faults never open");
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn half_open_probe_decides() {
+        let mut b = CircuitBreaker::new(1, 50);
+        b.record_fault(0);
+        assert!(!b.replay_allowed(49));
+        assert!(b.replay_allowed(50), "cooldown expired: probe allowed");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_fault(55);
+        assert_eq!(b.state(), BreakerState::Open { until: 105 }, "failed probe re-opens");
+        assert!(b.replay_allowed(200));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed { faults: 0 });
+        assert_eq!(b.closes(), 1);
+        assert_eq!(b.opens(), 2);
+    }
+
+    #[test]
+    fn zero_threshold_disables() {
+        let mut b = CircuitBreaker::new(0, 100);
+        for t in 0..1_000 {
+            b.record_fault(t);
+            assert!(b.replay_allowed(t));
+        }
+        assert_eq!(b.opens(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! `ignite-chaos`: deterministic, seedable cluster-level failure
+//! injection and the recovery policies that keep every invocation
+//! accounted for.
+//!
+//! PR 1 made *metadata* fallible (`ignite_core::fault`); this crate
+//! extends that contract upward to the whole node (DESIGN.md §13):
+//!
+//! * [`ChaosPlan`] — a pure-data schedule of core crashes/restarts,
+//!   straggler windows (cycle-rate degradation), store corruption and
+//!   transient store-unavailability windows, and dispatch drops. All
+//!   randomness derives from one dedicated chaos seed, independent of
+//!   the arrival seed, so varying either never perturbs the other.
+//! * [`ChaosState`] — the lazily materialized window streams
+//!   ([`WindowStream`]) the cluster simulator queries. Windows are
+//!   generated in a fixed order regardless of query pattern, so two
+//!   processes asking different questions still agree on the schedule.
+//! * [`RetryPolicy`] — per-invocation deadlines, bounded retry with
+//!   deterministic exponential backoff + hash-derived jitter, and the
+//!   per-function [`CircuitBreaker`] thresholds that quarantine
+//!   functions whose replay metadata faults repeatedly.
+//! * [`ChaosStats`] — the full-stack ledger behind the
+//!   `ignite-cluster-v2` conservation law: `submitted == completed +
+//!   dropped_deadline + dropped_retries_exhausted`. Nothing is
+//!   silently lost.
+//!
+//! The failure → outcome contract (who retries, who degrades to a cold
+//! run, who drops) is decided by the consumer (`ignite-cluster`); this
+//! crate only answers *when* and *whether* a fault fires, and does so
+//! bit-identically across processes.
+
+pub mod breaker;
+pub mod plan;
+pub mod state;
+pub mod stats;
+
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use plan::{parse_chaos_spec, parse_retry_spec, ChaosPlan, RetryPolicy};
+pub use state::{hash_chance_ppm, hash_draw, ChaosState, WindowStream};
+pub use stats::ChaosStats;

@@ -1,0 +1,101 @@
+//! The chaos ledger: every injected failure and every recovery action,
+//! counted so the `ignite-cluster-v2` conservation law is checkable.
+
+/// Counters for one chaos-enabled cluster run.
+///
+/// The **conservation law** ([`ChaosStats::conserved`]) is the
+/// schema's core guarantee: every submitted invocation either
+/// completes or is dropped with a reason — failures may delay or
+/// degrade work, but never lose it silently.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Invocations that entered the scheduler (arrivals).
+    pub submitted: u64,
+    /// Invocations that eventually completed (any number of attempts).
+    pub completed: u64,
+    /// Completed invocations that needed more than one attempt.
+    pub retried_to_success: u64,
+    /// Dispatch attempts that failed (crash kills + dispatch drops).
+    pub attempts_failed: u64,
+    /// Attempts killed by a core crash mid-execution.
+    pub crash_kills: u64,
+    /// Attempts dropped before reaching a core.
+    pub dispatch_drops: u64,
+    /// Invocations dropped because their deadline expired.
+    pub dropped_deadline: u64,
+    /// Invocations dropped after exhausting `max_attempts`.
+    pub dropped_retries_exhausted: u64,
+    /// Completions degraded to cold because the store was unavailable.
+    pub degraded_unavailable: u64,
+    /// Completions degraded to cold by corrupt (undecodable) metadata.
+    pub degraded_corrupt: u64,
+    /// Completions degraded to cold by lost metadata regions.
+    pub degraded_loss: u64,
+    /// Completions that bypassed record/replay under an open breaker.
+    pub degraded_breaker: u64,
+    /// Completed attempts that ran inside a straggle window.
+    pub straggled: u64,
+    /// Metadata writebacks skipped because the store was unavailable.
+    pub writeback_skipped: u64,
+    /// Corrupt/lost regions evicted from the store on detection.
+    pub store_regions_dropped: u64,
+    /// Circuit-breaker open transitions (across all functions).
+    pub breaker_opens: u64,
+    /// Circuit-breaker close transitions (successful probes).
+    pub breaker_closes: u64,
+    /// Cycles lost to failed attempts (queue-to-failure time).
+    pub retry_cycles: u64,
+    /// Cycles spent waiting in backoff between attempts.
+    pub backoff_cycles: u64,
+}
+
+impl ChaosStats {
+    /// Total completions that ran degraded (cold instead of replay).
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded_unavailable
+            + self.degraded_corrupt
+            + self.degraded_loss
+            + self.degraded_breaker
+    }
+
+    /// Total invocations dropped (with reason).
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_deadline + self.dropped_retries_exhausted
+    }
+
+    /// The conservation law: `submitted == completed + dropped`.
+    pub fn conserved(&self) -> bool {
+        self.submitted == self.completed + self.dropped_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_balances() {
+        let mut s = ChaosStats {
+            submitted: 10,
+            completed: 7,
+            dropped_deadline: 2,
+            ..ChaosStats::default()
+        };
+        assert!(!s.conserved());
+        s.dropped_retries_exhausted = 1;
+        assert!(s.conserved());
+        assert_eq!(s.dropped_total(), 3);
+    }
+
+    #[test]
+    fn degraded_total_sums_all_reasons() {
+        let s = ChaosStats {
+            degraded_unavailable: 1,
+            degraded_corrupt: 2,
+            degraded_loss: 3,
+            degraded_breaker: 4,
+            ..ChaosStats::default()
+        };
+        assert_eq!(s.degraded_total(), 10);
+    }
+}

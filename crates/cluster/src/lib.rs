@@ -27,7 +27,15 @@
 //! * observability: every DES transition reported to an
 //!   [`ignite_obs::EventSink`] ([`sim::ClusterSim::run_trace_obs`]),
 //!   exportable as a validated Chrome trace ([`tracecheck`]) and as
-//!   deterministic Prometheus-style metrics ([`prom`]).
+//!   deterministic Prometheus-style metrics ([`prom`]);
+//! * failure injection and recovery ([`ignite_chaos`]): seeded core
+//!   crash/repair windows, store corruption and unavailability,
+//!   stragglers and dispatch drops, answered by deadlines, bounded
+//!   retry with deterministic backoff, per-function circuit breakers
+//!   and graceful degradation to cold execution. Chaos runs report
+//!   under schema [`report::CLUSTER_SCHEMA_V2`] with a
+//!   validator-enforced invocation conservation law; with chaos off
+//!   every output is byte-identical to the failure-free simulator.
 //!
 //! Everything is bit-deterministic for a fixed seed, across thread counts
 //! and processes: the event loop breaks ties by (completion before
@@ -43,7 +51,7 @@ pub mod tracecheck;
 
 pub use fanout::{run_indexed, PanicFailure};
 pub use prom::{metrics_for, record_metrics, record_trace_health};
-pub use report::{ClusterReport, ObsSummary, CLUSTER_SCHEMA};
+pub use report::{ClusterReport, ObsSummary, CLUSTER_SCHEMA, CLUSTER_SCHEMA_V2};
 pub use sim::{
     sweep_capacities, ClusterConfig, ClusterOutcome, ClusterSim, CoreUsage, FunctionSummary,
     LATENCY_BUCKETS,

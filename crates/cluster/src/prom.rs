@@ -170,6 +170,75 @@ pub fn record_metrics(
         reg.inc_counter(name, help, &base, v);
     }
 
+    // Chaos counters only exist for runs with failure injection, so
+    // chaos-free expositions stay byte-identical to pre-chaos output.
+    if let Some(ch) = &out.chaos {
+        for (name, help, v) in [
+            ("ignite_chaos_submitted_total", "Invocations submitted to the cluster", ch.submitted),
+            ("ignite_chaos_completed_total", "Invocations completed despite chaos", ch.completed),
+            (
+                "ignite_chaos_retried_to_success_total",
+                "Invocations that completed after at least one failed attempt",
+                ch.retried_to_success,
+            ),
+            ("ignite_chaos_attempts_failed_total", "Attempts killed or dropped", {
+                ch.attempts_failed
+            }),
+            ("ignite_chaos_crash_kills_total", "Attempts killed by a core crash", ch.crash_kills),
+            ("ignite_chaos_dispatch_drops_total", "Attempts lost at dispatch", ch.dispatch_drops),
+            (
+                "ignite_chaos_dropped_total",
+                "Invocations dropped after exhausting their deadline",
+                ch.dropped_deadline,
+            ),
+            (
+                "ignite_chaos_dropped_retries_total",
+                "Invocations dropped after exhausting their retry budget",
+                ch.dropped_retries_exhausted,
+            ),
+            (
+                "ignite_chaos_degraded_total",
+                "Invocations degraded to cold execution",
+                ch.degraded_total(),
+            ),
+            ("ignite_chaos_straggled_total", "Attempts slowed by a straggler window", ch.straggled),
+            (
+                "ignite_chaos_writeback_skipped_total",
+                "Metadata writebacks skipped (store unavailable)",
+                ch.writeback_skipped,
+            ),
+            (
+                "ignite_chaos_store_regions_dropped_total",
+                "Corrupt or lost store regions evicted",
+                ch.store_regions_dropped,
+            ),
+            ("ignite_chaos_breaker_opens_total", "Circuit breaker open transitions", {
+                ch.breaker_opens
+            }),
+            ("ignite_chaos_breaker_closes_total", "Circuit breaker close transitions", {
+                ch.breaker_closes
+            }),
+            ("ignite_chaos_retry_cycles_total", "Cycles lost to failed attempts and backoff", {
+                ch.retry_cycles
+            }),
+        ] {
+            reg.inc_counter(name, help, &base, v);
+        }
+        for (reason, v) in [
+            ("unavailable", ch.degraded_unavailable),
+            ("corrupt", ch.degraded_corrupt),
+            ("loss", ch.degraded_loss),
+            ("breaker", ch.degraded_breaker),
+        ] {
+            reg.inc_counter(
+                "ignite_chaos_degraded_by_reason_total",
+                "Invocations degraded to cold execution, by reason",
+                &with(&base, &[("reason", reason)]),
+                v,
+            );
+        }
+    }
+
     for f in &out.functions {
         let labels = with(&base, &[("function", f.abbr.as_str())]);
         reg.inc_counter(
@@ -237,6 +306,32 @@ mod tests {
             .expect("histogram count present");
         let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
         assert_eq!(count, out.invocations);
+    }
+
+    #[test]
+    fn chaos_families_appear_only_under_chaos() {
+        let (cfg, out) = run();
+        let plain = metrics_for(&cfg, &out).expose();
+        assert!(
+            !plain.contains("ignite_chaos_"),
+            "chaos-free exposition must have no chaos family"
+        );
+        let ccfg = ClusterConfig {
+            arrival: ArrivalConfig { horizon_cycles: 800_000, ..ArrivalConfig::default() },
+            chaos: Some(ignite_chaos::ChaosPlan::default_preset().seeded(7)),
+            ..ClusterConfig::default()
+        };
+        let cout = ClusterSim::new(ccfg.clone()).run();
+        let text = metrics_for(&ccfg, &cout).expose();
+        for needle in [
+            "ignite_chaos_submitted_total",
+            "ignite_chaos_completed_total",
+            "ignite_chaos_degraded_by_reason_total",
+            "reason=\"corrupt\"",
+            "ignite_chaos_retry_cycles_total",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
     }
 
     #[test]

@@ -15,8 +15,16 @@ use ignite_core::ReplayStats;
 use crate::json::{self, Value};
 use crate::sim::{ClusterConfig, ClusterOutcome};
 
-/// Schema tag written into (and required of) every report.
+/// Schema tag written into (and required of) every chaos-free report.
 pub const CLUSTER_SCHEMA: &str = "ignite-cluster-v1";
+
+/// Schema tag for reports of runs with failure injection enabled. The
+/// v2 document is a strict superset of v1: a `chaos` section (the
+/// failure plan, the retry policy, and every chaos counter) plus
+/// per-function `retries`/`degraded`/`dropped` keys. The validator
+/// enforces the invocation conservation law on v2 documents and rejects
+/// chaos content under the v1 tag.
+pub const CLUSTER_SCHEMA_V2: &str = "ignite-cluster-v2";
 
 /// Observability health for a traced run: how much of the timeline the
 /// bounded ring buffer kept. A nonzero `trace_dropped` means the
@@ -82,6 +90,17 @@ impl ClusterReport {
         self
     }
 
+    /// The schema tag this report serializes under: v2 when the run had
+    /// failure injection, v1 (byte-identical to pre-chaos output)
+    /// otherwise.
+    pub fn schema(&self) -> &'static str {
+        if self.outcome.chaos.is_some() {
+            CLUSTER_SCHEMA_V2
+        } else {
+            CLUSTER_SCHEMA
+        }
+    }
+
     /// Serializes the report.
     pub fn to_json(&self) -> String {
         let cfg = &self.config;
@@ -89,7 +108,7 @@ impl ClusterReport {
         let total = out_.total_result();
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"schema\": \"{CLUSTER_SCHEMA}\",");
+        let _ = writeln!(s, "  \"schema\": \"{}\",", self.schema());
         s.push_str("  \"config\": {\n");
         let _ = writeln!(s, "    \"cores\": {},", cfg.cores);
         let _ = writeln!(s, "    \"fe\": {},", json::escape(&cfg.fe.name));
@@ -146,6 +165,68 @@ impl ClusterReport {
         s.push_str("  \"replay\": {\n");
         push_replay(&mut s, "    ", &total.replay, total.replay_unfinished);
         s.push_str("  },\n");
+        if let Some(ch) = &out_.chaos {
+            let plan = cfg.chaos.as_ref().expect("chaos stats imply a chaos plan");
+            let rp = &cfg.retry;
+            s.push_str("  \"chaos\": {\n");
+            s.push_str("    \"plan\": {\n");
+            let _ = writeln!(s, "      \"seed\": {},", plan.seed);
+            let _ = writeln!(s, "      \"crash_mtbf_cycles\": {},", plan.crash_mtbf_cycles);
+            let _ = writeln!(s, "      \"crash_repair_cycles\": {},", plan.crash_repair_cycles);
+            let _ = writeln!(s, "      \"straggle_mtbf_cycles\": {},", plan.straggle_mtbf_cycles);
+            let _ = writeln!(
+                s,
+                "      \"straggle_duration_cycles\": {},",
+                plan.straggle_duration_cycles
+            );
+            let _ = writeln!(s, "      \"straggle_factor_milli\": {},", plan.straggle_factor_milli);
+            let _ = writeln!(
+                s,
+                "      \"store_unavail_mtbf_cycles\": {},",
+                plan.store_unavail_mtbf_cycles
+            );
+            let _ = writeln!(
+                s,
+                "      \"store_unavail_duration_cycles\": {},",
+                plan.store_unavail_duration_cycles
+            );
+            let _ = writeln!(s, "      \"corrupt_ppm\": {},", plan.store_fault.bit_flip_ppm);
+            let _ = writeln!(s, "      \"loss_ppm\": {},", plan.store_fault.loss_ppm);
+            let _ = writeln!(s, "      \"dispatch_drop_ppm\": {}", plan.dispatch_drop_ppm);
+            s.push_str("    },\n");
+            s.push_str("    \"retry\": {\n");
+            let _ = writeln!(s, "      \"max_attempts\": {},", rp.max_attempts);
+            let _ = writeln!(s, "      \"backoff_base_cycles\": {},", rp.backoff_base_cycles);
+            let _ = writeln!(s, "      \"backoff_mult_milli\": {},", rp.backoff_mult_milli);
+            let _ = writeln!(s, "      \"backoff_max_cycles\": {},", rp.backoff_max_cycles);
+            let _ = writeln!(s, "      \"jitter_ppm\": {},", rp.jitter_ppm);
+            let _ = writeln!(s, "      \"deadline_cycles\": {},", rp.deadline_cycles);
+            let _ = writeln!(s, "      \"breaker_threshold\": {},", rp.breaker_threshold);
+            let _ =
+                writeln!(s, "      \"breaker_cooldown_cycles\": {}", rp.breaker_cooldown_cycles);
+            s.push_str("    },\n");
+            let _ = writeln!(s, "    \"submitted\": {},", ch.submitted);
+            let _ = writeln!(s, "    \"completed\": {},", ch.completed);
+            let _ = writeln!(s, "    \"retried_to_success\": {},", ch.retried_to_success);
+            let _ = writeln!(s, "    \"attempts_failed\": {},", ch.attempts_failed);
+            let _ = writeln!(s, "    \"crash_kills\": {},", ch.crash_kills);
+            let _ = writeln!(s, "    \"dispatch_drops\": {},", ch.dispatch_drops);
+            let _ = writeln!(s, "    \"dropped_deadline\": {},", ch.dropped_deadline);
+            let _ =
+                writeln!(s, "    \"dropped_retries_exhausted\": {},", ch.dropped_retries_exhausted);
+            let _ = writeln!(s, "    \"degraded_unavailable\": {},", ch.degraded_unavailable);
+            let _ = writeln!(s, "    \"degraded_corrupt\": {},", ch.degraded_corrupt);
+            let _ = writeln!(s, "    \"degraded_loss\": {},", ch.degraded_loss);
+            let _ = writeln!(s, "    \"degraded_breaker\": {},", ch.degraded_breaker);
+            let _ = writeln!(s, "    \"straggled\": {},", ch.straggled);
+            let _ = writeln!(s, "    \"writeback_skipped\": {},", ch.writeback_skipped);
+            let _ = writeln!(s, "    \"store_regions_dropped\": {},", ch.store_regions_dropped);
+            let _ = writeln!(s, "    \"breaker_opens\": {},", ch.breaker_opens);
+            let _ = writeln!(s, "    \"breaker_closes\": {},", ch.breaker_closes);
+            let _ = writeln!(s, "    \"retry_cycles\": {},", ch.retry_cycles);
+            let _ = writeln!(s, "    \"backoff_cycles\": {}", ch.backoff_cycles);
+            s.push_str("  },\n");
+        }
         if let Some(obs) = &self.obs {
             s.push_str("  \"obs\": {\n");
             let _ = writeln!(s, "    \"trace_events\": {},", obs.trace_events);
@@ -166,6 +247,11 @@ impl ClusterReport {
             let _ = writeln!(s, "      \"metadata_hits\": {},", f.metadata_hits);
             let _ = writeln!(s, "      \"metadata_misses\": {},", f.metadata_misses);
             let _ = writeln!(s, "      \"metadata_hit_rate\": {},", num(f.metadata_hit_rate()));
+            if out_.chaos.is_some() {
+                let _ = writeln!(s, "      \"retries\": {},", f.retries);
+                let _ = writeln!(s, "      \"degraded\": {},", f.degraded);
+                let _ = writeln!(s, "      \"dropped\": {},", f.dropped);
+            }
             let _ = writeln!(s, "      \"cpi\": {},", num(f.result.cpi()));
             let _ = writeln!(s, "      \"l1i_mpki\": {},", num(f.result.l1i_mpki()));
             let _ = writeln!(s, "      \"btb_mpki\": {},", num(f.result.btb_mpki()));
@@ -178,16 +264,26 @@ impl ClusterReport {
         s
     }
 
-    /// Validates that `text` is a well-formed `ignite-cluster-v1` report:
-    /// parseable JSON, the right schema tag, and every required section
-    /// and field present with the right shape.
+    /// Validates that `text` is a well-formed `ignite-cluster-v1` or
+    /// `ignite-cluster-v2` report: parseable JSON, a known schema tag,
+    /// and every required section and field present with the right
+    /// shape. v2 additionally requires the `chaos` section and enforces
+    /// the invocation conservation law (`submitted == completed +
+    /// dropped_deadline + dropped_retries_exhausted`); a `chaos` section
+    /// under the v1 tag is rejected.
     pub fn validate(text: &str) -> Result<(), String> {
         let doc = json::parse(text)?;
         let obj = doc.as_object().ok_or("report is not an object")?;
         let schema = json::get(obj, "schema").and_then(Value::as_str);
-        if schema != Some(CLUSTER_SCHEMA) {
-            return Err(format!("schema {schema:?}, want {CLUSTER_SCHEMA:?}"));
-        }
+        let v2 = match schema {
+            Some(CLUSTER_SCHEMA) => false,
+            Some(CLUSTER_SCHEMA_V2) => true,
+            other => {
+                return Err(format!(
+                    "schema {other:?}, want {CLUSTER_SCHEMA:?} or {CLUSTER_SCHEMA_V2:?}"
+                ))
+            }
+        };
         let section = |key: &str| {
             json::get(obj, key)
                 .and_then(Value::as_object)
@@ -253,6 +349,63 @@ impl ClusterReport {
             let oo = obs.as_object().ok_or("'obs' is not an object")?;
             require(oo, "obs", &["trace_events", "trace_dropped"])?;
         }
+        match (v2, json::get(obj, "chaos")) {
+            (false, Some(_)) => {
+                return Err(format!("'chaos' section requires the {CLUSTER_SCHEMA_V2:?} tag"))
+            }
+            (true, None) => {
+                return Err(format!("{CLUSTER_SCHEMA_V2:?} report is missing its 'chaos' section"))
+            }
+            (false, None) => {}
+            (true, Some(ch)) => {
+                let co = ch.as_object().ok_or("'chaos' is not an object")?;
+                json::get(co, "plan")
+                    .and_then(Value::as_object)
+                    .ok_or("chaos: missing object 'plan'")?;
+                json::get(co, "retry")
+                    .and_then(Value::as_object)
+                    .ok_or("chaos: missing object 'retry'")?;
+                require(
+                    co,
+                    "chaos",
+                    &[
+                        "submitted",
+                        "completed",
+                        "retried_to_success",
+                        "attempts_failed",
+                        "crash_kills",
+                        "dispatch_drops",
+                        "dropped_deadline",
+                        "dropped_retries_exhausted",
+                        "degraded_unavailable",
+                        "degraded_corrupt",
+                        "degraded_loss",
+                        "degraded_breaker",
+                        "straggled",
+                        "writeback_skipped",
+                        "store_regions_dropped",
+                        "breaker_opens",
+                        "breaker_closes",
+                        "retry_cycles",
+                        "backoff_cycles",
+                    ],
+                )?;
+                let n = |k: &str| json::get(co, k).and_then(Value::as_f64).unwrap_or(f64::NAN);
+                // Conservation law: every submitted invocation is
+                // accounted for, either completed or dropped with a
+                // reason. Integer counts round-trip f64 exactly below
+                // 2^53, so equality is exact.
+                let submitted = n("submitted");
+                let accounted =
+                    n("completed") + n("dropped_deadline") + n("dropped_retries_exhausted");
+                if submitted != accounted {
+                    return Err(format!(
+                        "chaos: conservation violated: submitted {submitted} != \
+                         completed+dropped {accounted}"
+                    ));
+                }
+            }
+        }
         let cores =
             json::get(obj, "cores").and_then(Value::as_array).ok_or("missing array 'cores'")?;
         if cores.is_empty() {
@@ -278,6 +431,9 @@ impl ClusterReport {
                     "metadata_hit_rate",
                 ],
             )?;
+            if v2 {
+                require(fo, &format!("functions[{i}]"), &["retries", "degraded", "dropped"])?;
+            }
             json::get(fo, "replay")
                 .and_then(Value::as_object)
                 .ok_or_else(|| format!("functions[{i}]: missing replay block"))?;
@@ -369,5 +525,50 @@ mod tests {
     fn validate_rejects_garbage() {
         assert!(ClusterReport::validate("not json").is_err());
         assert!(ClusterReport::validate("{}").is_err());
+    }
+
+    fn chaos_report() -> ClusterReport {
+        let cfg = ClusterConfig {
+            arrival: ArrivalConfig { horizon_cycles: 800_000, ..ArrivalConfig::default() },
+            chaos: Some(ignite_chaos::ChaosPlan::default_preset().seeded(7)),
+            ..ClusterConfig::default()
+        };
+        let outcome = ClusterSim::new(cfg.clone()).run();
+        ClusterReport::new(cfg, outcome)
+    }
+
+    #[test]
+    fn chaos_report_is_v2_and_validates() {
+        let r = chaos_report();
+        assert_eq!(r.schema(), CLUSTER_SCHEMA_V2);
+        let text = r.to_json();
+        assert!(text.contains("\"schema\": \"ignite-cluster-v2\""));
+        assert!(text.contains("\"chaos\": {"));
+        assert!(text.contains("\"retries\": "));
+        ClusterReport::validate(&text).expect("chaos report must self-validate");
+    }
+
+    #[test]
+    fn validate_enforces_conservation_and_tag_pairing() {
+        let good = chaos_report().to_json();
+        // Break conservation: bump submitted by prefixing a digit.
+        let bad = good.replacen("\"submitted\": ", "\"submitted\": 9", 1);
+        let err = ClusterReport::validate(&bad).unwrap_err();
+        assert!(err.contains("conservation"), "unexpected error: {err}");
+        // A chaos section under the v1 tag is rejected.
+        let mislabeled = good.replacen(CLUSTER_SCHEMA_V2, CLUSTER_SCHEMA, 1);
+        assert!(ClusterReport::validate(&mislabeled).is_err());
+        // A v2 tag without a chaos section is rejected.
+        let plain = report().to_json().replacen(CLUSTER_SCHEMA, CLUSTER_SCHEMA_V2, 1);
+        assert!(ClusterReport::validate(&plain).is_err());
+    }
+
+    #[test]
+    fn chaos_free_report_stays_v1_with_no_chaos_keys() {
+        let r = report();
+        assert_eq!(r.schema(), CLUSTER_SCHEMA);
+        let text = r.to_json();
+        assert!(!text.contains("\"chaos\""));
+        assert!(!text.contains("\"retries\""));
     }
 }

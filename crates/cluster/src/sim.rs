@@ -16,12 +16,14 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use ignite_chaos::{ChaosPlan, ChaosState, ChaosStats, CircuitBreaker, RetryPolicy};
+use ignite_core::codec::Metadata;
 use ignite_core::{MetadataStore, StoreConfig, StoreStats};
 use ignite_engine::config::FrontEndConfig;
 use ignite_engine::machine::{Machine, PreparedFunction};
 use ignite_engine::metrics::InvocationResult;
 use ignite_engine::sim::{run_invocation_obs, InvocationCtx};
-use ignite_obs::{Event, EventKind, EventSink, NullSink, Track};
+use ignite_obs::{DegradeReason, DropReason, Event, EventKind, EventSink, NullSink, Track};
 use ignite_uarch::UarchConfig;
 use ignite_workloads::arrival::{Arrival, ArrivalConfig, Trace};
 use ignite_workloads::suite::Suite;
@@ -56,6 +58,14 @@ pub struct ClusterConfig {
     /// Metadata transfer bandwidth between the node store and a core's
     /// replay engine; fetch/writeback cycles are charged to service time.
     pub dram_bytes_per_cycle: f64,
+    /// Failure injection schedule. `None` (the default) disables the
+    /// chaos layer entirely: the simulation takes the exact pre-chaos
+    /// code paths and produces byte-identical reports (the
+    /// zero-cost-when-off contract, same bar as observability).
+    pub chaos: Option<ChaosPlan>,
+    /// Recovery policy (deadlines, retry/backoff, circuit breaker).
+    /// Only consulted when `chaos` is set.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -68,7 +78,68 @@ impl Default for ClusterConfig {
             store: StoreConfig::default(),
             distance_saturation: 8.0,
             dram_bytes_per_cycle: 8.0,
+            chaos: None,
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Rejects configurations the simulator cannot run meaningfully,
+    /// with a message naming the offending field. The CLI calls this
+    /// before constructing a simulator and exits nonzero on `Err`;
+    /// library callers that build configs programmatically get the same
+    /// typed check instead of a mid-run panic or a silent nonsense run.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("cores must be at least 1".to_string());
+        }
+        for (name, v) in [
+            ("scale", self.scale),
+            ("rate_per_mcycle", self.arrival.rate_per_mcycle),
+            ("distance_saturation", self.distance_saturation),
+            ("dram_bytes_per_cycle", self.dram_bytes_per_cycle),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be finite and positive, got {v}"));
+            }
+        }
+        if !self.arrival.zipf_s.is_finite() || self.arrival.zipf_s < 0.0 {
+            return Err(format!(
+                "zipf_s must be finite and non-negative, got {}",
+                self.arrival.zipf_s
+            ));
+        }
+        if self.retry.max_attempts == 0 {
+            return Err("retry.max_attempts must be at least 1".to_string());
+        }
+        if self.retry.jitter_ppm > ignite_core::fault::PPM_SCALE {
+            return Err(format!(
+                "retry.jitter_ppm must be at most {}, got {}",
+                ignite_core::fault::PPM_SCALE,
+                self.retry.jitter_ppm
+            ));
+        }
+        if let Some(plan) = &self.chaos {
+            if plan.straggle_mtbf_cycles > 0 && plan.straggle_factor_milli < 1000 {
+                return Err(format!(
+                    "chaos.straggle_factor_milli must be at least 1000, got {}",
+                    plan.straggle_factor_milli
+                ));
+            }
+            for (name, mtbf, duration) in [
+                ("crash", plan.crash_mtbf_cycles, plan.crash_repair_cycles),
+                ("straggle", plan.straggle_mtbf_cycles, plan.straggle_duration_cycles),
+                ("store_unavail", plan.store_unavail_mtbf_cycles, {
+                    plan.store_unavail_duration_cycles
+                }),
+            ] {
+                if mtbf > 0 && duration == 0 {
+                    return Err(format!("chaos.{name}_mtbf_cycles is set but its duration is 0"));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -106,6 +177,13 @@ pub struct FunctionSummary {
     pub metadata_hits: u64,
     /// Metadata store misses.
     pub metadata_misses: u64,
+    /// Retries scheduled for this function (0 without chaos).
+    pub retries: u64,
+    /// Completions that ran degraded — cold instead of replayed
+    /// (0 without chaos).
+    pub degraded: u64,
+    /// Invocations dropped with reason (0 without chaos).
+    pub dropped: u64,
     /// Per-invocation engine measurements, summed over all invocations.
     pub result: InvocationResult,
 }
@@ -152,6 +230,10 @@ pub struct ClusterOutcome {
     pub latency_histogram: Vec<u64>,
     /// Sum of all invocation latencies, in cycles.
     pub latency_sum: u64,
+    /// Chaos ledger (`Some` iff the config enabled chaos). Its
+    /// conservation law — `submitted == completed + dropped` — is
+    /// enforced by the `ignite-cluster-v2` report validator.
+    pub chaos: Option<ChaosStats>,
 }
 
 impl ClusterOutcome {
@@ -195,10 +277,128 @@ struct FunctionState {
     cold_sum: f64,
     hits: u64,
     misses: u64,
+    retries: u64,
+    degraded: u64,
+    dropped: u64,
     /// Global invocation counter (seeds the trace walker, so control flow
     /// drifts across invocations like the per-function protocol's does).
     count: u64,
     result: InvocationResult,
+}
+
+/// One invocation's scheduler state, carried across attempts. Without
+/// chaos every job completes on its first attempt and the accumulators
+/// reduce to the pre-chaos arithmetic exactly (`queue_accum ==
+/// dispatch - arrival`, `lost_cycles == 0`).
+struct Job {
+    arrival: Arrival,
+    /// Global submission index (keys the retry queue and the pure-hash
+    /// chaos draws).
+    id: u64,
+    /// Attempt about to run, 1-based.
+    attempt: u32,
+    /// When this job last joined the dispatch queue (arrival cycle, or
+    /// retry-ready cycle).
+    enqueued_at: u64,
+    /// Cycles spent queued, summed over attempts.
+    queue_accum: u64,
+    /// Cycles lost to failed attempts and backoff waits (the
+    /// `retry_cycles` attribution component).
+    lost_cycles: u64,
+}
+
+/// Chaos runtime: the realized schedule, recovery policy state, the
+/// backoff-pending retry queue, and the ledger.
+struct ChaosRt {
+    state: ChaosState,
+    retry: RetryPolicy,
+    /// Per-function circuit breakers, suite order.
+    breakers: Vec<CircuitBreaker>,
+    /// Jobs waiting out a backoff: `(ready_cycle, id) -> job`. The id
+    /// tie-break keeps draining order total.
+    ready: BTreeMap<(u64, u64), Job>,
+    stats: ChaosStats,
+}
+
+impl ChaosRt {
+    /// Routes a failed attempt: bounded retry with deterministic
+    /// backoff, or a reasoned drop (retries exhausted, or the backoff
+    /// would land past the deadline). `elapsed` is how long the failed
+    /// attempt held resources (0 for a dispatch drop).
+    fn fail_attempt<S: EventSink>(
+        &mut self,
+        mut job: Job,
+        fail_at: u64,
+        elapsed: u64,
+        fstate: &mut FunctionState,
+        sink: &mut S,
+    ) {
+        self.stats.attempts_failed += 1;
+        if job.attempt >= self.retry.max_attempts {
+            self.drop_job(&job, fail_at, DropReason::RetriesExhausted, fstate, sink);
+            return;
+        }
+        let seed = self.state.plan().seed;
+        let backoff = self.retry.backoff_for(seed, job.id, job.attempt);
+        let ready = fail_at.saturating_add(backoff);
+        let deadline = self.retry.deadline_cycles;
+        if deadline > 0 && ready.saturating_sub(job.arrival.cycle) > deadline {
+            self.drop_job(&job, fail_at, DropReason::Deadline, fstate, sink);
+            return;
+        }
+        self.stats.backoff_cycles += backoff;
+        fstate.retries += 1;
+        if sink.enabled() {
+            sink.record(Event {
+                ts: fail_at,
+                dur: 0,
+                track: Track::Chaos,
+                kind: EventKind::ChaosRetry {
+                    function: job.arrival.function,
+                    attempt: job.attempt,
+                    backoff_cycles: backoff,
+                },
+            });
+        }
+        job.lost_cycles += elapsed + backoff;
+        job.attempt += 1;
+        job.enqueued_at = ready;
+        self.ready.insert((ready, job.id), job);
+    }
+
+    /// Terminal failure exit: the job leaves the system with a reason
+    /// (the only alternative to completion under the conservation law).
+    fn drop_job<S: EventSink>(
+        &mut self,
+        job: &Job,
+        at: u64,
+        reason: DropReason,
+        fstate: &mut FunctionState,
+        sink: &mut S,
+    ) {
+        match reason {
+            DropReason::Deadline => self.stats.dropped_deadline += 1,
+            DropReason::RetriesExhausted => self.stats.dropped_retries_exhausted += 1,
+        }
+        fstate.dropped += 1;
+        if sink.enabled() {
+            sink.record(Event {
+                ts: at,
+                dur: 0,
+                track: Track::Chaos,
+                kind: EventKind::ChaosDrop { function: job.arrival.function, reason },
+            });
+        }
+    }
+}
+
+/// What became of one dispatch attempt.
+enum Served {
+    /// Ran to completion at the given cycle.
+    Done { completion: u64 },
+    /// A core crash killed the attempt at the given cycle; the core is
+    /// occupied until its restart.
+    Killed { at: u64 },
 }
 
 /// The simulator: a prepared fleet ready to serve traces.
@@ -292,54 +492,127 @@ impl ClusterSim {
                 cold_sum: 0.0,
                 hits: 0,
                 misses: 0,
+                retries: 0,
+                degraded: 0,
+                dropped: 0,
                 count: 0,
                 result: InvocationResult::default(),
             })
             .collect();
+        let mut chaos: Option<ChaosRt> = self.cfg.chaos.map(|plan| ChaosRt {
+            state: ChaosState::new(plan, self.cfg.cores),
+            retry: self.cfg.retry,
+            breakers: (0..self.abbrs.len())
+                .map(|_| {
+                    CircuitBreaker::new(
+                        self.cfg.retry.breaker_threshold,
+                        self.cfg.retry.breaker_cooldown_cycles,
+                    )
+                })
+                .collect(),
+            ready: BTreeMap::new(),
+            stats: ChaosStats::default(),
+        });
 
-        let mut queue: VecDeque<Arrival> = VecDeque::new();
+        let mut queue: VecDeque<Job> = VecDeque::new();
         let mut next_arrival = 0usize;
+        let mut submitted = 0u64;
         let mut now = 0u64;
         let mut makespan = 0u64;
         let mut all_latencies: Vec<u64> = Vec::new();
         let mut latency_sum = 0u64;
 
         loop {
-            // Dispatch the FIFO queue onto free cores, lowest index first.
+            // Dispatch the FIFO queue onto free cores, lowest index first
+            // (under chaos, a core inside a crash window cannot accept
+            // work even when idle).
             while !queue.is_empty() {
-                let Some(ci) = cores.iter().position(|c| !c.busy) else { break };
-                let a = queue.pop_front().expect("non-empty queue");
-                let completion = self.dispatch(
-                    &a,
+                let free = (0..cores.len()).find(|&i| {
+                    !cores[i].busy && chaos.as_mut().is_none_or(|rt| !rt.state.core_down(i, now))
+                });
+                let Some(ci) = free else { break };
+                let mut job = queue.pop_front().expect("non-empty queue");
+                job.queue_accum += now - job.enqueued_at;
+                let fi = job.arrival.function as usize;
+                if let Some(rt) = chaos.as_mut() {
+                    let deadline = rt.retry.deadline_cycles;
+                    if deadline > 0 && now.saturating_sub(job.arrival.cycle) > deadline {
+                        rt.drop_job(&job, now, DropReason::Deadline, &mut fns[fi], sink);
+                        continue;
+                    }
+                    if rt.state.dispatch_dropped(job.id, job.attempt) {
+                        rt.stats.dispatch_drops += 1;
+                        rt.fail_attempt(job, now, 0, &mut fns[fi], sink);
+                        continue;
+                    }
+                }
+                let served = self.dispatch(
+                    &job,
                     now,
                     &mut cores[ci],
                     ci,
-                    &mut fns[a.function as usize],
+                    &mut fns[fi],
                     &mut store,
                     ignite_on,
+                    &mut chaos,
                     sink,
                 );
-                makespan = makespan.max(completion);
-                let latency = completion - a.cycle;
-                all_latencies.push(latency);
-                latency_sum += latency;
-                fns[a.function as usize].latencies.push(latency);
+                match served {
+                    Served::Done { completion } => {
+                        makespan = makespan.max(completion);
+                        let latency = completion - job.arrival.cycle;
+                        all_latencies.push(latency);
+                        latency_sum += latency;
+                        fns[fi].latencies.push(latency);
+                        if let Some(rt) = chaos.as_mut() {
+                            rt.stats.completed += 1;
+                            if job.attempt > 1 {
+                                rt.stats.retried_to_success += 1;
+                            }
+                        }
+                    }
+                    Served::Killed { at } => {
+                        let rt = chaos.as_mut().expect("attempts are only killed under chaos");
+                        rt.stats.crash_kills += 1;
+                        let elapsed = at - now;
+                        rt.fail_attempt(job, at, elapsed, &mut fns[fi], sink);
+                    }
+                }
             }
 
-            // Next event: the earliest completion or arrival.
+            // Next event: the earliest completion (or crashed-core
+            // restart), backoff expiry, arrival — or, when queued work is
+            // waiting only on repairs, the earliest idle-core restart.
             let next_completion = cores.iter().filter(|c| c.busy).map(|c| c.busy_until).min();
+            let next_retry = chaos.as_ref().and_then(|rt| rt.ready.keys().next().map(|&(t, _)| t));
             let next_arrival_cycle = trace.arrivals.get(next_arrival).map(|a| a.cycle);
-            now = match (next_completion, next_arrival_cycle) {
-                (None, None) => break,
-                (Some(c), None) => c,
-                (None, Some(a)) => a,
-                (Some(c), Some(a)) => c.min(a),
+            let next_restart = if queue.is_empty() {
+                None
+            } else {
+                chaos.as_mut().and_then(|rt| rt.state.earliest_restart(now))
+            };
+            now = match [next_completion, next_retry, next_arrival_cycle, next_restart]
+                .into_iter()
+                .flatten()
+                .min()
+            {
+                None => break,
+                Some(t) => t,
             };
             // Completions first (a core freed at `now` can serve an arrival
             // at `now`), in core-index order.
             for c in &mut cores {
                 if c.busy && c.busy_until <= now {
                     c.busy = false;
+                }
+            }
+            // Then retries whose backoff expired, in (ready, id) order —
+            // ahead of arrivals at the same cycle, since they have been
+            // waiting longer end-to-end.
+            if let Some(rt) = chaos.as_mut() {
+                while rt.ready.first_key_value().is_some_and(|(&(t, _), _)| t <= now) {
+                    let (_, job) = rt.ready.pop_first().expect("non-empty retry queue");
+                    queue.push_back(job);
                 }
             }
             // Then arrivals at `now`, in trace order.
@@ -353,7 +626,18 @@ impl ClusterSim {
                         kind: EventKind::Arrival { function: a.function },
                     });
                 }
-                queue.push_back(a);
+                if let Some(rt) = chaos.as_mut() {
+                    rt.stats.submitted += 1;
+                }
+                queue.push_back(Job {
+                    arrival: a,
+                    id: submitted,
+                    attempt: 1,
+                    enqueued_at: a.cycle,
+                    queue_accum: 0,
+                    lost_cycles: 0,
+                });
+                submitted += 1;
                 next_arrival += 1;
             }
         }
@@ -376,6 +660,9 @@ impl ClusterSim {
                     mean_cold_fraction: if n == 0.0 { 0.0 } else { f.cold_sum / n },
                     metadata_hits: f.hits,
                     metadata_misses: f.misses,
+                    retries: f.retries,
+                    degraded: f.degraded,
+                    dropped: f.dropped,
                     result: f.result,
                 }
             })
@@ -398,6 +685,20 @@ impl ClusterSim {
             let i = LATENCY_BUCKETS.iter().position(|&b| l <= b).unwrap_or(LATENCY_BUCKETS.len());
             latency_histogram[i] += 1;
         }
+        let chaos = chaos.map(|mut rt| {
+            for b in &rt.breakers {
+                rt.stats.breaker_opens += b.opens();
+                rt.stats.breaker_closes += b.closes();
+            }
+            debug_assert!(
+                rt.stats.conserved(),
+                "conservation violated: submitted {} != completed {} + dropped {}",
+                rt.stats.submitted,
+                rt.stats.completed,
+                rt.stats.dropped_total()
+            );
+            rt.stats
+        });
         ClusterOutcome {
             invocations: n as u64,
             makespan,
@@ -412,22 +713,29 @@ impl ClusterSim {
             mean_latency: if n == 0 { 0.0 } else { latency_sum as f64 / n as f64 },
             latency_histogram,
             latency_sum,
+            chaos,
         }
     }
 
-    /// Runs one invocation on a core; returns its completion cycle.
+    /// Runs one dispatch attempt on a core; returns how it ended.
+    ///
+    /// Without chaos this is the pre-chaos dispatch verbatim: every
+    /// chaos branch is behind `if let Some`, the job accumulators equal
+    /// the original expressions, and the attempt always completes.
     #[allow(clippy::too_many_arguments)] // internal hot path; a context struct would be rebuilt per call
     fn dispatch<S: EventSink>(
         &self,
-        a: &Arrival,
+        job: &Job,
         now: u64,
         core: &mut Core,
         ci: usize,
         fstate: &mut FunctionState,
         store: &mut MetadataStore,
         ignite_on: bool,
+        chaos: &mut Option<ChaosRt>,
         sink: &mut S,
-    ) -> u64 {
+    ) -> Served {
+        let a = &job.arrival;
         let f = &self.functions[a.function as usize];
         // Interleaving distance → data coldness. Distance d counts the
         // invocations of *other* functions on this core since this function
@@ -449,47 +757,131 @@ impl ClusterSim {
                 ts: now,
                 dur: 0,
                 track,
-                kind: EventKind::Dispatch { function: a.function, queue_cycles: now - a.cycle },
+                // Queue time accumulated across attempts; without chaos
+                // this is exactly `now - a.cycle`.
+                kind: EventKind::Dispatch { function: a.function, queue_cycles: job.queue_accum },
             });
         }
 
         // Stage the function's metadata region from the node store into
-        // the core's replay engine, charging the transfer.
+        // the core's replay engine, charging the transfer. Under chaos,
+        // three gates can degrade this attempt to a cold run: an open
+        // circuit breaker (full record/replay bypass), a store
+        // unavailability window (no fetch at all), or a corrupt/lost
+        // region detected after the fetch (region evicted, breaker fed).
         let mut md_cycles = 0u64;
         let mut store_hit = false;
+        let mut degrade: Option<DegradeReason> = None;
+        let mut bypass = false;
         if ignite_on {
-            let fetched = store.fetch(f.container).cloned();
-            match fetched {
-                Some(md) => {
-                    store_hit = true;
-                    fstate.hits += 1;
-                    md_cycles += self.transfer_cycles(md.byte_len());
-                    if sink.enabled() {
-                        sink.record(Event {
-                            ts: now,
-                            dur: 0,
-                            track: Track::Store,
-                            kind: EventKind::StoreHit {
-                                container: f.container,
-                                bytes: md.byte_len() as u64,
-                            },
-                        });
-                    }
-                    core.machine
-                        .ignite
-                        .as_mut()
-                        .expect("ignite selected")
-                        .install_metadata(f.container, md);
+            if let Some(rt) = chaos.as_mut() {
+                if !rt.breakers[a.function as usize].replay_allowed(now) {
+                    degrade = Some(DegradeReason::BreakerOpen);
+                    bypass = true;
+                } else if rt.state.store_unavailable(now) {
+                    degrade = Some(DegradeReason::StoreUnavailable);
                 }
-                None => {
-                    fstate.misses += 1;
-                    if sink.enabled() {
-                        sink.record(Event {
-                            ts: now,
-                            dur: 0,
-                            track: Track::Store,
-                            kind: EventKind::StoreMiss { container: f.container },
-                        });
+            }
+            if degrade.is_none() {
+                let fetched = store.fetch(f.container).cloned();
+                match fetched {
+                    Some(md) => {
+                        store_hit = true;
+                        fstate.hits += 1;
+                        md_cycles += self.transfer_cycles(md.byte_len());
+                        if sink.enabled() {
+                            sink.record(Event {
+                                ts: now,
+                                dur: 0,
+                                track: Track::Store,
+                                kind: EventKind::StoreHit {
+                                    container: f.container,
+                                    bytes: md.byte_len() as u64,
+                                },
+                            });
+                        }
+                        // Chaos corruption draws on the fetched copy
+                        // (seeded per (container, invocation), like the
+                        // PR 1 codec fault model it reuses). Stale-but-
+                        // valid regions still install — replay handles
+                        // them; only undecodable or lost regions degrade.
+                        let installed: Option<Metadata> = match chaos.as_mut() {
+                            Some(rt) if rt.state.plan().store_fault.is_active() => {
+                                match rt.state.plan().store_fault.apply(
+                                    &md,
+                                    f.container,
+                                    fstate.count,
+                                ) {
+                                    Ok(Some(faulted)) if faulted.validate().is_ok() => {
+                                        Some(faulted)
+                                    }
+                                    Ok(Some(_)) | Err(_) => {
+                                        degrade = Some(DegradeReason::Corrupt);
+                                        None
+                                    }
+                                    Ok(None) => {
+                                        degrade = Some(DegradeReason::Loss);
+                                        None
+                                    }
+                                }
+                            }
+                            _ => Some(md),
+                        };
+                        match installed {
+                            Some(md) => {
+                                core.machine
+                                    .ignite
+                                    .as_mut()
+                                    .expect("ignite selected")
+                                    .install_metadata(f.container, md);
+                                if let Some(rt) = chaos.as_mut() {
+                                    let b = &mut rt.breakers[a.function as usize];
+                                    let closes = b.closes();
+                                    b.record_success();
+                                    if sink.enabled() && b.closes() > closes {
+                                        sink.record(Event {
+                                            ts: now,
+                                            dur: 0,
+                                            track: Track::Chaos,
+                                            kind: EventKind::BreakerClose { function: a.function },
+                                        });
+                                    }
+                                }
+                            }
+                            None => {
+                                let rt = chaos.as_mut().expect("faults only fire under chaos");
+                                // A region known bad must never be served
+                                // again.
+                                if store.remove(f.container).is_some() {
+                                    rt.stats.store_regions_dropped += 1;
+                                }
+                                let b = &mut rt.breakers[a.function as usize];
+                                let opens = b.opens();
+                                b.record_fault(now);
+                                if sink.enabled() && b.opens() > opens {
+                                    sink.record(Event {
+                                        ts: now,
+                                        dur: 0,
+                                        track: Track::Chaos,
+                                        kind: EventKind::BreakerOpen {
+                                            function: a.function,
+                                            faults: rt.retry.breaker_threshold,
+                                        },
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        fstate.misses += 1;
+                        if sink.enabled() {
+                            sink.record(Event {
+                                ts: now,
+                                dur: 0,
+                                track: Track::Store,
+                                kind: EventKind::StoreMiss { container: f.container },
+                            });
+                        }
                     }
                 }
             }
@@ -499,7 +891,7 @@ impl ClusterSim {
         if sink.enabled() {
             sink.record(Event { ts: now, dur: 0, track, kind: EventKind::ContextSwitch });
         }
-        let ctx = InvocationCtx { data_cold_fraction: cold };
+        let ctx = InvocationCtx { data_cold_fraction: cold, bypass_ignite: bypass };
         // Map machine-local cycles onto the cluster clock: the engine
         // portion starts after the metadata fetch transfer, and the
         // machine clock (busy cycles only) never exceeds cluster time.
@@ -509,35 +901,138 @@ impl ClusterSim {
             run_invocation_obs(&mut core.machine, f, fstate.count, ctx, sink, track, ts_offset);
         fstate.count += 1;
 
-        // Write the (merged) region back to the node store.
-        let mut store_events: Vec<EventKind> = Vec::new();
+        // Straggler windows stretch the attempt's compute cycles; the
+        // extra cycles are charged to the execution component so the
+        // attribution tiling stays exact.
+        let mut exec_cycles = res.cycles;
+        let mut straggled = false;
+        if let Some(rt) = chaos.as_mut() {
+            let factor = rt.state.straggle_factor_milli(ci, now);
+            if factor > 1000 {
+                straggled = true;
+                exec_cycles = ((u128::from(res.cycles) * u128::from(factor)) / 1000) as u64;
+            }
+        }
+
+        // Take the (merged) region destined for the node store, sizing
+        // the writeback — but do not commit it yet: a crash that kills
+        // this attempt must also kill its writeback.
+        let mut wb: Option<Metadata> = None;
+        let mut wb_cycles = 0u64;
+        let mut wb_skipped = false;
         if ignite_on {
             if let Some(md) =
                 core.machine.ignite.as_mut().expect("ignite selected").take_metadata(f.container)
             {
-                let bytes = md.byte_len() as u64;
-                md_cycles += self.transfer_cycles(md.byte_len());
-                let outcome = store.insert(f.container, md);
-                if sink.enabled() {
-                    for (victim, victim_bytes) in outcome.evicted {
-                        store_events.push(EventKind::StoreEvict {
-                            container: victim,
-                            bytes: victim_bytes as u64,
-                        });
-                    }
-                    if outcome.rejected {
-                        store_events.push(EventKind::StoreReject { container: f.container, bytes });
-                    }
+                let wb_at = now + md_cycles + exec_cycles;
+                if chaos.as_mut().is_some_and(|rt| rt.state.store_unavailable(wb_at)) {
+                    // Unreachable store: the region is simply lost (the
+                    // next fetch misses and re-records).
+                    wb_skipped = true;
+                } else {
+                    wb_cycles = self.transfer_cycles(md.byte_len());
+                    wb = Some(md);
                 }
             }
         }
 
-        let service = res.cycles + md_cycles;
+        let service = exec_cycles + md_cycles + wb_cycles;
+        let completion = now + service;
+
+        // Crash check: a crash window opening while this attempt holds
+        // the core kills it — no completion, no writeback, a fresh
+        // (fully cold) machine, and the core held busy until repair.
+        if let Some(rt) = chaos.as_mut() {
+            let crash_t = if completion > now + 1 {
+                rt.state.crash_in(ci, now + 1, completion - 1)
+            } else {
+                None
+            };
+            if let Some(crash_t) = crash_t {
+                let restart = rt
+                    .state
+                    .core_restart_after(ci, crash_t)
+                    .expect("crash window contains its own start");
+                if sink.enabled() {
+                    sink.record(Event {
+                        ts: crash_t,
+                        dur: 0,
+                        track: Track::Chaos,
+                        kind: EventKind::CoreCrash { core: ci as u32 },
+                    });
+                    sink.record(Event {
+                        ts: restart,
+                        dur: 0,
+                        track: Track::Chaos,
+                        kind: EventKind::CoreRestore {
+                            core: ci as u32,
+                            down_cycles: restart - crash_t,
+                        },
+                    });
+                }
+                core.machine = Machine::new(&self.uarch, &self.cfg.fe);
+                core.last_seq.clear();
+                core.busy = true;
+                core.busy_until = restart;
+                // The core worked (was busy) until the crash; the repair
+                // window is downtime, not utilization.
+                core.busy_cycles += crash_t - now;
+                return Served::Killed { at: crash_t };
+            }
+        }
+
+        // The attempt survived: commit the writeback.
+        let mut store_events: Vec<EventKind> = Vec::new();
+        if wb_skipped {
+            if let Some(rt) = chaos.as_mut() {
+                rt.stats.writeback_skipped += 1;
+            }
+        }
+        if let Some(md) = wb {
+            let bytes = md.byte_len() as u64;
+            md_cycles += wb_cycles;
+            let outcome = store.insert(f.container, md);
+            if sink.enabled() {
+                for (victim, victim_bytes) in outcome.evicted {
+                    store_events.push(EventKind::StoreEvict {
+                        container: victim,
+                        bytes: victim_bytes as u64,
+                    });
+                }
+                if outcome.rejected {
+                    store_events.push(EventKind::StoreReject { container: f.container, bytes });
+                }
+            }
+        }
+
+        if let Some(rt) = chaos.as_mut() {
+            if straggled {
+                rt.stats.straggled += 1;
+            }
+            if let Some(reason) = degrade {
+                fstate.degraded += 1;
+                match reason {
+                    DegradeReason::StoreUnavailable => rt.stats.degraded_unavailable += 1,
+                    DegradeReason::Corrupt => rt.stats.degraded_corrupt += 1,
+                    DegradeReason::Loss => rt.stats.degraded_loss += 1,
+                    DegradeReason::BreakerOpen => rt.stats.degraded_breaker += 1,
+                }
+                if sink.enabled() {
+                    sink.record(Event {
+                        ts: now,
+                        dur: 0,
+                        track: Track::Chaos,
+                        kind: EventKind::Degraded { function: a.function, reason },
+                    });
+                }
+            }
+        }
+
         if sink.enabled() {
             // The writeback (and any evictions it forced) lands at
             // completion time; the span covers fetch + engine + writeback.
             for kind in store_events {
-                sink.record(Event { ts: now + service, dur: 0, track: Track::Store, kind });
+                sink.record(Event { ts: completion, dur: 0, track: Track::Store, kind });
             }
             sink.record(Event {
                 ts: now,
@@ -546,46 +1041,58 @@ impl ClusterSim {
                 kind: EventKind::Invocation { function: a.function, invocation: fstate.count - 1 },
             });
             sink.record(Event {
-                ts: now + service,
+                ts: completion,
                 dur: 0,
                 track,
                 kind: EventKind::Complete { function: a.function, service_cycles: service },
             });
             // Causal latency attribution. Latency decomposes exactly:
-            // `latency = queue + md_cycles + res.cycles`, and the engine's
-            // integer stall counters tile `res.cycles` into front-end
-            // penalty vs steady-state execution. Front-end stalls paid
-            // after a store miss are the re-record cost Ignite could not
-            // avoid; after a hit (or with Ignite off) they are the
-            // residual cold-front-end penalty.
+            // `latency = queue + retry + md_cycles + exec_cycles`, and
+            // the engine's integer stall counters tile the compute
+            // cycles into front-end penalty vs steady-state execution
+            // (straggle inflation is charged to execution). Front-end
+            // stalls paid after a store miss are the re-record cost
+            // Ignite could not avoid; after a hit (or with Ignite off)
+            // they are the residual cold-front-end penalty; when chaos
+            // degraded replay away they are the price of availability.
             let frontend = res.front_end_stall_cycles();
-            let execution = res.cycles - frontend;
-            let (cold_frontend, store_miss) =
-                if ignite_on && !store_hit { (0, frontend) } else { (frontend, 0) };
+            let execution = exec_cycles - frontend;
+            let (cold_frontend, store_miss, degraded_cycles) = if degrade.is_some() {
+                (0, 0, frontend)
+            } else if ignite_on && !store_hit {
+                (0, frontend, 0)
+            } else {
+                (frontend, 0, 0)
+            };
             sink.record(Event {
-                ts: now + service,
+                ts: completion,
                 dur: 0,
                 track,
                 kind: EventKind::Attribution {
                     function: a.function,
-                    queue_cycles: now - a.cycle,
+                    queue_cycles: job.queue_accum,
+                    retry_cycles: job.lost_cycles,
                     dram_cycles: md_cycles,
                     cold_frontend_cycles: cold_frontend,
                     store_miss_cycles: store_miss,
+                    degraded_cycles,
                     execution_cycles: execution,
-                    latency_cycles: (now + service) - a.cycle,
+                    latency_cycles: completion - a.cycle,
                 },
             });
         }
+        if let Some(rt) = chaos.as_mut() {
+            rt.stats.retry_cycles += job.lost_cycles;
+        }
         core.busy = true;
-        core.busy_until = now + service;
+        core.busy_until = completion;
         core.busy_cycles += service;
         core.invocations += 1;
         fstate.service_cycles += service;
-        fstate.queue_cycles += now - a.cycle;
+        fstate.queue_cycles += job.queue_accum;
         fstate.cold_sum += cold;
         fstate.result.merge(&res);
-        now + service
+        Served::Done { completion }
     }
 
     /// Cycles to move `bytes` of metadata at the configured bandwidth.
@@ -817,5 +1324,128 @@ mod tests {
         assert_eq!(out.latency_histogram.len(), LATENCY_BUCKETS.len() + 1);
         assert_eq!(out.latency_histogram.iter().sum::<u64>(), out.invocations);
         assert!(out.latency_sum >= out.invocations * out.p50_latency / 2);
+    }
+
+    #[test]
+    fn config_validation_names_the_offending_field() {
+        assert!(ClusterConfig::default().validate().is_ok());
+        assert!(chaos_cfg(7).validate().is_ok());
+        let bad = ClusterConfig { cores: 0, ..ClusterConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("cores"));
+        let bad = ClusterConfig { dram_bytes_per_cycle: f64::NAN, ..ClusterConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("dram_bytes_per_cycle"));
+        let bad = ClusterConfig {
+            retry: RetryPolicy { max_attempts: 0, ..RetryPolicy::default() },
+            ..ClusterConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("max_attempts"));
+        let mut bad = chaos_cfg(7);
+        bad.chaos.as_mut().unwrap().crash_repair_cycles = 0;
+        assert!(bad.validate().unwrap_err().contains("crash"));
+        let mut bad = chaos_cfg(7);
+        bad.chaos.as_mut().unwrap().straggle_factor_milli = 500;
+        assert!(bad.validate().unwrap_err().contains("straggle_factor_milli"));
+    }
+
+    fn chaos_cfg(chaos_seed: u64) -> ClusterConfig {
+        ClusterConfig { chaos: Some(ChaosPlan::default_preset().seeded(chaos_seed)), ..quick_cfg() }
+    }
+
+    #[test]
+    fn chaos_run_conserves_every_submission() {
+        let out = ClusterSim::new(chaos_cfg(7)).run();
+        let ch = out.chaos.as_ref().expect("chaos stats present");
+        assert!(ch.conserved(), "conservation violated: {ch:?}");
+        assert_eq!(ch.completed, out.invocations);
+        assert!(ch.submitted > 0);
+        // The preset is violent enough to exercise the machinery.
+        assert!(ch.attempts_failed > 0, "no failures injected: {ch:?}");
+        assert!(ch.degraded_total() > 0, "no degradations: {ch:?}");
+        // Per-function drop counters agree with the ledger.
+        let dropped: u64 = out.functions.iter().map(|f| f.dropped).sum();
+        assert_eq!(dropped, ch.dropped_total());
+    }
+
+    #[test]
+    fn chaos_is_deterministic() {
+        assert_eq!(ClusterSim::new(chaos_cfg(7)).run(), ClusterSim::new(chaos_cfg(7)).run());
+    }
+
+    #[test]
+    fn inert_chaos_plan_matches_chaos_off_exactly() {
+        // An all-zero plan schedules no failures; the chaos machinery
+        // must then be arithmetically invisible.
+        let inert = ClusterConfig { chaos: Some(ChaosPlan::none()), ..quick_cfg() };
+        let with = ClusterSim::new(inert).run();
+        let without = ClusterSim::new(quick_cfg()).run();
+        assert_eq!(with.invocations, without.invocations);
+        assert_eq!(with.makespan, without.makespan);
+        assert_eq!(with.latency_sum, without.latency_sum);
+        assert_eq!(with.latency_histogram, without.latency_histogram);
+        assert_eq!(with.cores, without.cores);
+        assert_eq!(with.functions, without.functions);
+        let ch = with.chaos.expect("inert plan still reports chaos stats");
+        assert_eq!(ch.submitted, ch.completed);
+        assert_eq!(ch.attempts_failed, 0);
+        assert_eq!(ch.degraded_total(), 0);
+        assert_eq!(ch.retry_cycles, 0);
+    }
+
+    #[test]
+    fn chaos_seed_does_not_perturb_the_arrival_stream() {
+        // Satellite: the arrival process is driven by `--seed` alone;
+        // re-seeding chaos must replay the identical offered load.
+        let base = ClusterSim::new(chaos_cfg(7)).run();
+        let other = ClusterSim::new(chaos_cfg(1234)).run();
+        let a = base.chaos.as_ref().unwrap();
+        let b = other.chaos.as_ref().unwrap();
+        assert_eq!(a.submitted, b.submitted, "arrival count must not depend on the chaos seed");
+        // And the failure schedules genuinely differ.
+        assert_ne!(
+            (a.attempts_failed, a.retry_cycles, a.degraded_total()),
+            (b.attempts_failed, b.retry_cycles, b.degraded_total()),
+            "distinct chaos seeds should inject distinct failures"
+        );
+    }
+
+    #[test]
+    fn chaos_latencies_tile_into_components() {
+        // Replaying the chaos run under a scope analyzer must satisfy
+        // the 7-component attribution invariant for every completion.
+        let sim = ClusterSim::new(chaos_cfg(7));
+        let mut buf = ignite_obs::TraceBuffer::new(1 << 21);
+        let out = sim.run_obs(&mut buf);
+        let mut attributed = 0u64;
+        let mut latency_sum = 0u64;
+        for e in buf.iter() {
+            if let EventKind::Attribution {
+                queue_cycles,
+                retry_cycles,
+                dram_cycles,
+                cold_frontend_cycles,
+                store_miss_cycles,
+                degraded_cycles,
+                execution_cycles,
+                latency_cycles,
+                ..
+            } = e.kind
+            {
+                assert_eq!(
+                    queue_cycles
+                        + retry_cycles
+                        + dram_cycles
+                        + cold_frontend_cycles
+                        + store_miss_cycles
+                        + degraded_cycles
+                        + execution_cycles,
+                    latency_cycles,
+                    "components must tile the latency"
+                );
+                attributed += 1;
+                latency_sum += latency_cycles;
+            }
+        }
+        assert_eq!(attributed, out.invocations, "every completion is attributed");
+        assert_eq!(latency_sum, out.latency_sum, "attributed latency totals the sim's sum");
     }
 }

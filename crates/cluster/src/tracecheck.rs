@@ -142,6 +142,30 @@ mod tests {
     }
 
     #[test]
+    fn chaos_run_emits_chaos_category_events() {
+        let cfg = ClusterConfig {
+            arrival: ArrivalConfig { horizon_cycles: 600_000, ..ArrivalConfig::default() },
+            chaos: Some(ignite_chaos::ChaosPlan::default_preset().seeded(7)),
+            ..ClusterConfig::default()
+        };
+        let sim = ClusterSim::new(cfg);
+        let mut buf = TraceBuffer::new(1 << 20);
+        sim.run_obs(&mut buf);
+        let text = to_chrome_json(
+            &buf,
+            &ChromeOptions { process_name: "ignite-cluster", function_names: &[] },
+        );
+        let summary = validate_trace(&text).expect("chaos trace must validate");
+        assert!(
+            summary.events_by_category.get("chaos").copied().unwrap_or(0) > 0,
+            "no chaos-category events: {:?}",
+            summary.events_by_category
+        );
+        // Chaos events live on their own track.
+        assert!(text.contains("\"name\":\"chaos\""), "chaos thread name missing");
+    }
+
+    #[test]
     fn validate_rejects_wrong_schema_and_garbage() {
         let text = trace_text().replace(CHROME_SCHEMA, "ignite-trace-chrome-v0");
         assert!(validate_trace(&text).is_err());

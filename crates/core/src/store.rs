@@ -194,6 +194,18 @@ impl MetadataStore {
         }
     }
 
+    /// Drops `container`'s region outright (detected corruption or loss:
+    /// a region known bad must not be served again). Returns the freed
+    /// byte count. Deliberately does not touch [`StoreStats`] — the
+    /// caller accounts the drop under its own failure taxonomy, and the
+    /// store's hit/eviction counters keep their chaos-free meaning.
+    pub fn remove(&mut self, container: u64) -> Option<usize> {
+        let e = self.entries.remove(&container)?;
+        let len = e.md.byte_len();
+        self.total_bytes -= len;
+        Some(len)
+    }
+
     /// Inserts (or replaces) `container`'s region, evicting per policy
     /// until it fits. A region larger than the whole store is rejected —
     /// evicting everything for an entry that cannot help anyone else would
@@ -449,5 +461,126 @@ mod tests {
             assert_eq!(EvictionPolicy::parse(p.name()), Some(p));
         }
         assert_eq!(EvictionPolicy::parse("fifo"), None);
+    }
+
+    mod adversarial {
+        //! Property tests over adversarial fetch/insert/remove
+        //! interleavings (the chaos layer removes regions out from under
+        //! the simulator, so `remove` now composes with everything).
+        //! A mirror model is advanced from each operation's observable
+        //! outcome and cross-checked against the store's accounting.
+
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Fetch(u64),
+            Insert(u64, u64),
+            Remove(u64),
+        }
+
+        fn op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u64..6).prop_map(Op::Fetch),
+                ((0u64..6), (1u64..40)).prop_map(|(c, n)| Op::Insert(c, n)),
+                (0u64..6).prop_map(Op::Remove),
+            ]
+        }
+
+        /// The `pinned_hot` hottest containers of the model, mirroring
+        /// `pick_victim`'s protection order (hits desc, container asc).
+        fn pinned(model: &std::collections::BTreeMap<u64, (usize, u64)>, k: usize) -> Vec<u64> {
+            let mut by_heat: Vec<(u64, u64)> =
+                model.iter().map(|(&c, &(_, hits))| (hits, c)).collect();
+            by_heat.sort_by_key(|&(hits, c)| (std::cmp::Reverse(hits), c));
+            by_heat.iter().take(k).map(|&(_, c)| c).collect()
+        }
+
+        fn check(policy: EvictionPolicy, ops: Vec<Op>) {
+            let capacity = region(12).byte_len() * 3;
+            let pinned_hot = 1;
+            let mut s =
+                MetadataStore::new(StoreConfig { capacity_bytes: capacity, policy, pinned_hot });
+            // container -> (byte_len, hits), advanced from outcomes only.
+            let mut model: std::collections::BTreeMap<u64, (usize, u64)> =
+                std::collections::BTreeMap::new();
+            for op in ops {
+                match op {
+                    Op::Fetch(c) => match s.fetch(c) {
+                        Some(md) => {
+                            let e = model.get_mut(&c).expect("hit on a region the model lost");
+                            assert_eq!(e.0, md.byte_len());
+                            e.1 += 1;
+                        }
+                        None => assert!(!model.contains_key(&c), "miss on a resident region"),
+                    },
+                    Op::Remove(c) => match s.remove(c) {
+                        Some(len) => {
+                            let e = model.remove(&c).expect("removed a region the model lost");
+                            assert_eq!(e.0, len);
+                        }
+                        None => assert!(!model.contains_key(&c), "remove missed a resident region"),
+                    },
+                    Op::Insert(c, n) => {
+                        let md = region(n);
+                        let len = md.byte_len();
+                        let out = s.insert(c, md);
+                        if out.rejected {
+                            assert!(len > capacity, "fitting region rejected");
+                            continue;
+                        }
+                        // Mirror insert order: the target leaves first,
+                        // then victims are evicted one at a time.
+                        let prior = model.remove(&c);
+                        assert_eq!(out.replaced, prior.is_some());
+                        for &(victim, vlen) in &out.evicted {
+                            if policy == EvictionPolicy::PinHot {
+                                let protected = pinned(&model, pinned_hot);
+                                let unpinned_left = model.keys().any(|k| !protected.contains(k));
+                                assert!(
+                                    !protected.contains(&victim) || !unpinned_left,
+                                    "pinned region {victim} evicted while an unpinned \
+                                     victim was available"
+                                );
+                            }
+                            let e = model.remove(&victim).expect("evicted a region the model lost");
+                            assert_eq!(e.0, vlen);
+                        }
+                        model.insert(c, (len, prior.map_or(0, |p| p.1)));
+                    }
+                }
+                assert!(
+                    s.footprint_bytes() <= capacity,
+                    "footprint {} over capacity {capacity}",
+                    s.footprint_bytes()
+                );
+                let expected: usize = model.values().map(|&(len, _)| len).sum();
+                assert_eq!(s.footprint_bytes(), expected, "footprint drifted from the model");
+                assert_eq!(s.regions(), model.len(), "region count drifted from the model");
+                assert!(s.peak_footprint_bytes() >= s.footprint_bytes());
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn lru_accounting_survives_interleavings(ops in proptest::collection::vec(op(), 1..80)) {
+                check(EvictionPolicy::Lru, ops);
+            }
+
+            #[test]
+            fn size_aware_accounting_survives_interleavings(
+                ops in proptest::collection::vec(op(), 1..80),
+            ) {
+                check(EvictionPolicy::SizeAware, ops);
+            }
+
+            #[test]
+            fn pin_hot_never_loses_a_pinned_region_early(
+                ops in proptest::collection::vec(op(), 1..80),
+            ) {
+                check(EvictionPolicy::PinHot, ops);
+            }
+        }
     }
 }

@@ -74,11 +74,17 @@ pub struct InvocationCtx {
     /// Fraction of the data working set that must be re-fetched cold
     /// (0.0 = back-to-back warm, 1.0 = fully evicted). Clamped to [0, 1].
     pub data_cold_fraction: f64,
+    /// Run with Ignite detached for this invocation only: no record, no
+    /// replay, no metadata traffic — the machine behaves as if Ignite
+    /// were not configured, then gets it back untouched. Used by the
+    /// chaos layer's circuit breaker to quarantine a function whose
+    /// replay metadata faults repeatedly (degraded cold execution).
+    pub bypass_ignite: bool,
 }
 
 impl Default for InvocationCtx {
     fn default() -> Self {
-        InvocationCtx { data_cold_fraction: 1.0 }
+        InvocationCtx { data_cold_fraction: 1.0, bypass_ignite: false }
     }
 }
 
@@ -88,7 +94,7 @@ impl Default for InvocationCtx {
 /// function share most control flow (the commonality Ignite exploits).
 pub fn run_invocation(m: &mut Machine, f: &PreparedFunction, invocation: u64) -> InvocationResult {
     let data_cold_fraction = if m.fe.policy.warm_data { 0.0 } else { 1.0 };
-    run_invocation_ctx(m, f, invocation, InvocationCtx { data_cold_fraction })
+    run_invocation_ctx(m, f, invocation, InvocationCtx { data_cold_fraction, bypass_ignite: false })
 }
 
 /// Like [`run_invocation`], with caller-owned warm/cold context.
@@ -124,6 +130,11 @@ pub fn run_invocation_obs<S: EventSink>(
     track: Track,
     ts_offset: u64,
 ) -> InvocationResult {
+    // Circuit-breaker quarantine: detach Ignite for the whole invocation
+    // (before the `has_mechanisms` probe below) and re-attach it on every
+    // return path. Its internal state is untouched — the invocation simply
+    // never happened from Ignite's point of view.
+    let stashed_ignite = if ctx.bypass_ignite { m.ignite.take() } else { None };
     let mut res = InvocationResult::default();
     let start_cycle = m.now;
     let ideal = m.fe.select.ideal;
@@ -487,6 +498,9 @@ pub fn run_invocation_obs<S: EventSink>(
         }
     }
 
+    if let Some(ig) = stashed_ignite {
+        m.ignite = Some(ig);
+    }
     res
 }
 

@@ -34,10 +34,23 @@
 //!                        objective=PCT, fast=CYCLES, slow=CYCLES,
 //!                        burn=MULT, min=N. Alerts land on their own
 //!                        trace track and in the scope report.
+//!   --chaos SPEC         enable failure injection; SPEC is 'default',
+//!                        'none', or comma-separated k=v pairs:
+//!                        crash-mtbf, crash-repair, straggle-mtbf,
+//!                        straggle-dur, straggle-factor, store-mtbf,
+//!                        store-dur, corrupt-ppm, loss-ppm, drop-ppm.
+//!                        The report switches to ignite-cluster-v2.
+//!   --chaos-seed S       failure-schedule seed, independent of --seed
+//!                        (default 1; re-seeding chaos never perturbs
+//!                        the arrival stream)
+//!   --retry SPEC         recovery policy as k=v pairs: attempts, base,
+//!                        mult, max, jitter-ppm, deadline,
+//!                        breaker-threshold, breaker-cooldown
 //! ```
 
 use std::process::ExitCode;
 
+use ignite_chaos::{parse_chaos_spec, parse_retry_spec, ChaosPlan};
 use ignite_cluster::{
     metrics_for, record_metrics, record_trace_health, sweep_capacities, validate_trace,
     ClusterConfig, ClusterOutcome, ClusterReport, ClusterSim, ObsSummary,
@@ -66,6 +79,8 @@ struct Args {
     validate_trace: Option<String>,
     scope_out: Option<String>,
     slo: Option<SloConfig>,
+    chaos: Option<ChaosPlan>,
+    chaos_seed: u64,
 }
 
 fn usage() -> ! {
@@ -74,7 +89,8 @@ fn usage() -> ! {
          [--zipf S] [--horizon CYCLES] [--capacity BYTES] [--policy P] [--threads N] \
          [--sweep B1,B2,...] [--trace FILE] [--emit-trace FILE] [--out FILE] \
          [--validate FILE] [--trace-out FILE] [--metrics-out FILE] \
-         [--validate-trace FILE] [--scope-out FILE] [--slo SPEC]"
+         [--validate-trace FILE] [--scope-out FILE] [--slo SPEC] \
+         [--chaos SPEC] [--chaos-seed S] [--retry SPEC]"
     );
     std::process::exit(2);
 }
@@ -155,6 +171,8 @@ fn parse_args() -> Args {
         validate_trace: None,
         scope_out: None,
         slo: None,
+        chaos: None,
+        chaos_seed: 1,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -208,6 +226,23 @@ fn parse_args() -> Args {
             }
             "--scope-out" => args.scope_out = Some(value(&mut it, "--scope-out")),
             "--slo" => args.slo = Some(parse_slo(&value(&mut it, "--slo"))),
+            "--chaos" => {
+                let spec = value(&mut it, "--chaos");
+                args.chaos = Some(parse_chaos_spec(&spec).unwrap_or_else(|e| {
+                    eprintln!("cluster: --chaos: {e}");
+                    usage();
+                }));
+            }
+            "--chaos-seed" => {
+                args.chaos_seed = parse(&value(&mut it, "--chaos-seed"), "--chaos-seed");
+            }
+            "--retry" => {
+                let spec = value(&mut it, "--retry");
+                args.cfg.retry = parse_retry_spec(&spec).unwrap_or_else(|e| {
+                    eprintln!("cluster: --retry: {e}");
+                    usage();
+                });
+            }
             _ => {
                 eprintln!("cluster: unknown argument '{arg}'");
                 usage();
@@ -237,7 +272,7 @@ fn main() -> ExitCode {
         };
         return match ClusterReport::validate(&text) {
             Ok(()) => {
-                println!("{path}: valid {}", ignite_cluster::CLUSTER_SCHEMA);
+                println!("{path}: valid cluster report");
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -273,6 +308,15 @@ fn main() -> ExitCode {
 
     let mut cfg = args.cfg;
     cfg.arrival.functions = 20; // the full paper suite
+    if let Some(plan) = args.chaos {
+        // The failure schedule draws from its own seed: `--seed` owns
+        // the arrival stream, `--chaos-seed` owns the chaos stream.
+        cfg.chaos = Some(plan.seeded(args.chaos_seed));
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("cluster: invalid configuration: {e}");
+        return ExitCode::FAILURE;
+    }
 
     if let Some(path) = &args.emit_trace {
         let trace = cfg.arrival.generate();
@@ -484,6 +528,19 @@ fn main() -> ExitCode {
         report.outcome.store.hit_rate(),
         report.outcome.peak_footprint_bytes
     );
+    if let Some(ch) = &report.outcome.chaos {
+        eprintln!(
+            "chaos: {} submitted = {} completed + {} dropped | {} retried to success | \
+             {} degraded to cold | {} crash kills | breaker opened {}x",
+            ch.submitted,
+            ch.completed,
+            ch.dropped_total(),
+            ch.retried_to_success,
+            ch.degraded_total(),
+            ch.crash_kills,
+            ch.breaker_opens
+        );
+    }
     match &args.out {
         None => print!("{text}"),
         Some(path) => {

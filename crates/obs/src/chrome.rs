@@ -106,17 +106,21 @@ fn push_args(out: &mut String, kind: &EventKind) {
         EventKind::Attribution {
             function,
             queue_cycles,
+            retry_cycles,
             dram_cycles,
             cold_frontend_cycles,
             store_miss_cycles,
+            degraded_cycles,
             execution_cycles,
             latency_cycles,
         } => {
             field(out, "function", u64::from(function));
             field(out, "queue_cycles", queue_cycles);
+            field(out, "retry_cycles", retry_cycles);
             field(out, "dram_cycles", dram_cycles);
             field(out, "cold_frontend_cycles", cold_frontend_cycles);
             field(out, "store_miss_cycles", store_miss_cycles);
+            field(out, "degraded_cycles", degraded_cycles);
             field(out, "execution_cycles", execution_cycles);
             field(out, "latency_cycles", latency_cycles);
         }
@@ -125,6 +129,24 @@ fn push_args(out: &mut String, kind: &EventKind) {
             field(out, "function", u64::from(function));
             field(out, "burn_milli", burn_milli);
         }
+        EventKind::CoreCrash { core } => field(out, "core", u64::from(core)),
+        EventKind::CoreRestore { core, down_cycles } => {
+            field(out, "core", u64::from(core));
+            field(out, "down_cycles", down_cycles);
+        }
+        EventKind::ChaosRetry { function, attempt, backoff_cycles } => {
+            field(out, "function", u64::from(function));
+            field(out, "attempt", u64::from(attempt));
+            field(out, "backoff_cycles", backoff_cycles);
+        }
+        EventKind::ChaosDrop { function, .. } | EventKind::Degraded { function, .. } => {
+            field(out, "function", u64::from(function));
+        }
+        EventKind::BreakerOpen { function, faults } => {
+            field(out, "function", u64::from(function));
+            field(out, "faults", u64::from(faults));
+        }
+        EventKind::BreakerClose { function } => field(out, "function", u64::from(function)),
     }
 }
 

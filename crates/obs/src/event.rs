@@ -21,6 +21,9 @@ pub enum Track {
     Core(u32),
     /// SLO burn-rate alert lifecycle (fire/resolve instants).
     Alerts,
+    /// Chaos lifecycle: crashes, restores, retries, degrades, breaker
+    /// transitions (`ignite-chaos`).
+    Chaos,
 }
 
 impl Track {
@@ -31,6 +34,7 @@ impl Track {
             Track::Store => 1,
             Track::Core(i) => 2 + u64::from(i),
             Track::Alerts => 3 + u64::from(u32::MAX),
+            Track::Chaos => 4 + u64::from(u32::MAX),
         }
     }
 
@@ -41,6 +45,54 @@ impl Track {
             Track::Store => "store".to_string(),
             Track::Core(i) => format!("core{i}"),
             Track::Alerts => "alerts".to_string(),
+            Track::Chaos => "chaos".to_string(),
+        }
+    }
+}
+
+/// Why an invocation completed degraded (cold, without replay) instead
+/// of warm. Each reason gets its own stable event name so traces and
+/// counters distinguish infrastructure faults from data faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradeReason {
+    /// The metadata store was inside an unavailability window.
+    StoreUnavailable,
+    /// Fetched metadata failed validation (undecodable corruption).
+    Corrupt,
+    /// The fetched region was lost wholesale.
+    Loss,
+    /// The function's circuit breaker was open: record/replay bypassed.
+    BreakerOpen,
+}
+
+impl DegradeReason {
+    /// Stable event name for this reason.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeReason::StoreUnavailable => "degraded-unavailable",
+            DegradeReason::Corrupt => "degraded-corrupt",
+            DegradeReason::Loss => "degraded-loss",
+            DegradeReason::BreakerOpen => "degraded-breaker",
+        }
+    }
+}
+
+/// Why an invocation was dropped (the only two exits besides
+/// completion — the `ignite-cluster-v2` conservation law).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DropReason {
+    /// Its end-to-end deadline expired before it could be served.
+    Deadline,
+    /// It exhausted the retry budget.
+    RetriesExhausted,
+}
+
+impl DropReason {
+    /// Stable event name for this reason.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Deadline => "drop-deadline",
+            DropReason::RetriesExhausted => "drop-retries",
         }
     }
 }
@@ -108,17 +160,23 @@ pub enum EventKind {
     /// An insert was rejected (region larger than the store).
     StoreReject { container: u64, bytes: u64 },
     /// Causal latency attribution for one completed invocation. The
-    /// five components sum *exactly* to `latency_cycles` (the tested
-    /// scope invariant): time queued, metadata DRAM transfer, cold
-    /// front-end stalls after a store hit (or with Ignite off),
-    /// front-end stalls re-paid because the store missed and Ignite had
-    /// to re-record, and steady-state execution.
+    /// seven components sum *exactly* to `latency_cycles` (the tested
+    /// scope invariant): time queued, cycles lost to failed attempts
+    /// and backoff waits, metadata DRAM transfer, cold front-end
+    /// stalls after a store hit (or with Ignite off), front-end stalls
+    /// re-paid because the store missed and Ignite had to re-record,
+    /// front-end stalls paid because chaos degraded replay away, and
+    /// steady-state execution. `retry_cycles` and `degraded_cycles`
+    /// are zero whenever chaos is off, preserving the five-component
+    /// v1 decomposition bit-for-bit.
     Attribution {
         function: u32,
         queue_cycles: u64,
+        retry_cycles: u64,
         dram_cycles: u64,
         cold_frontend_cycles: u64,
         store_miss_cycles: u64,
+        degraded_cycles: u64,
         execution_cycles: u64,
         latency_cycles: u64,
     },
@@ -127,6 +185,21 @@ pub enum EventKind {
     AlertFire { function: u32, burn_milli: u64 },
     /// The alert's burn rate dropped back under the threshold.
     AlertResolve { function: u32, burn_milli: u64 },
+    /// A chaos-injected crash killed `core` (and any attempt on it).
+    CoreCrash { core: u32 },
+    /// A crashed core finished repair and rejoined the pool.
+    CoreRestore { core: u32, down_cycles: u64 },
+    /// A failed attempt was rescheduled after `backoff_cycles`.
+    ChaosRetry { function: u32, attempt: u32, backoff_cycles: u64 },
+    /// An invocation was dropped — the terminal failure exit.
+    ChaosDrop { function: u32, reason: DropReason },
+    /// An invocation completed cold instead of warm (see the reason).
+    Degraded { function: u32, reason: DegradeReason },
+    /// A function's circuit breaker opened after `faults` consecutive
+    /// replay-metadata faults.
+    BreakerOpen { function: u32, faults: u32 },
+    /// A half-open probe succeeded; the breaker re-closed.
+    BreakerClose { function: u32 },
 }
 
 impl EventKind {
@@ -151,6 +224,13 @@ impl EventKind {
             EventKind::Attribution { .. } => "attribution",
             EventKind::AlertFire { .. } => "alert-fire",
             EventKind::AlertResolve { .. } => "alert-resolve",
+            EventKind::CoreCrash { .. } => "core-crash",
+            EventKind::CoreRestore { .. } => "core-restore",
+            EventKind::ChaosRetry { .. } => "chaos-retry",
+            EventKind::ChaosDrop { reason, .. } => reason.name(),
+            EventKind::Degraded { reason, .. } => reason.name(),
+            EventKind::BreakerOpen { .. } => "breaker-open",
+            EventKind::BreakerClose { .. } => "breaker-close",
         }
     }
 
@@ -174,6 +254,13 @@ impl EventKind {
             | EventKind::StoreReject { .. } => "store",
             EventKind::Attribution { .. } => "scope",
             EventKind::AlertFire { .. } | EventKind::AlertResolve { .. } => "slo",
+            EventKind::CoreCrash { .. }
+            | EventKind::CoreRestore { .. }
+            | EventKind::ChaosRetry { .. }
+            | EventKind::ChaosDrop { .. }
+            | EventKind::Degraded { .. }
+            | EventKind::BreakerOpen { .. }
+            | EventKind::BreakerClose { .. } => "chaos",
         }
     }
 
@@ -336,11 +423,28 @@ mod tests {
             Track::Core(3),
             Track::Core(u32::MAX),
             Track::Alerts,
+            Track::Chaos,
         ];
         let tids: std::collections::BTreeSet<u64> = tracks.iter().map(|t| t.tid()).collect();
         assert_eq!(tids.len(), tracks.len());
         assert_eq!(Track::Core(0).tid(), 2);
         assert!(Track::Alerts.tid() > Track::Core(u32::MAX).tid());
+        assert!(Track::Chaos.tid() > Track::Alerts.tid());
+    }
+
+    #[test]
+    fn chaos_event_names_encode_reasons() {
+        assert_eq!(EventKind::CoreCrash { core: 1 }.name(), "core-crash");
+        assert_eq!(
+            EventKind::Degraded { function: 0, reason: DegradeReason::Corrupt }.name(),
+            "degraded-corrupt"
+        );
+        assert_eq!(
+            EventKind::ChaosDrop { function: 0, reason: DropReason::Deadline }.name(),
+            "drop-deadline"
+        );
+        assert_eq!(EventKind::BreakerOpen { function: 0, faults: 5 }.category(), "chaos");
+        assert!(!EventKind::ChaosRetry { function: 0, attempt: 1, backoff_cycles: 1 }.is_span());
     }
 
     #[test]

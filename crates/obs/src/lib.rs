@@ -35,6 +35,8 @@ pub mod metrics;
 pub mod sketch;
 
 pub use chrome::{to_chrome_json, ChromeOptions, CHROME_SCHEMA};
-pub use event::{Event, EventKind, EventSink, NullSink, Phase, TraceBuffer, Track};
+pub use event::{
+    DegradeReason, DropReason, Event, EventKind, EventSink, NullSink, Phase, TraceBuffer, Track,
+};
 pub use metrics::MetricsRegistry;
 pub use sketch::QuantileSketch;

@@ -8,7 +8,7 @@ use ignite_obs::{Event, EventKind, EventSink, QuantileSketch, Track};
 use crate::slo::{SloConfig, SloTracker, Transition};
 
 /// One invocation's causal latency breakdown, copied out of its
-/// `Attribution` event. The five components sum exactly to
+/// `Attribution` event. The seven components sum exactly to
 /// `latency_cycles`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InvocationAttribution {
@@ -18,6 +18,9 @@ pub struct InvocationAttribution {
     pub ts: u64,
     /// Arrival → dispatch wait.
     pub queue_cycles: u64,
+    /// Cycles lost to failed attempts and retry backoff (chaos runs
+    /// only; 0 otherwise).
+    pub retry_cycles: u64,
     /// Record/replay metadata DRAM transfer.
     pub dram_cycles: u64,
     /// Cold front-end stalls (store hit replaying, or Ignite off).
@@ -25,6 +28,9 @@ pub struct InvocationAttribution {
     /// Front-end stalls re-paid because the store missed and the
     /// invocation had to re-record.
     pub store_miss_cycles: u64,
+    /// Front-end stalls paid because chaos degraded replay away
+    /// (store unavailable/corrupt/lost region, or breaker open).
+    pub degraded_cycles: u64,
     /// Steady-state execution.
     pub execution_cycles: u64,
     /// End-to-end latency (arrival → completion).
@@ -32,13 +38,15 @@ pub struct InvocationAttribution {
 }
 
 impl InvocationAttribution {
-    /// Sum of the five components; equals `latency_cycles` by the
+    /// Sum of the seven components; equals `latency_cycles` by the
     /// attribution invariant.
     pub fn component_sum(&self) -> u64 {
         self.queue_cycles
+            + self.retry_cycles
             + self.dram_cycles
             + self.cold_frontend_cycles
             + self.store_miss_cycles
+            + self.degraded_cycles
             + self.execution_cycles
     }
 }
@@ -51,12 +59,16 @@ pub struct FunctionAttribution {
     pub invocations: u64,
     /// Summed queueing cycles.
     pub queue_cycles: u64,
+    /// Summed retry/backoff cycles.
+    pub retry_cycles: u64,
     /// Summed metadata DRAM cycles.
     pub dram_cycles: u64,
     /// Summed cold front-end cycles.
     pub cold_frontend_cycles: u64,
     /// Summed store-miss re-record cycles.
     pub store_miss_cycles: u64,
+    /// Summed degraded-mode front-end cycles.
+    pub degraded_cycles: u64,
     /// Summed execution cycles.
     pub execution_cycles: u64,
     /// Summed end-to-end latency.
@@ -75,9 +87,11 @@ impl FunctionAttribution {
     fn ingest(&mut self, a: &InvocationAttribution) {
         self.invocations += 1;
         self.queue_cycles += a.queue_cycles;
+        self.retry_cycles += a.retry_cycles;
         self.dram_cycles += a.dram_cycles;
         self.cold_frontend_cycles += a.cold_frontend_cycles;
         self.store_miss_cycles += a.store_miss_cycles;
+        self.degraded_cycles += a.degraded_cycles;
         self.execution_cycles += a.execution_cycles;
         self.latency_cycles += a.latency_cycles;
         self.latency.observe(a.latency_cycles);
@@ -177,9 +191,11 @@ impl<S: EventSink> EventSink for ScopeAnalyzer<S> {
         let EventKind::Attribution {
             function,
             queue_cycles,
+            retry_cycles,
             dram_cycles,
             cold_frontend_cycles,
             store_miss_cycles,
+            degraded_cycles,
             execution_cycles,
             latency_cycles,
         } = event.kind
@@ -190,9 +206,11 @@ impl<S: EventSink> EventSink for ScopeAnalyzer<S> {
             function,
             ts: event.ts,
             queue_cycles,
+            retry_cycles,
             dram_cycles,
             cold_frontend_cycles,
             store_miss_cycles,
+            degraded_cycles,
             execution_cycles,
             latency_cycles,
         };
@@ -240,9 +258,11 @@ mod tests {
             kind: EventKind::Attribution {
                 function,
                 queue_cycles: queue,
+                retry_cycles: 0,
                 dram_cycles: 0,
                 cold_frontend_cycles: 0,
                 store_miss_cycles: 0,
+                degraded_cycles: 0,
                 execution_cycles: exec,
                 latency_cycles: queue + exec,
             },

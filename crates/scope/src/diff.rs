@@ -78,9 +78,11 @@ fn scope_samples(obj: &[(String, Value)]) -> Vec<MetricSample> {
         if inv > 0.0 {
             for key in [
                 "queue_cycles",
+                "retry_cycles",
                 "dram_cycles",
                 "cold_frontend_cycles",
                 "store_miss_cycles",
+                "degraded_cycles",
                 "execution_cycles",
                 "latency_cycles",
             ] {
@@ -132,7 +134,7 @@ pub fn load_samples(text: &str) -> Result<Vec<MetricSample>, String> {
     let schema =
         json::get(obj, "schema").and_then(Value::as_str).ok_or("document has no 'schema' tag")?;
     let samples = match schema {
-        "ignite-cluster-v1" => cluster_samples(obj),
+        "ignite-cluster-v1" | "ignite-cluster-v2" => cluster_samples(obj),
         "ignite-scope-v1" => scope_samples(obj),
         "ignite-bench-v1" => bench_samples(obj),
         other => return Err(format!("unsupported schema '{other}'")),

@@ -23,12 +23,16 @@ pub struct FunctionScope {
     pub invocations: u64,
     /// Summed queueing cycles.
     pub queue_cycles: u64,
+    /// Summed retry/backoff cycles (chaos runs only; 0 otherwise).
+    pub retry_cycles: u64,
     /// Summed metadata DRAM cycles.
     pub dram_cycles: u64,
     /// Summed cold front-end cycles.
     pub cold_frontend_cycles: u64,
     /// Summed store-miss re-record cycles.
     pub store_miss_cycles: u64,
+    /// Summed degraded-mode front-end cycles (chaos runs only).
+    pub degraded_cycles: u64,
     /// Summed execution cycles.
     pub execution_cycles: u64,
     /// Summed end-to-end latency.
@@ -54,9 +58,11 @@ impl FunctionScope {
         ScopeTotals {
             invocations: self.invocations,
             queue_cycles: self.queue_cycles,
+            retry_cycles: self.retry_cycles,
             dram_cycles: self.dram_cycles,
             cold_frontend_cycles: self.cold_frontend_cycles,
             store_miss_cycles: self.store_miss_cycles,
+            degraded_cycles: self.degraded_cycles,
             execution_cycles: self.execution_cycles,
             latency_cycles: self.latency_cycles,
             p50_latency: self.p50_latency,
@@ -76,12 +82,16 @@ pub struct ScopeTotals {
     pub invocations: u64,
     /// Summed queueing cycles.
     pub queue_cycles: u64,
+    /// Summed retry/backoff cycles (chaos runs only; 0 otherwise).
+    pub retry_cycles: u64,
     /// Summed metadata DRAM cycles.
     pub dram_cycles: u64,
     /// Summed cold front-end cycles.
     pub cold_frontend_cycles: u64,
     /// Summed store-miss re-record cycles.
     pub store_miss_cycles: u64,
+    /// Summed degraded-mode front-end cycles (chaos runs only).
+    pub degraded_cycles: u64,
     /// Summed execution cycles.
     pub execution_cycles: u64,
     /// Summed end-to-end latency.
@@ -128,9 +138,11 @@ impl ScopeReport {
                 abbr,
                 invocations: f.invocations,
                 queue_cycles: f.queue_cycles,
+                retry_cycles: f.retry_cycles,
                 dram_cycles: f.dram_cycles,
                 cold_frontend_cycles: f.cold_frontend_cycles,
                 store_miss_cycles: f.store_miss_cycles,
+                degraded_cycles: f.degraded_cycles,
                 execution_cycles: f.execution_cycles,
                 latency_cycles: f.latency_cycles,
                 p50_latency: p50,
@@ -141,9 +153,11 @@ impl ScopeReport {
                 alert_resolves: f.alert_resolves,
             });
             totals.queue_cycles += f.queue_cycles;
+            totals.retry_cycles += f.retry_cycles;
             totals.dram_cycles += f.dram_cycles;
             totals.cold_frontend_cycles += f.cold_frontend_cycles;
             totals.store_miss_cycles += f.store_miss_cycles;
+            totals.degraded_cycles += f.degraded_cycles;
             totals.execution_cycles += f.execution_cycles;
             totals.latency_cycles += f.latency_cycles;
             totals.violations += f.violations;
@@ -163,9 +177,11 @@ impl ScopeReport {
         fn push_components(s: &mut String, indent: &str, c: &ScopeTotals) {
             let _ = writeln!(s, "{indent}\"invocations\": {},", c.invocations);
             let _ = writeln!(s, "{indent}\"queue_cycles\": {},", c.queue_cycles);
+            let _ = writeln!(s, "{indent}\"retry_cycles\": {},", c.retry_cycles);
             let _ = writeln!(s, "{indent}\"dram_cycles\": {},", c.dram_cycles);
             let _ = writeln!(s, "{indent}\"cold_frontend_cycles\": {},", c.cold_frontend_cycles);
             let _ = writeln!(s, "{indent}\"store_miss_cycles\": {},", c.store_miss_cycles);
+            let _ = writeln!(s, "{indent}\"degraded_cycles\": {},", c.degraded_cycles);
             let _ = writeln!(s, "{indent}\"execution_cycles\": {},", c.execution_cycles);
             let _ = writeln!(s, "{indent}\"latency_cycles\": {},", c.latency_cycles);
             let _ = writeln!(s, "{indent}\"p50_latency_cycles\": {},", c.p50_latency);
@@ -208,8 +224,11 @@ impl ScopeReport {
 
     /// Validates serialized report text: parseable JSON, the right
     /// schema tag, every required key, and the attribution invariant —
-    /// the five components sum exactly to the latency, in the totals
-    /// and in every function row — plus quantile ordering.
+    /// the seven components sum exactly to the latency, in the totals
+    /// and in every function row — plus quantile ordering. The chaos
+    /// components (`retry_cycles`, `degraded_cycles`) are read as 0
+    /// when absent, so reports written before the failure model
+    /// existed still validate.
     pub fn validate(text: &str) -> Result<(), String> {
         let doc = json::parse(text)?;
         let obj = doc.as_object().ok_or("report is not an object")?;
@@ -242,15 +261,18 @@ impl ScopeReport {
                     .and_then(Value::as_f64)
                     .ok_or_else(|| format!("{ctx}: missing number '{k}'"))
             };
+            let opt = |k: &str| json::get(o, k).and_then(Value::as_f64).unwrap_or(0.0);
             let queue = get("queue_cycles")?;
+            let retry = opt("retry_cycles");
             let dram = get("dram_cycles")?;
             let cold = get("cold_frontend_cycles")?;
             let miss = get("store_miss_cycles")?;
+            let degraded = opt("degraded_cycles");
             let exec = get("execution_cycles")?;
             let lat = get("latency_cycles")?;
             // Integer cycle counts survive the f64 round trip exactly
             // below 2^53, so equality here is exact.
-            let sum = queue + dram + cold + miss + exec;
+            let sum = queue + retry + dram + cold + miss + degraded + exec;
             if sum != lat {
                 return Err(format!("{ctx}: components sum to {sum}, latency is {lat}"));
             }
@@ -295,13 +317,21 @@ impl ScopeReport {
 pub fn record_scope_metrics(reg: &mut MetricsRegistry, report: &ScopeReport) {
     for f in &report.functions {
         let fl = [("function", f.abbr.as_str())];
-        for (component, cycles) in [
-            ("queue", f.queue_cycles),
-            ("dram", f.dram_cycles),
-            ("cold_frontend", f.cold_frontend_cycles),
-            ("store_miss", f.store_miss_cycles),
-            ("execution", f.execution_cycles),
+        // The chaos components only appear in the exposition when they
+        // are nonzero, keeping chaos-free expositions byte-identical to
+        // what they were before the failure model existed.
+        for (component, cycles, always) in [
+            ("queue", f.queue_cycles, true),
+            ("retry", f.retry_cycles, false),
+            ("dram", f.dram_cycles, true),
+            ("cold_frontend", f.cold_frontend_cycles, true),
+            ("store_miss", f.store_miss_cycles, true),
+            ("degraded", f.degraded_cycles, false),
+            ("execution", f.execution_cycles, true),
         ] {
+            if !always && cycles == 0 {
+                continue;
+            }
             reg.inc_counter(
                 "ignite_scope_component_cycles_total",
                 "Attributed latency cycles by causal component",
@@ -361,11 +391,18 @@ mod tests {
                 kind: EventKind::Attribution {
                     function,
                     queue_cycles: queue,
+                    retry_cycles: if i % 5 == 0 { 700 } else { 0 },
                     dram_cycles: 128 * i,
                     cold_frontend_cycles: if i % 2 == 0 { 9_000 } else { 0 },
                     store_miss_cycles: if i % 2 == 1 { 9_000 } else { 0 },
+                    degraded_cycles: if i % 7 == 0 { 300 } else { 0 },
                     execution_cycles: exec,
-                    latency_cycles: queue + 128 * i + 9_000 + exec,
+                    latency_cycles: queue
+                        + if i % 5 == 0 { 700 } else { 0 }
+                        + 128 * i
+                        + 9_000
+                        + if i % 7 == 0 { 300 } else { 0 }
+                        + exec,
                 },
             });
         }
@@ -405,9 +442,11 @@ mod tests {
         for needle in [
             "ignite_scope_component_cycles_total",
             "component=\"queue\"",
+            "component=\"retry\"",
             "component=\"dram\"",
             "component=\"cold_frontend\"",
             "component=\"store_miss\"",
+            "component=\"degraded\"",
             "component=\"execution\"",
             "ignite_scope_invocations_total",
             "ignite_scope_slo_violations_total",
