@@ -143,14 +143,15 @@ impl WindowStream {
 }
 
 /// The materialized chaos schedule for one cluster run: per-core crash
-/// and straggle streams plus one node-wide store-unavailability
-/// stream, all forked from the plan's single chaos seed.
+/// and straggle streams plus one store-unavailability stream per node
+/// (each node is its own failure domain), all forked from the plan's
+/// single chaos seed.
 #[derive(Debug, Clone)]
 pub struct ChaosState {
     plan: ChaosPlan,
     crash: Vec<WindowStream>,
     straggle: Vec<WindowStream>,
-    store: WindowStream,
+    store: Vec<WindowStream>,
 }
 
 /// Sub-stream labels. Fixed constants so adding a stream kind never
@@ -163,14 +164,29 @@ pub(crate) const LABEL_DROP: u64 = 4 << 32;
 pub(crate) const LABEL_JITTER: u64 = 5 << 32;
 
 impl ChaosState {
-    /// Builds the per-core streams for a `cores`-wide cluster.
+    /// Builds the per-core streams for a single node with `cores`
+    /// cores (the pre-multinode constructor, kept byte-compatible).
+    pub fn new(plan: ChaosPlan, cores: usize) -> Self {
+        Self::for_cluster(plan, 1, cores)
+    }
+
+    /// Builds the streams for an N-node cluster: crash and straggle
+    /// streams for every core (global core index `node *
+    /// cores_per_node + local`), and one store-unavailability stream
+    /// per node.
     ///
     /// Streams are forked in a fixed order (all crash streams, then
-    /// all straggle streams, then the store stream), so a plan replays
-    /// identically for a given core count.
-    pub fn new(plan: ChaosPlan, cores: usize) -> Self {
+    /// all straggle streams, then the per-node store streams), so a
+    /// plan replays identically for a given shape. Node 0's store
+    /// stream label is `LABEL_STORE | 0 == LABEL_STORE` and the root
+    /// generator reaches the store fork in the same state for
+    /// `(1, c)` as the old single-node constructor did for `c` cores —
+    /// which is what keeps 1-node chaos runs byte-identical to the
+    /// committed goldens.
+    pub fn for_cluster(plan: ChaosPlan, nodes: usize, cores_per_node: usize) -> Self {
+        let total = nodes * cores_per_node;
         let mut root = SplitMix64::new(plan.seed);
-        let crash = (0..cores)
+        let crash = (0..total)
             .map(|i| {
                 WindowStream::new(
                     root.fork(LABEL_CRASH | i as u64),
@@ -179,7 +195,7 @@ impl ChaosState {
                 )
             })
             .collect();
-        let straggle = (0..cores)
+        let straggle = (0..total)
             .map(|i| {
                 WindowStream::new(
                     root.fork(LABEL_STRAGGLE | i as u64),
@@ -188,11 +204,15 @@ impl ChaosState {
                 )
             })
             .collect();
-        let store = WindowStream::new(
-            root.fork(LABEL_STORE),
-            plan.store_unavail_mtbf_cycles,
-            plan.store_unavail_duration_cycles,
-        );
+        let store = (0..nodes)
+            .map(|n| {
+                WindowStream::new(
+                    root.fork(LABEL_STORE | n as u64),
+                    plan.store_unavail_mtbf_cycles,
+                    plan.store_unavail_duration_cycles,
+                )
+            })
+            .collect();
         ChaosState { plan, crash, straggle, store }
     }
 
@@ -229,16 +249,32 @@ impl ChaosState {
         }
     }
 
-    /// Whether the node-wide metadata store is unreachable at `t`.
+    /// Whether node 0's metadata store is unreachable at `t` (the
+    /// single-node shorthand for [`ChaosState::store_unavailable_on`]).
     pub fn store_unavailable(&mut self, t: u64) -> bool {
-        self.store.contains(t)
+        self.store_unavailable_on(0, t)
+    }
+
+    /// Whether `node`'s metadata store is unreachable at `t`.
+    pub fn store_unavailable_on(&mut self, node: usize, t: u64) -> bool {
+        self.store[node].contains(t)
     }
 
     /// The earliest restart among cores down at `now` — the extra DES
     /// event source that wakes the scheduler when queued work is
     /// waiting only on repairs.
     pub fn earliest_restart(&mut self, now: u64) -> Option<u64> {
-        (0..self.crash.len()).filter_map(|core| self.core_restart_after(core, now)).min()
+        self.earliest_restart_among(0..self.crash.len(), now)
+    }
+
+    /// [`ChaosState::earliest_restart`] restricted to a global-core
+    /// range — one node's cores, when only that node has queued work.
+    pub fn earliest_restart_among(
+        &mut self,
+        cores: std::ops::Range<usize>,
+        now: u64,
+    ) -> Option<u64> {
+        cores.filter_map(|core| self.core_restart_after(core, now)).min()
     }
 
     /// Whether dispatch attempt `attempt` of `invocation` is dropped
@@ -343,6 +379,29 @@ mod tests {
         st.crash[0].ensure_to(10_000_000);
         st.crash[1].ensure_to(10_000_000);
         assert_ne!(st.crash[0].windows, st.crash[1].windows);
+    }
+
+    #[test]
+    fn cluster_store_streams_are_independent_per_node() {
+        let plan = ChaosPlan {
+            seed: 21,
+            store_unavail_mtbf_cycles: 10_000,
+            store_unavail_duration_cycles: 2_000,
+            ..ChaosPlan::none()
+        };
+        let mut st = ChaosState::for_cluster(plan, 3, 2);
+        for node in 0..3 {
+            st.store[node].ensure_to(10_000_000);
+        }
+        assert_ne!(st.store[0].windows, st.store[1].windows);
+        assert_ne!(st.store[1].windows, st.store[2].windows);
+        // The single-node constructor is the 1-node cluster, stream for
+        // stream (the golden byte-identity contract).
+        let mut single = ChaosState::new(plan, 2);
+        let mut one = ChaosState::for_cluster(plan, 1, 2);
+        single.store[0].ensure_to(10_000_000);
+        one.store[0].ensure_to(10_000_000);
+        assert_eq!(single.store[0].windows, one.store[0].windows);
     }
 
     #[test]

@@ -11,16 +11,22 @@
 //! * an open-loop Poisson arrival process with Zipf popularity skew over
 //!   the 20-function suite ([`ignite_workloads::arrival`]), replayable via
 //!   a text trace format;
-//! * a FIFO scheduler dispatching onto N simulated cores, each a
+//! * a deterministic N-node topology ([`sim::Topology`]): pluggable
+//!   placement schedulers ([`sched`] — fifo, least-loaded, random:N
+//!   power-of-N-choices, metadata-affinity) route arrivals onto nodes,
+//!   and each node dispatches onto its own simulated cores, each a
 //!   persistent [`ignite_engine::machine::Machine`] that is *never
 //!   flushed* between invocations — other functions' code evicts
 //!   front-end state naturally, and the per-(core, function) interleaving
 //!   distance drives the back-end data-cold model
 //!   ([`ignite_engine::sim::InvocationCtx`]);
-//! * a bounded, node-wide Ignite metadata store
+//! * a bounded, per-node Ignite metadata store
 //!   ([`ignite_core::MetadataStore`]) with LRU / size-aware / pin-hot
 //!   eviction, charging record/replay DRAM bandwidth on the critical
-//!   path;
+//!   path, plus pluggable keep-alive pre-warm policies ([`keepalive`] —
+//!   none, fixed-window, hybrid per-function idle-gap histogram) with
+//!   dslab-faas-style cold/lukewarm/warm start and wasted-cycle
+//!   accounting;
 //! * queueing/latency accounting: per-function p50/p95/p99 invocation
 //!   latency, core utilization, metadata hit rate and footprint, emitted
 //!   as a versioned JSON report (schema [`report::CLUSTER_SCHEMA`]);
@@ -44,16 +50,20 @@
 
 pub mod fanout;
 pub mod json;
+pub mod keepalive;
 pub mod prom;
 pub mod report;
+pub mod sched;
 pub mod sim;
 pub mod tracecheck;
 
 pub use fanout::{run_indexed, PanicFailure};
+pub use keepalive::{KeepAliveKind, KeepAliveRt};
 pub use prom::{metrics_for, record_metrics, record_trace_health};
 pub use report::{ClusterReport, ObsSummary, CLUSTER_SCHEMA, CLUSTER_SCHEMA_V2};
+pub use sched::{NodeLoad, Scheduler, SchedulerKind};
 pub use sim::{
-    sweep_capacities, ClusterConfig, ClusterOutcome, ClusterSim, CoreUsage, FunctionSummary,
-    LATENCY_BUCKETS,
+    sweep_capacities, ClusterConfig, ClusterOutcome, ClusterSim, ConfigError, CoreUsage,
+    FunctionSummary, NodeUsage, Topology, LATENCY_BUCKETS,
 };
 pub use tracecheck::{validate_trace, TraceSummary};

@@ -170,6 +170,63 @@ pub fn record_metrics(
         reg.inc_counter(name, help, &base, v);
     }
 
+    // Per-node families only exist for non-default topologies, so
+    // single-node expositions stay byte-identical to pre-multinode
+    // output.
+    if !cfg.topology.is_default() {
+        for (i, nd) in out.nodes.iter().enumerate() {
+            let id = i.to_string();
+            let labels = with(&base, &[("node", id.as_str())]);
+            for (name, help, v) in [
+                ("ignite_node_submitted_total", "Invocations routed to the node", nd.submitted),
+                ("ignite_node_completed_total", "Invocations completed on the node", nd.completed),
+                ("ignite_node_dropped_total", "Invocations dropped on the node", nd.dropped),
+                ("ignite_node_busy_cycles_total", "Busy cycles summed over node cores", {
+                    nd.busy_cycles
+                }),
+                ("ignite_node_store_hits_total", "Node store hits", nd.store.hits),
+                ("ignite_node_store_misses_total", "Node store misses", nd.store.misses),
+                (
+                    "ignite_node_keepalive_wasted_cycles_total",
+                    "Keep-alive cycles past the last fetch of a protected region",
+                    nd.wasted_keepalive_cycles,
+                ),
+            ] {
+                reg.inc_counter(name, help, &labels, v);
+            }
+            reg.set_gauge(
+                "ignite_node_queue_peak",
+                "Peak queue depth observed on the node",
+                &labels,
+                nd.queue_peak as f64,
+            );
+            reg.set_gauge(
+                "ignite_node_utilization",
+                "Busy fraction of the makespan across node cores",
+                &labels,
+                nd.utilization,
+            );
+            reg.set_gauge(
+                "ignite_node_store_hit_rate",
+                "Node store hit rate",
+                &labels,
+                nd.store.hit_rate(),
+            );
+            reg.set_gauge(
+                "ignite_node_store_footprint_bytes",
+                "Node store bytes resident at end of run",
+                &labels,
+                nd.footprint_bytes as f64,
+            );
+            reg.set_gauge(
+                "ignite_node_store_peak_footprint_bytes",
+                "Node store bytes resident at the high-water mark",
+                &labels,
+                nd.peak_footprint_bytes as f64,
+            );
+        }
+    }
+
     // Chaos counters only exist for runs with failure injection, so
     // chaos-free expositions stay byte-identical to pre-chaos output.
     if let Some(ch) = &out.chaos {
@@ -329,6 +386,32 @@ mod tests {
             "ignite_chaos_degraded_by_reason_total",
             "reason=\"corrupt\"",
             "ignite_chaos_retry_cycles_total",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn node_families_appear_only_under_multinode() {
+        let (cfg, out) = run();
+        let plain = metrics_for(&cfg, &out).expose();
+        assert!(!plain.contains("ignite_node_"), "single-node exposition must have no node family");
+        let mcfg = ClusterConfig {
+            arrival: ArrivalConfig { horizon_cycles: 800_000, ..ArrivalConfig::default() },
+            topology: crate::sim::Topology {
+                nodes: 2,
+                scheduler: crate::sched::SchedulerKind::LeastLoaded,
+                keepalive: crate::keepalive::KeepAliveKind::Fixed { window_cycles: 50_000 },
+            },
+            ..ClusterConfig::default()
+        };
+        let mout = ClusterSim::new(mcfg.clone()).run();
+        let text = metrics_for(&mcfg, &mout).expose();
+        for needle in [
+            "ignite_node_submitted_total",
+            "ignite_node_store_hit_rate",
+            "ignite_node_keepalive_wasted_cycles_total",
+            "node=\"1\"",
         ] {
             assert!(text.contains(needle), "missing {needle}");
         }

@@ -13,6 +13,8 @@ use std::fmt::Write as _;
 use ignite_core::ReplayStats;
 
 use crate::json::{self, Value};
+use crate::keepalive::KeepAliveKind;
+use crate::sched::SchedulerKind;
 use crate::sim::{ClusterConfig, ClusterOutcome};
 
 /// Schema tag written into (and required of) every chaos-free report.
@@ -102,15 +104,30 @@ impl ClusterReport {
     }
 
     /// Serializes the report.
+    ///
+    /// Multi-node runs (any non-default [`crate::sim::Topology`]) add a
+    /// `nodes`/`scheduler`/`keepalive` trio to `config`, a top-level
+    /// `nodes` array, a totals `wasted_keepalive_cycles`, and
+    /// per-function cold-start accounting — all under the same schema
+    /// tag. A default topology emits none of them, keeping single-node
+    /// reports byte-identical to pre-multinode output.
     pub fn to_json(&self) -> String {
         let cfg = &self.config;
         let out_ = &self.outcome;
         let total = out_.total_result();
+        let multi = !cfg.topology.is_default();
         let mut s = String::new();
         s.push_str("{\n");
         let _ = writeln!(s, "  \"schema\": \"{}\",", self.schema());
         s.push_str("  \"config\": {\n");
         let _ = writeln!(s, "    \"cores\": {},", cfg.cores);
+        if multi {
+            let _ = writeln!(s, "    \"nodes\": {},", cfg.topology.nodes);
+            let _ =
+                writeln!(s, "    \"scheduler\": {},", json::escape(&cfg.topology.scheduler.spec()));
+            let _ =
+                writeln!(s, "    \"keepalive\": {},", json::escape(&cfg.topology.keepalive.spec()));
+        }
         let _ = writeln!(s, "    \"fe\": {},", json::escape(&cfg.fe.name));
         let _ = writeln!(s, "    \"scale\": {},", num(cfg.scale));
         let _ = writeln!(s, "    \"seed\": {},", cfg.arrival.seed);
@@ -133,7 +150,13 @@ impl ClusterReport {
         let _ = writeln!(s, "    \"p50_latency_cycles\": {},", out_.p50_latency);
         let _ = writeln!(s, "    \"p95_latency_cycles\": {},", out_.p95_latency);
         let _ = writeln!(s, "    \"p99_latency_cycles\": {},", out_.p99_latency);
-        let _ = writeln!(s, "    \"mean_utilization\": {}", num(out_.mean_utilization()));
+        if multi {
+            let _ = writeln!(s, "    \"mean_utilization\": {},", num(out_.mean_utilization()));
+            let _ =
+                writeln!(s, "    \"wasted_keepalive_cycles\": {}", out_.wasted_keepalive_cycles());
+        } else {
+            let _ = writeln!(s, "    \"mean_utilization\": {}", num(out_.mean_utilization()));
+        }
         s.push_str("  },\n");
         s.push_str("  \"cores\": [\n");
         for (i, c) in out_.cores.iter().enumerate() {
@@ -148,6 +171,34 @@ impl ClusterReport {
             );
         }
         s.push_str("  ],\n");
+        if multi {
+            s.push_str("  \"nodes\": [\n");
+            for (i, nd) in out_.nodes.iter().enumerate() {
+                s.push_str("    {\n");
+                let _ = writeln!(s, "      \"node\": {i},");
+                let _ = writeln!(s, "      \"submitted\": {},", nd.submitted);
+                let _ = writeln!(s, "      \"completed\": {},", nd.completed);
+                let _ = writeln!(s, "      \"dropped\": {},", nd.dropped);
+                let _ = writeln!(s, "      \"queue_peak\": {},", nd.queue_peak);
+                let _ = writeln!(s, "      \"busy_cycles\": {},", nd.busy_cycles);
+                let _ = writeln!(s, "      \"utilization\": {},", num(nd.utilization));
+                let _ = writeln!(
+                    s,
+                    "      \"wasted_keepalive_cycles\": {},",
+                    nd.wasted_keepalive_cycles
+                );
+                s.push_str("      \"store\": {\n");
+                let _ = writeln!(s, "        \"hits\": {},", nd.store.hits);
+                let _ = writeln!(s, "        \"misses\": {},", nd.store.misses);
+                let _ = writeln!(s, "        \"hit_rate\": {},", num(nd.store.hit_rate()));
+                let _ = writeln!(s, "        \"footprint_bytes\": {},", nd.footprint_bytes);
+                let _ =
+                    writeln!(s, "        \"peak_footprint_bytes\": {}", nd.peak_footprint_bytes);
+                s.push_str("      }\n");
+                s.push_str(if i + 1 == out_.nodes.len() { "    }\n" } else { "    },\n" });
+            }
+            s.push_str("  ],\n");
+        }
         s.push_str("  \"store\": {\n");
         let st = &out_.store;
         let _ = writeln!(s, "    \"hits\": {},", st.hits);
@@ -247,6 +298,18 @@ impl ClusterReport {
             let _ = writeln!(s, "      \"metadata_hits\": {},", f.metadata_hits);
             let _ = writeln!(s, "      \"metadata_misses\": {},", f.metadata_misses);
             let _ = writeln!(s, "      \"metadata_hit_rate\": {},", num(f.metadata_hit_rate()));
+            if multi {
+                let _ = writeln!(s, "      \"cold_starts\": {},", f.cold_starts);
+                let _ = writeln!(s, "      \"lukewarm_starts\": {},", f.lukewarm_starts);
+                let _ = writeln!(s, "      \"warm_starts\": {},", f.warm_starts);
+                let _ = writeln!(s, "      \"min_service_cycles\": {},", f.min_service);
+                let _ = writeln!(s, "      \"slowdown\": {},", num(f.slowdown()));
+                let _ = writeln!(
+                    s,
+                    "      \"wasted_keepalive_cycles\": {},",
+                    f.wasted_keepalive_cycles
+                );
+            }
             if out_.chaos.is_some() {
                 let _ = writeln!(s, "      \"retries\": {},", f.retries);
                 let _ = writeln!(s, "      \"degraded\": {},", f.degraded);
@@ -326,6 +389,79 @@ impl ClusterReport {
                 "mean_utilization",
             ],
         )?;
+        // Multi-node pairing: a config `nodes` count and a top-level
+        // `nodes` array must appear together or not at all, the specs
+        // must parse, the array length must match the count, and each
+        // node must satisfy its own conservation law.
+        let nodes_cfg = json::get(section("config")?, "nodes").and_then(Value::as_f64);
+        let nodes_arr = json::get(obj, "nodes").and_then(Value::as_array);
+        let multi = match (nodes_cfg, nodes_arr) {
+            (Some(_), None) => {
+                return Err("config names a node count but the report has no 'nodes' array".into())
+            }
+            (None, Some(_)) => {
+                return Err("'nodes' array requires a config 'nodes' key".into());
+            }
+            (None, None) => false,
+            (Some(count), Some(arr)) => {
+                let config = section("config")?;
+                let sched = json::get(config, "scheduler")
+                    .and_then(Value::as_str)
+                    .ok_or("config: multi-node report is missing 'scheduler'")?;
+                SchedulerKind::parse(sched).map_err(|e| format!("config: {e}"))?;
+                let ka = json::get(config, "keepalive")
+                    .and_then(Value::as_str)
+                    .ok_or("config: multi-node report is missing 'keepalive'")?;
+                KeepAliveKind::parse(ka).map_err(|e| format!("config: {e}"))?;
+                if arr.len() as f64 != count {
+                    return Err(format!(
+                        "'nodes' array has {} entries, config says {count}",
+                        arr.len()
+                    ));
+                }
+                require(section("totals")?, "totals", &["wasted_keepalive_cycles"])?;
+                for (i, nd) in arr.iter().enumerate() {
+                    let no =
+                        nd.as_object().ok_or_else(|| format!("nodes[{i}] is not an object"))?;
+                    require(
+                        no,
+                        &format!("nodes[{i}]"),
+                        &[
+                            "node",
+                            "submitted",
+                            "completed",
+                            "dropped",
+                            "queue_peak",
+                            "busy_cycles",
+                            "utilization",
+                            "wasted_keepalive_cycles",
+                        ],
+                    )?;
+                    let so = json::get(no, "store")
+                        .and_then(Value::as_object)
+                        .ok_or_else(|| format!("nodes[{i}]: missing object 'store'"))?;
+                    require(
+                        so,
+                        &format!("nodes[{i}].store"),
+                        &["hits", "misses", "hit_rate", "footprint_bytes", "peak_footprint_bytes"],
+                    )?;
+                    let n = |k: &str| json::get(no, k).and_then(Value::as_f64).unwrap_or(f64::NAN);
+                    if n("node") != i as f64 {
+                        return Err(format!("nodes[{i}] is labeled node {}", n("node")));
+                    }
+                    if n("submitted") != n("completed") + n("dropped") {
+                        return Err(format!(
+                            "nodes[{i}]: conservation violated: submitted {} != \
+                             completed {} + dropped {}",
+                            n("submitted"),
+                            n("completed"),
+                            n("dropped")
+                        ));
+                    }
+                }
+                true
+            }
+        };
         require(
             section("store")?,
             "store",
@@ -433,6 +569,24 @@ impl ClusterReport {
             )?;
             if v2 {
                 require(fo, &format!("functions[{i}]"), &["retries", "degraded", "dropped"])?;
+            }
+            if multi {
+                require(
+                    fo,
+                    &format!("functions[{i}]"),
+                    &[
+                        "cold_starts",
+                        "lukewarm_starts",
+                        "warm_starts",
+                        "min_service_cycles",
+                        "slowdown",
+                        "wasted_keepalive_cycles",
+                    ],
+                )?;
+            } else if json::get(fo, "cold_starts").is_some() {
+                return Err(format!(
+                    "functions[{i}]: cold-start accounting requires a multi-node config"
+                ));
             }
             json::get(fo, "replay")
                 .and_then(Value::as_object)
@@ -570,5 +724,56 @@ mod tests {
         let text = r.to_json();
         assert!(!text.contains("\"chaos\""));
         assert!(!text.contains("\"retries\""));
+    }
+
+    fn multinode_report() -> ClusterReport {
+        let cfg = ClusterConfig {
+            arrival: ArrivalConfig { horizon_cycles: 800_000, ..ArrivalConfig::default() },
+            topology: crate::sim::Topology {
+                nodes: 3,
+                scheduler: SchedulerKind::Affinity,
+                keepalive: KeepAliveKind::Hybrid { default_window_cycles: 50_000 },
+            },
+            ..ClusterConfig::default()
+        };
+        let outcome = ClusterSim::new(cfg.clone()).run();
+        ClusterReport::new(cfg, outcome)
+    }
+
+    #[test]
+    fn multinode_report_validates_and_carries_node_sections() {
+        let text = multinode_report().to_json();
+        assert!(text.contains("\"nodes\": 3"));
+        assert!(text.contains("\"scheduler\": \"affinity\""));
+        assert!(text.contains("\"keepalive\": \"hybrid:50000\""));
+        assert!(text.contains("\"cold_starts\""));
+        assert!(text.contains("\"wasted_keepalive_cycles\""));
+        ClusterReport::validate(&text).expect("multi-node report must self-validate");
+    }
+
+    #[test]
+    fn single_node_default_report_carries_no_node_sections() {
+        let text = report().to_json();
+        assert!(!text.contains("\"scheduler\""));
+        assert!(!text.contains("\"keepalive\""));
+        assert!(!text.contains("\"cold_starts\""));
+        assert!(!text.contains("\"wasted_keepalive_cycles\""));
+    }
+
+    #[test]
+    fn validate_rejects_mislabeled_node_sections() {
+        let good = multinode_report().to_json();
+        // Node array length disagreeing with the config count.
+        let bad = good.replacen("\"nodes\": 3", "\"nodes\": 2", 1);
+        assert!(ClusterReport::validate(&bad).unwrap_err().contains("entries"));
+        // A scheduler spec that does not parse.
+        let bad = good.replacen("\"scheduler\": \"affinity\"", "\"scheduler\": \"affinty\"", 1);
+        assert!(ClusterReport::validate(&bad).unwrap_err().contains("scheduler"));
+        // A node labeled with the wrong index.
+        let bad = good.replacen("\"node\": 1,", "\"node\": 2,", 1);
+        assert!(ClusterReport::validate(&bad).unwrap_err().contains("labeled"));
+        // Per-node conservation: bump one node's submitted count.
+        let bad = good.replacen("\"submitted\": ", "\"submitted\": 9", 1);
+        assert!(ClusterReport::validate(&bad).unwrap_err().contains("conservation"));
     }
 }

@@ -29,6 +29,8 @@ use ignite_workloads::arrival::{Arrival, ArrivalConfig, Trace};
 use ignite_workloads::suite::Suite;
 
 use crate::fanout::{self, PanicFailure};
+use crate::keepalive::{KeepAliveKind, KeepAliveRt};
+use crate::sched::{NodeLoad, Scheduler, SchedulerKind};
 
 /// Inclusive upper bounds of the cluster latency histogram, in cycles
 /// (doubling grid; latencies above the last bound land in the implicit
@@ -39,11 +41,148 @@ pub const LATENCY_BUCKETS: [u64; 10] = [
     25_600_000,
 ];
 
+/// Cluster topology: how many nodes there are and which placement and
+/// keep-alive policies govern them. The default — one node, FIFO
+/// first-fit, no keep-alive — is the pre-multinode simulator exactly,
+/// and every committed golden was produced under it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of nodes. Each node owns [`ClusterConfig::cores`] cores,
+    /// its own metadata store, and its own chaos failure domain.
+    pub nodes: usize,
+    /// Placement policy routing arrivals onto nodes.
+    pub scheduler: SchedulerKind,
+    /// Post-completion pinning policy for Ignite regions.
+    pub keepalive: KeepAliveKind,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology { nodes: 1, scheduler: SchedulerKind::Fifo, keepalive: KeepAliveKind::None }
+    }
+}
+
+impl Topology {
+    /// Whether this is the single-node legacy topology. Reports,
+    /// metrics, and traces gate every multi-node section on this, so
+    /// `--nodes 1 --scheduler fifo` output stays byte-identical to the
+    /// committed goldens.
+    pub fn is_default(&self) -> bool {
+        *self == Topology::default()
+    }
+}
+
+/// A configuration the simulator refuses to run, with enough structure
+/// for callers to match on. [`std::fmt::Display`] names the offending
+/// field; the CLI prints it and exits nonzero instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `topology.nodes == 0`.
+    ZeroNodes,
+    /// `cores == 0` (cores are per node).
+    ZeroCores,
+    /// A float field that must be finite and positive was not.
+    NonPositive {
+        /// Field name as spelled in the config.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `arrival.zipf_s` was negative or non-finite.
+    BadZipf {
+        /// The rejected value.
+        value: f64,
+    },
+    /// `retry.max_attempts == 0` (the first attempt counts).
+    ZeroRetryAttempts,
+    /// `retry.jitter_ppm` above the PPM scale.
+    JitterOverScale {
+        /// The rejected value.
+        got: u32,
+    },
+    /// A straggle window that would *speed cores up*.
+    StraggleFactorTooSmall {
+        /// The rejected milli-factor.
+        got: u32,
+    },
+    /// A chaos stream with an MTBF but no duration.
+    ZeroChaosDuration {
+        /// Which stream: `crash`, `straggle`, or `store_unavail`.
+        stream: &'static str,
+    },
+    /// A scheduler spec that parses to nothing (typo guard).
+    UnknownScheduler {
+        /// The rejected spec string.
+        spec: String,
+    },
+    /// A keep-alive spec that parses to nothing (typo guard).
+    UnknownKeepAlive {
+        /// The rejected spec string.
+        spec: String,
+    },
+    /// `random:N` scheduler with zero choices.
+    ZeroSchedulerChoices,
+    /// A fixed/hybrid keep-alive with a zero window.
+    ZeroKeepAliveWindow,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroNodes => write!(f, "topology.nodes must be at least 1"),
+            ConfigError::ZeroCores => write!(f, "cores must be at least 1"),
+            ConfigError::NonPositive { field, value } => {
+                write!(f, "{field} must be finite and positive, got {value}")
+            }
+            ConfigError::BadZipf { value } => {
+                write!(f, "zipf_s must be finite and non-negative, got {value}")
+            }
+            ConfigError::ZeroRetryAttempts => write!(f, "retry.max_attempts must be at least 1"),
+            ConfigError::JitterOverScale { got } => {
+                write!(
+                    f,
+                    "retry.jitter_ppm must be at most {}, got {got}",
+                    ignite_core::fault::PPM_SCALE
+                )
+            }
+            ConfigError::StraggleFactorTooSmall { got } => {
+                write!(f, "chaos.straggle_factor_milli must be at least 1000, got {got}")
+            }
+            ConfigError::ZeroChaosDuration { stream } => {
+                write!(f, "chaos.{stream}_mtbf_cycles is set but its duration is 0")
+            }
+            ConfigError::UnknownScheduler { spec } => {
+                write!(
+                    f,
+                    "unknown scheduler spec {spec:?} (want fifo, least-loaded, random[:N], \
+                     or affinity)"
+                )
+            }
+            ConfigError::UnknownKeepAlive { spec } => {
+                write!(
+                    f,
+                    "unknown keepalive spec {spec:?} (want none, fixed:CYCLES, or hybrid[:CYCLES])"
+                )
+            }
+            ConfigError::ZeroSchedulerChoices => {
+                write!(f, "scheduler random choices must be at least 1")
+            }
+            ConfigError::ZeroKeepAliveWindow => {
+                write!(f, "keepalive window_cycles must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Everything that defines one cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Number of simulated cores.
+    /// Number of simulated cores **per node**.
     pub cores: usize,
+    /// Node count and the placement/keep-alive policies over them.
+    pub topology: Topology,
     /// Front-end configuration of every core.
     pub fe: FrontEndConfig,
     /// Workload suite scale (1.0 = paper scale).
@@ -72,6 +211,7 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
             cores: 4,
+            topology: Topology::default(),
             fe: FrontEndConfig::ignite(),
             scale: 0.02,
             arrival: ArrivalConfig::default(),
@@ -86,48 +226,54 @@ impl Default for ClusterConfig {
 
 impl ClusterConfig {
     /// Rejects configurations the simulator cannot run meaningfully,
-    /// with a message naming the offending field. The CLI calls this
-    /// before constructing a simulator and exits nonzero on `Err`;
-    /// library callers that build configs programmatically get the same
-    /// typed check instead of a mid-run panic or a silent nonsense run.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.cores == 0 {
-            return Err("cores must be at least 1".to_string());
+    /// with a typed [`ConfigError`] naming the offending field. The CLI
+    /// calls this before constructing a simulator and exits nonzero on
+    /// `Err`; library callers that build configs programmatically get
+    /// the same typed check instead of a mid-run panic or a silent
+    /// nonsense run.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.topology.nodes == 0 {
+            return Err(ConfigError::ZeroNodes);
         }
-        for (name, v) in [
+        if self.cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if let SchedulerKind::Random { choices: 0 } = self.topology.scheduler {
+            return Err(ConfigError::ZeroSchedulerChoices);
+        }
+        match self.topology.keepalive {
+            KeepAliveKind::Fixed { window_cycles: 0 }
+            | KeepAliveKind::Hybrid { default_window_cycles: 0 } => {
+                return Err(ConfigError::ZeroKeepAliveWindow);
+            }
+            _ => {}
+        }
+        for (field, value) in [
             ("scale", self.scale),
             ("rate_per_mcycle", self.arrival.rate_per_mcycle),
             ("distance_saturation", self.distance_saturation),
             ("dram_bytes_per_cycle", self.dram_bytes_per_cycle),
         ] {
-            if !v.is_finite() || v <= 0.0 {
-                return Err(format!("{name} must be finite and positive, got {v}"));
+            if !value.is_finite() || value <= 0.0 {
+                return Err(ConfigError::NonPositive { field, value });
             }
         }
         if !self.arrival.zipf_s.is_finite() || self.arrival.zipf_s < 0.0 {
-            return Err(format!(
-                "zipf_s must be finite and non-negative, got {}",
-                self.arrival.zipf_s
-            ));
+            return Err(ConfigError::BadZipf { value: self.arrival.zipf_s });
         }
         if self.retry.max_attempts == 0 {
-            return Err("retry.max_attempts must be at least 1".to_string());
+            return Err(ConfigError::ZeroRetryAttempts);
         }
         if self.retry.jitter_ppm > ignite_core::fault::PPM_SCALE {
-            return Err(format!(
-                "retry.jitter_ppm must be at most {}, got {}",
-                ignite_core::fault::PPM_SCALE,
-                self.retry.jitter_ppm
-            ));
+            return Err(ConfigError::JitterOverScale { got: self.retry.jitter_ppm });
         }
         if let Some(plan) = &self.chaos {
             if plan.straggle_mtbf_cycles > 0 && plan.straggle_factor_milli < 1000 {
-                return Err(format!(
-                    "chaos.straggle_factor_milli must be at least 1000, got {}",
-                    plan.straggle_factor_milli
-                ));
+                return Err(ConfigError::StraggleFactorTooSmall {
+                    got: plan.straggle_factor_milli,
+                });
             }
-            for (name, mtbf, duration) in [
+            for (stream, mtbf, duration) in [
                 ("crash", plan.crash_mtbf_cycles, plan.crash_repair_cycles),
                 ("straggle", plan.straggle_mtbf_cycles, plan.straggle_duration_cycles),
                 ("store_unavail", plan.store_unavail_mtbf_cycles, {
@@ -135,7 +281,7 @@ impl ClusterConfig {
                 }),
             ] {
                 if mtbf > 0 && duration == 0 {
-                    return Err(format!("chaos.{name}_mtbf_cycles is set but its duration is 0"));
+                    return Err(ConfigError::ZeroChaosDuration { stream });
                 }
             }
         }
@@ -184,6 +330,21 @@ pub struct FunctionSummary {
     pub degraded: u64,
     /// Invocations dropped with reason (0 without chaos).
     pub dropped: u64,
+    /// Completions that found no metadata (store miss, degraded, or
+    /// Ignite off) — the dslab-faas "cold start" bucket.
+    pub cold_starts: u64,
+    /// Completions that hit the store but dispatched onto a core whose
+    /// data working set had partially cooled (`cold_fraction > 0`).
+    pub lukewarm_starts: u64,
+    /// Completions that hit the store back-to-back warm
+    /// (`cold_fraction == 0`).
+    pub warm_starts: u64,
+    /// Fastest observed service time — the always-warm proxy the
+    /// slowdown metric divides by (0 when never invoked).
+    pub min_service: u64,
+    /// Keep-alive cycles spent pinning this function's region without a
+    /// reuse (0 under [`KeepAliveKind::None`]).
+    pub wasted_keepalive_cycles: u64,
     /// Per-invocation engine measurements, summed over all invocations.
     pub result: InvocationResult,
 }
@@ -198,6 +359,46 @@ impl FunctionSummary {
             self.metadata_hits as f64 / total as f64
         }
     }
+
+    /// Mean service time over the always-warm proxy (`min_service`):
+    /// 1.0 means every run was as fast as the best observed, higher
+    /// means cold starts are costing real time. 0.0 when never invoked.
+    pub fn slowdown(&self) -> f64 {
+        if self.min_service == 0 {
+            0.0
+        } else {
+            self.mean_service / self.min_service as f64
+        }
+    }
+}
+
+/// How one node was used over the run (multi-node reports serialize
+/// one section per entry; a single-node run still carries its one
+/// entry internally).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeUsage {
+    /// Jobs the scheduler routed to this node.
+    pub submitted: u64,
+    /// Jobs that completed here.
+    pub completed: u64,
+    /// Jobs that terminally dropped here (0 without chaos). The
+    /// per-node conservation law `submitted == completed + dropped`
+    /// holds because retries re-enter their original node's queue.
+    pub dropped: u64,
+    /// Deepest dispatch queue observed on this node.
+    pub queue_peak: u64,
+    /// Busy cycles summed over the node's cores.
+    pub busy_cycles: u64,
+    /// Mean utilization of the node's cores over the makespan.
+    pub utilization: f64,
+    /// This node's metadata store counters.
+    pub store: StoreStats,
+    /// Store bytes resident on this node at the end of the run.
+    pub footprint_bytes: usize,
+    /// High-water mark of this node's store footprint.
+    pub peak_footprint_bytes: usize,
+    /// Keep-alive cycles this node spent pinning regions nobody reused.
+    pub wasted_keepalive_cycles: u64,
 }
 
 /// The outcome of one cluster run.
@@ -207,15 +408,20 @@ pub struct ClusterOutcome {
     pub invocations: u64,
     /// Cycle of the last completion (0 for an empty trace).
     pub makespan: u64,
-    /// Per-core usage.
+    /// Per-core usage, in global core order (node-major: node 0's
+    /// cores, then node 1's, ...).
     pub cores: Vec<CoreUsage>,
+    /// Per-node usage, in node order (one entry for a 1-node run).
+    pub nodes: Vec<NodeUsage>,
     /// Per-function summaries, in suite order.
     pub functions: Vec<FunctionSummary>,
-    /// Node-wide metadata store counters.
+    /// Metadata store counters, summed over every node's store.
     pub store: StoreStats,
-    /// Store bytes resident at the end of the run.
+    /// Store bytes resident at the end of the run (sum over nodes).
     pub footprint_bytes: usize,
-    /// Store bytes resident at the high-water mark.
+    /// Store high-water mark (sum of per-node peaks; nodes peak at
+    /// different times, so this bounds — and for one node equals — the
+    /// true cluster-wide peak).
     pub peak_footprint_bytes: usize,
     /// Cluster-wide latency percentiles over all invocations, in cycles.
     pub p50_latency: u64,
@@ -255,6 +461,12 @@ impl ClusterOutcome {
             self.cores.iter().map(|c| c.utilization).sum::<f64>() / self.cores.len() as f64
         }
     }
+
+    /// Total keep-alive cycles spent pinning regions nobody reused
+    /// (0 under [`KeepAliveKind::None`]).
+    pub fn wasted_keepalive_cycles(&self) -> u64 {
+        self.nodes.iter().map(|n| n.wasted_keepalive_cycles).sum()
+    }
 }
 
 struct Core {
@@ -280,6 +492,10 @@ struct FunctionState {
     retries: u64,
     degraded: u64,
     dropped: u64,
+    cold_starts: u64,
+    lukewarm_starts: u64,
+    warm_starts: u64,
+    min_service: u64,
     /// Global invocation counter (seeds the trace walker, so control flow
     /// drifts across invocations like the per-function protocol's does).
     count: u64,
@@ -292,6 +508,9 @@ struct FunctionState {
 /// dispatch - arrival`, `lost_cycles == 0`).
 struct Job {
     arrival: Arrival,
+    /// Node the scheduler placed this job on. Retries stay here, so
+    /// each node's ledger closes under its own conservation law.
+    node: usize,
     /// Global submission index (keys the retry queue and the pure-hash
     /// chaos draws).
     id: u64,
@@ -331,11 +550,12 @@ impl ChaosRt {
         fail_at: u64,
         elapsed: u64,
         fstate: &mut FunctionState,
+        node_dropped: &mut [u64],
         sink: &mut S,
     ) {
         self.stats.attempts_failed += 1;
         if job.attempt >= self.retry.max_attempts {
-            self.drop_job(&job, fail_at, DropReason::RetriesExhausted, fstate, sink);
+            self.drop_job(&job, fail_at, DropReason::RetriesExhausted, fstate, node_dropped, sink);
             return;
         }
         let seed = self.state.plan().seed;
@@ -343,7 +563,7 @@ impl ChaosRt {
         let ready = fail_at.saturating_add(backoff);
         let deadline = self.retry.deadline_cycles;
         if deadline > 0 && ready.saturating_sub(job.arrival.cycle) > deadline {
-            self.drop_job(&job, fail_at, DropReason::Deadline, fstate, sink);
+            self.drop_job(&job, fail_at, DropReason::Deadline, fstate, node_dropped, sink);
             return;
         }
         self.stats.backoff_cycles += backoff;
@@ -374,6 +594,7 @@ impl ChaosRt {
         at: u64,
         reason: DropReason,
         fstate: &mut FunctionState,
+        node_dropped: &mut [u64],
         sink: &mut S,
     ) {
         match reason {
@@ -381,6 +602,7 @@ impl ChaosRt {
             DropReason::RetriesExhausted => self.stats.dropped_retries_exhausted += 1,
         }
         fstate.dropped += 1;
+        node_dropped[job.node] += 1;
         if sink.enabled() {
             sink.record(Event {
                 ts: at,
@@ -469,8 +691,21 @@ impl ClusterSim {
             self.functions.len()
         );
         let ignite_on = self.cfg.fe.select.ignite.is_some();
-        let mut store = MetadataStore::new(self.cfg.store);
-        let mut cores: Vec<Core> = (0..self.cfg.cores)
+        let nnodes = self.cfg.topology.nodes;
+        let cores_per_node = self.cfg.cores;
+        // Each node owns a store and a dispatch queue; cores live in one
+        // flat vector in global order (node-major), so completion and
+        // freeing sweeps keep the exact single-node iteration order.
+        let mut stores: Vec<MetadataStore> =
+            (0..nnodes).map(|_| MetadataStore::new(self.cfg.store)).collect();
+        let mut queues: Vec<VecDeque<Job>> = (0..nnodes).map(|_| VecDeque::new()).collect();
+        let mut node_submitted = vec![0u64; nnodes];
+        let mut node_completed = vec![0u64; nnodes];
+        let mut node_dropped = vec![0u64; nnodes];
+        let mut node_queue_peak = vec![0u64; nnodes];
+        let mut sched = Scheduler::new(self.cfg.topology.scheduler, self.cfg.arrival.seed);
+        let mut keepalive = KeepAliveRt::new(self.cfg.topology.keepalive, nnodes, self.abbrs.len());
+        let mut cores: Vec<Core> = (0..nnodes * cores_per_node)
             .map(|_| Core {
                 machine: Machine::new(&self.uarch, &self.cfg.fe),
                 busy_until: 0,
@@ -495,12 +730,16 @@ impl ClusterSim {
                 retries: 0,
                 degraded: 0,
                 dropped: 0,
+                cold_starts: 0,
+                lukewarm_starts: 0,
+                warm_starts: 0,
+                min_service: u64::MAX,
                 count: 0,
                 result: InvocationResult::default(),
             })
             .collect();
         let mut chaos: Option<ChaosRt> = self.cfg.chaos.map(|plan| ChaosRt {
-            state: ChaosState::new(plan, self.cfg.cores),
+            state: ChaosState::for_cluster(plan, nnodes, cores_per_node),
             retry: self.cfg.retry,
             breakers: (0..self.abbrs.len())
                 .map(|_| {
@@ -514,7 +753,6 @@ impl ClusterSim {
             stats: ChaosStats::default(),
         });
 
-        let mut queue: VecDeque<Job> = VecDeque::new();
         let mut next_arrival = 0usize;
         let mut submitted = 0u64;
         let mut now = 0u64;
@@ -523,74 +761,103 @@ impl ClusterSim {
         let mut latency_sum = 0u64;
 
         loop {
-            // Dispatch the FIFO queue onto free cores, lowest index first
-            // (under chaos, a core inside a crash window cannot accept
-            // work even when idle).
-            while !queue.is_empty() {
-                let free = (0..cores.len()).find(|&i| {
-                    !cores[i].busy && chaos.as_mut().is_none_or(|rt| !rt.state.core_down(i, now))
-                });
-                let Some(ci) = free else { break };
-                let mut job = queue.pop_front().expect("non-empty queue");
-                job.queue_accum += now - job.enqueued_at;
-                let fi = job.arrival.function as usize;
-                if let Some(rt) = chaos.as_mut() {
-                    let deadline = rt.retry.deadline_cycles;
-                    if deadline > 0 && now.saturating_sub(job.arrival.cycle) > deadline {
-                        rt.drop_job(&job, now, DropReason::Deadline, &mut fns[fi], sink);
-                        continue;
-                    }
-                    if rt.state.dispatch_dropped(job.id, job.attempt) {
-                        rt.stats.dispatch_drops += 1;
-                        rt.fail_attempt(job, now, 0, &mut fns[fi], sink);
-                        continue;
-                    }
-                }
-                let served = self.dispatch(
-                    &job,
-                    now,
-                    &mut cores[ci],
-                    ci,
-                    &mut fns[fi],
-                    &mut store,
-                    ignite_on,
-                    &mut chaos,
-                    sink,
-                );
-                match served {
-                    Served::Done { completion } => {
-                        makespan = makespan.max(completion);
-                        let latency = completion - job.arrival.cycle;
-                        all_latencies.push(latency);
-                        latency_sum += latency;
-                        fns[fi].latencies.push(latency);
-                        if let Some(rt) = chaos.as_mut() {
-                            rt.stats.completed += 1;
-                            if job.attempt > 1 {
-                                rt.stats.retried_to_success += 1;
-                            }
+            // Dispatch each node's FIFO queue onto its free cores, nodes
+            // in index order, lowest core index first (under chaos, a
+            // core inside a crash window cannot accept work even when
+            // idle). With one node this is the single-queue loop
+            // verbatim.
+            for ni in 0..nnodes {
+                let base = ni * cores_per_node;
+                while !queues[ni].is_empty() {
+                    let free = (0..cores_per_node).map(|i| base + i).find(|&g| {
+                        !cores[g].busy
+                            && chaos.as_mut().is_none_or(|rt| !rt.state.core_down(g, now))
+                    });
+                    let Some(gci) = free else { break };
+                    let mut job = queues[ni].pop_front().expect("non-empty queue");
+                    job.queue_accum += now - job.enqueued_at;
+                    let fi = job.arrival.function as usize;
+                    if let Some(rt) = chaos.as_mut() {
+                        let deadline = rt.retry.deadline_cycles;
+                        if deadline > 0 && now.saturating_sub(job.arrival.cycle) > deadline {
+                            rt.drop_job(
+                                &job,
+                                now,
+                                DropReason::Deadline,
+                                &mut fns[fi],
+                                &mut node_dropped,
+                                sink,
+                            );
+                            continue;
+                        }
+                        if rt.state.dispatch_dropped(job.id, job.attempt) {
+                            rt.stats.dispatch_drops += 1;
+                            rt.fail_attempt(job, now, 0, &mut fns[fi], &mut node_dropped, sink);
+                            continue;
                         }
                     }
-                    Served::Killed { at } => {
-                        let rt = chaos.as_mut().expect("attempts are only killed under chaos");
-                        rt.stats.crash_kills += 1;
-                        let elapsed = at - now;
-                        rt.fail_attempt(job, at, elapsed, &mut fns[fi], sink);
+                    let served = self.dispatch(
+                        &job,
+                        now,
+                        &mut cores[gci],
+                        gci,
+                        ni,
+                        nnodes,
+                        &mut fns[fi],
+                        &mut stores[ni],
+                        ignite_on,
+                        &mut chaos,
+                        &mut keepalive,
+                        sink,
+                    );
+                    match served {
+                        Served::Done { completion } => {
+                            makespan = makespan.max(completion);
+                            let latency = completion - job.arrival.cycle;
+                            all_latencies.push(latency);
+                            latency_sum += latency;
+                            fns[fi].latencies.push(latency);
+                            node_completed[ni] += 1;
+                            if let Some(rt) = chaos.as_mut() {
+                                rt.stats.completed += 1;
+                                if job.attempt > 1 {
+                                    rt.stats.retried_to_success += 1;
+                                }
+                            }
+                        }
+                        Served::Killed { at } => {
+                            let rt = chaos.as_mut().expect("attempts are only killed under chaos");
+                            rt.stats.crash_kills += 1;
+                            let elapsed = at - now;
+                            rt.fail_attempt(
+                                job,
+                                at,
+                                elapsed,
+                                &mut fns[fi],
+                                &mut node_dropped,
+                                sink,
+                            );
+                        }
                     }
                 }
             }
 
             // Next event: the earliest completion (or crashed-core
-            // restart), backoff expiry, arrival — or, when queued work is
-            // waiting only on repairs, the earliest idle-core restart.
+            // restart), backoff expiry, arrival — or, when a node has
+            // queued work waiting only on repairs, the earliest restart
+            // among that node's cores.
             let next_completion = cores.iter().filter(|c| c.busy).map(|c| c.busy_until).min();
             let next_retry = chaos.as_ref().and_then(|rt| rt.ready.keys().next().map(|&(t, _)| t));
             let next_arrival_cycle = trace.arrivals.get(next_arrival).map(|a| a.cycle);
-            let next_restart = if queue.is_empty() {
-                None
-            } else {
-                chaos.as_mut().and_then(|rt| rt.state.earliest_restart(now))
-            };
+            let next_restart = chaos.as_mut().and_then(|rt| {
+                (0..nnodes)
+                    .filter(|&ni| !queues[ni].is_empty())
+                    .filter_map(|ni| {
+                        let span = ni * cores_per_node..(ni + 1) * cores_per_node;
+                        rt.state.earliest_restart_among(span, now)
+                    })
+                    .min()
+            });
             now = match [next_completion, next_retry, next_arrival_cycle, next_restart]
                 .into_iter()
                 .flatten()
@@ -600,7 +867,7 @@ impl ClusterSim {
                 Some(t) => t,
             };
             // Completions first (a core freed at `now` can serve an arrival
-            // at `now`), in core-index order.
+            // at `now`), in global core order.
             for c in &mut cores {
                 if c.busy && c.busy_until <= now {
                     c.busy = false;
@@ -608,14 +875,18 @@ impl ClusterSim {
             }
             // Then retries whose backoff expired, in (ready, id) order —
             // ahead of arrivals at the same cycle, since they have been
-            // waiting longer end-to-end.
+            // waiting longer end-to-end. A retry re-enters the queue of
+            // the node that first accepted it.
             if let Some(rt) = chaos.as_mut() {
                 while rt.ready.first_key_value().is_some_and(|(&(t, _), _)| t <= now) {
                     let (_, job) = rt.ready.pop_first().expect("non-empty retry queue");
-                    queue.push_back(job);
+                    let ni = job.node;
+                    queues[ni].push_back(job);
+                    node_queue_peak[ni] = node_queue_peak[ni].max(queues[ni].len() as u64);
                 }
             }
-            // Then arrivals at `now`, in trace order.
+            // Then arrivals at `now`, in trace order, each routed by the
+            // scheduler (a 1-node cluster routes to node 0 untouched).
             while trace.arrivals.get(next_arrival).is_some_and(|a| a.cycle <= now) {
                 let a = trace.arrivals[next_arrival];
                 if sink.enabled() {
@@ -629,24 +900,56 @@ impl ClusterSim {
                 if let Some(rt) = chaos.as_mut() {
                     rt.stats.submitted += 1;
                 }
-                queue.push_back(Job {
+                let ni = if nnodes == 1 {
+                    0
+                } else {
+                    let container = self.functions[a.function as usize].container;
+                    let loads: Vec<NodeLoad> = (0..nnodes)
+                        .map(|n| {
+                            let span = &cores[n * cores_per_node..(n + 1) * cores_per_node];
+                            let busy = span.iter().filter(|c| c.busy).count();
+                            NodeLoad {
+                                busy_cores: busy,
+                                queued: queues[n].len(),
+                                free_cores: cores_per_node - busy,
+                                holds_metadata: ignite_on && stores[n].contains(container),
+                            }
+                        })
+                        .collect();
+                    let picked = sched.pick(&loads);
+                    if sink.enabled() {
+                        sink.record(Event {
+                            ts: a.cycle,
+                            dur: 0,
+                            track: Track::Cluster,
+                            kind: EventKind::Routed { function: a.function, node: picked as u32 },
+                        });
+                    }
+                    picked
+                };
+                node_submitted[ni] += 1;
+                queues[ni].push_back(Job {
                     arrival: a,
+                    node: ni,
                     id: submitted,
                     attempt: 1,
                     enqueued_at: a.cycle,
                     queue_accum: 0,
                     lost_cycles: 0,
                 });
+                node_queue_peak[ni] = node_queue_peak[ni].max(queues[ni].len() as u64);
                 submitted += 1;
                 next_arrival += 1;
             }
         }
+        keepalive.finish(makespan);
 
         // Summaries.
         all_latencies.sort_unstable();
         let functions = fns
             .into_iter()
-            .map(|mut f| {
+            .enumerate()
+            .map(|(fi, mut f)| {
                 f.latencies.sort_unstable();
                 let n = f.latencies.len() as f64;
                 FunctionSummary {
@@ -663,11 +966,16 @@ impl ClusterSim {
                     retries: f.retries,
                     degraded: f.degraded,
                     dropped: f.dropped,
+                    cold_starts: f.cold_starts,
+                    lukewarm_starts: f.lukewarm_starts,
+                    warm_starts: f.warm_starts,
+                    min_service: if f.min_service == u64::MAX { 0 } else { f.min_service },
+                    wasted_keepalive_cycles: keepalive.wasted_for_function(fi),
                     result: f.result,
                 }
             })
             .collect();
-        let cores = cores
+        let cores: Vec<CoreUsage> = cores
             .into_iter()
             .map(|c| CoreUsage {
                 invocations: c.invocations,
@@ -699,14 +1007,51 @@ impl ClusterSim {
             );
             rt.stats
         });
+        // Per-node usage (cores are node-major, so each node's span is
+        // contiguous) and the cluster-wide store aggregate.
+        let nodes: Vec<NodeUsage> = (0..nnodes)
+            .map(|ni| {
+                let span = &cores[ni * cores_per_node..(ni + 1) * cores_per_node];
+                let busy: u64 = span.iter().map(|c| c.busy_cycles).sum();
+                NodeUsage {
+                    submitted: node_submitted[ni],
+                    completed: node_completed[ni],
+                    dropped: node_dropped[ni],
+                    queue_peak: node_queue_peak[ni],
+                    busy_cycles: busy,
+                    utilization: if makespan == 0 {
+                        0.0
+                    } else {
+                        busy as f64 / (makespan as f64 * cores_per_node as f64)
+                    },
+                    store: *stores[ni].stats(),
+                    footprint_bytes: stores[ni].footprint_bytes(),
+                    peak_footprint_bytes: stores[ni].peak_footprint_bytes(),
+                    wasted_keepalive_cycles: keepalive.wasted_on_node(ni),
+                }
+            })
+            .collect();
+        let mut store_total = StoreStats::default();
+        for s in &stores {
+            let st = s.stats();
+            store_total.hits += st.hits;
+            store_total.misses += st.misses;
+            store_total.insertions += st.insertions;
+            store_total.evictions += st.evictions;
+            store_total.rejected += st.rejected;
+            store_total.bytes_read += st.bytes_read;
+            store_total.bytes_written += st.bytes_written;
+            store_total.bytes_evicted += st.bytes_evicted;
+        }
         ClusterOutcome {
             invocations: n as u64,
             makespan,
             cores,
+            nodes,
             functions,
-            store: *store.stats(),
-            footprint_bytes: store.footprint_bytes(),
-            peak_footprint_bytes: store.peak_footprint_bytes(),
+            store: store_total,
+            footprint_bytes: stores.iter().map(|s| s.footprint_bytes()).sum(),
+            peak_footprint_bytes: stores.iter().map(|s| s.peak_footprint_bytes()).sum(),
             p50_latency: percentile(&all_latencies, 50),
             p95_latency: percentile(&all_latencies, 95),
             p99_latency: percentile(&all_latencies, 99),
@@ -729,14 +1074,20 @@ impl ClusterSim {
         now: u64,
         core: &mut Core,
         ci: usize,
+        node: usize,
+        nnodes: usize,
         fstate: &mut FunctionState,
         store: &mut MetadataStore,
         ignite_on: bool,
         chaos: &mut Option<ChaosRt>,
+        keepalive: &mut KeepAliveRt,
         sink: &mut S,
     ) -> Served {
         let a = &job.arrival;
         let f = &self.functions[a.function as usize];
+        // Store events land on the shared store track for single-node
+        // runs (byte-identical traces) and on a per-node track otherwise.
+        let store_track = if nnodes > 1 { Track::NodeStore(node as u32) } else { Track::Store };
         // Interleaving distance → data coldness. Distance d counts the
         // invocations of *other* functions on this core since this function
         // last ran here; d = 0 (back-to-back) is fully warm, and coldness
@@ -778,11 +1129,14 @@ impl ClusterSim {
                 if !rt.breakers[a.function as usize].replay_allowed(now) {
                     degrade = Some(DegradeReason::BreakerOpen);
                     bypass = true;
-                } else if rt.state.store_unavailable(now) {
+                } else if rt.state.store_unavailable_on(node, now) {
                     degrade = Some(DegradeReason::StoreUnavailable);
                 }
             }
             if degrade.is_none() {
+                if keepalive.enabled() {
+                    keepalive.on_fetch(node, f.container, now);
+                }
                 let fetched = store.fetch(f.container).cloned();
                 match fetched {
                     Some(md) => {
@@ -793,7 +1147,7 @@ impl ClusterSim {
                             sink.record(Event {
                                 ts: now,
                                 dur: 0,
-                                track: Track::Store,
+                                track: store_track,
                                 kind: EventKind::StoreHit {
                                     container: f.container,
                                     bytes: md.byte_len() as u64,
@@ -878,7 +1232,7 @@ impl ClusterSim {
                             sink.record(Event {
                                 ts: now,
                                 dur: 0,
-                                track: Track::Store,
+                                track: store_track,
                                 kind: EventKind::StoreMiss { container: f.container },
                             });
                         }
@@ -925,7 +1279,7 @@ impl ClusterSim {
                 core.machine.ignite.as_mut().expect("ignite selected").take_metadata(f.container)
             {
                 let wb_at = now + md_cycles + exec_cycles;
-                if chaos.as_mut().is_some_and(|rt| rt.state.store_unavailable(wb_at)) {
+                if chaos.as_mut().is_some_and(|rt| rt.state.store_unavailable_on(node, wb_at)) {
                     // Unreachable store: the region is simply lost (the
                     // next fetch misses and re-records).
                     wb_skipped = true;
@@ -991,7 +1345,15 @@ impl ClusterSim {
         if let Some(md) = wb {
             let bytes = md.byte_len() as u64;
             md_cycles += wb_cycles;
-            let outcome = store.insert(f.container, md);
+            // Keep-alive protected regions are evicted only as a last
+            // resort; with keep-alive off the closure is never true and
+            // the insert is the plain insert, branch for branch.
+            let outcome = store.insert_protected(f.container, md, &|c| {
+                keepalive.is_protected(node, c, completion)
+            });
+            if keepalive.enabled() && !outcome.rejected {
+                keepalive.on_complete(node, a.function as usize, f.container, completion);
+            }
             if sink.enabled() {
                 for (victim, victim_bytes) in outcome.evicted {
                     store_events.push(EventKind::StoreEvict {
@@ -1032,7 +1394,7 @@ impl ClusterSim {
             // The writeback (and any evictions it forced) lands at
             // completion time; the span covers fetch + engine + writeback.
             for kind in store_events {
-                sink.record(Event { ts: completion, dur: 0, track: Track::Store, kind });
+                sink.record(Event { ts: completion, dur: 0, track: store_track, kind });
             }
             sink.record(Event {
                 ts: now,
@@ -1091,6 +1453,17 @@ impl ClusterSim {
         fstate.service_cycles += service;
         fstate.queue_cycles += job.queue_accum;
         fstate.cold_sum += cold;
+        // Temperature of this start, dslab-faas style: no usable replay
+        // state at all is cold; replayed with zero interleaving distance
+        // is warm; replayed but partially displaced is lukewarm.
+        if !ignite_on || degrade.is_some() || !store_hit {
+            fstate.cold_starts += 1;
+        } else if cold == 0.0 {
+            fstate.warm_starts += 1;
+        } else {
+            fstate.lukewarm_starts += 1;
+        }
+        fstate.min_service = fstate.min_service.min(service);
         fstate.result.merge(&res);
         Served::Done { completion }
     }
@@ -1330,21 +1703,56 @@ mod tests {
     fn config_validation_names_the_offending_field() {
         assert!(ClusterConfig::default().validate().is_ok());
         assert!(chaos_cfg(7).validate().is_ok());
+        let msg = |cfg: &ClusterConfig| cfg.validate().unwrap_err().to_string();
         let bad = ClusterConfig { cores: 0, ..ClusterConfig::default() };
-        assert!(bad.validate().unwrap_err().contains("cores"));
+        assert!(msg(&bad).contains("cores"));
         let bad = ClusterConfig { dram_bytes_per_cycle: f64::NAN, ..ClusterConfig::default() };
-        assert!(bad.validate().unwrap_err().contains("dram_bytes_per_cycle"));
+        assert!(msg(&bad).contains("dram_bytes_per_cycle"));
         let bad = ClusterConfig {
             retry: RetryPolicy { max_attempts: 0, ..RetryPolicy::default() },
             ..ClusterConfig::default()
         };
-        assert!(bad.validate().unwrap_err().contains("max_attempts"));
+        assert!(msg(&bad).contains("max_attempts"));
         let mut bad = chaos_cfg(7);
         bad.chaos.as_mut().unwrap().crash_repair_cycles = 0;
-        assert!(bad.validate().unwrap_err().contains("crash"));
+        assert!(msg(&bad).contains("crash"));
         let mut bad = chaos_cfg(7);
         bad.chaos.as_mut().unwrap().straggle_factor_milli = 500;
-        assert!(bad.validate().unwrap_err().contains("straggle_factor_milli"));
+        assert!(msg(&bad).contains("straggle_factor_milli"));
+    }
+
+    #[test]
+    fn topology_validation_rejects_bad_shapes_with_typed_errors() {
+        let bad = ClusterConfig {
+            topology: Topology { nodes: 0, ..Topology::default() },
+            ..ClusterConfig::default()
+        };
+        assert_eq!(bad.validate().unwrap_err(), ConfigError::ZeroNodes);
+        let bad = ClusterConfig {
+            topology: Topology {
+                scheduler: SchedulerKind::Random { choices: 0 },
+                ..Topology::default()
+            },
+            ..ClusterConfig::default()
+        };
+        assert_eq!(bad.validate().unwrap_err(), ConfigError::ZeroSchedulerChoices);
+        let bad = ClusterConfig {
+            topology: Topology {
+                keepalive: KeepAliveKind::Fixed { window_cycles: 0 },
+                ..Topology::default()
+            },
+            ..ClusterConfig::default()
+        };
+        assert_eq!(bad.validate().unwrap_err(), ConfigError::ZeroKeepAliveWindow);
+        let ok = ClusterConfig {
+            topology: Topology {
+                nodes: 3,
+                scheduler: SchedulerKind::Affinity,
+                keepalive: KeepAliveKind::Hybrid { default_window_cycles: 50_000 },
+            },
+            ..ClusterConfig::default()
+        };
+        assert!(ok.validate().is_ok());
     }
 
     fn chaos_cfg(chaos_seed: u64) -> ClusterConfig {

@@ -175,6 +175,14 @@ impl MetadataStore {
         self.entries.len()
     }
 
+    /// Whether `container` is resident — without counting a hit or a
+    /// miss, and without touching recency. The cluster scheduler's
+    /// affinity probe uses this so that *routing* decisions never
+    /// perturb the store's observable statistics.
+    pub fn contains(&self, container: u64) -> bool {
+        self.entries.contains_key(&container)
+    }
+
     /// Fetches `container`'s region for replay, counting a hit or miss and
     /// charging the read bandwidth.
     pub fn fetch(&mut self, container: u64) -> Option<&Metadata> {
@@ -211,6 +219,21 @@ impl MetadataStore {
     /// evicting everything for an entry that cannot help anyone else would
     /// be strictly worse than dropping it.
     pub fn insert(&mut self, container: u64, md: Metadata) -> InsertOutcome {
+        self.insert_protected(container, md, &|_| false)
+    }
+
+    /// [`MetadataStore::insert`] with keep-alive protection: containers
+    /// for which `keep` holds are passed over during victim selection
+    /// and evicted only if nothing unprotected remains (the same
+    /// last-resort rule PinHot uses, so capacity is always honored).
+    /// With a `keep` that never holds this is the plain insert, branch
+    /// for branch.
+    pub fn insert_protected(
+        &mut self,
+        container: u64,
+        md: Metadata,
+        keep: &dyn Fn(u64) -> bool,
+    ) -> InsertOutcome {
         let mut outcome = InsertOutcome::default();
         if md.is_empty() {
             return outcome;
@@ -235,7 +258,7 @@ impl MetadataStore {
             None => 0,
         };
         while self.total_bytes + len > self.cfg.capacity_bytes {
-            let victim = self.pick_victim().expect("non-empty store while over capacity");
+            let victim = self.pick_victim(keep).expect("non-empty store while over capacity");
             let e = self.entries.remove(&victim).expect("victim resident");
             self.total_bytes -= e.md.byte_len();
             self.stats.evictions += 1;
@@ -253,31 +276,43 @@ impl MetadataStore {
         outcome
     }
 
-    /// The container to evict next under the configured policy.
+    /// The container to evict next: the policy's choice among unkept
+    /// regions, falling back to the whole store when keep-alive has
+    /// pinned everything resident.
+    fn pick_victim(&self, keep: &dyn Fn(u64) -> bool) -> Option<u64> {
+        self.pick_victim_among(&|c| !keep(c)).or_else(|| self.pick_victim_among(&|_| true))
+    }
+
+    /// The configured policy's victim among containers passing
+    /// `allowed`.
     ///
     /// Every comparison ends in the container id, so victim selection is a
     /// total order — deterministic regardless of insertion history.
-    fn pick_victim(&self) -> Option<u64> {
+    fn pick_victim_among(&self, allowed: &dyn Fn(u64) -> bool) -> Option<u64> {
         let lru = |it: &mut dyn Iterator<Item = (&u64, &Entry)>| {
             it.min_by_key(|(c, e)| (e.last_used, **c)).map(|(c, _)| *c)
         };
         match self.cfg.policy {
-            EvictionPolicy::Lru => lru(&mut self.entries.iter()),
+            EvictionPolicy::Lru => lru(&mut self.entries.iter().filter(|(c, _)| allowed(**c))),
             EvictionPolicy::SizeAware => self
                 .entries
                 .iter()
+                .filter(|(c, _)| allowed(**c))
                 .min_by_key(|(c, e)| (std::cmp::Reverse(e.md.byte_len()), e.last_used, **c))
                 .map(|(c, _)| *c),
             EvictionPolicy::PinHot => {
                 // The `pinned_hot` hottest regions (by hit count, ties to
-                // lower container id) are protected.
+                // lower container id) are protected. Heat is ranked over
+                // the whole store, not just the allowed part, so
+                // keep-alive pins never promote a lukewarm region into
+                // the protected set.
                 let mut by_heat: Vec<(u64, u64)> =
                     self.entries.iter().map(|(c, e)| (e.hits, *c)).collect();
                 by_heat.sort_by_key(|&(hits, c)| (std::cmp::Reverse(hits), c));
                 let pinned: Vec<u64> =
                     by_heat.iter().take(self.cfg.pinned_hot).map(|&(_, c)| c).collect();
-                lru(&mut self.entries.iter().filter(|(c, _)| !pinned.contains(c)))
-                    .or_else(|| lru(&mut self.entries.iter()))
+                lru(&mut self.entries.iter().filter(|(c, _)| allowed(**c) && !pinned.contains(c)))
+                    .or_else(|| lru(&mut self.entries.iter().filter(|(c, _)| allowed(**c))))
             }
         }
     }
@@ -453,6 +488,50 @@ mod tests {
         assert!(!fresh.replaced && !fresh.rejected && fresh.evicted.is_empty());
         let replaced = s.insert(0, region(12));
         assert!(replaced.replaced);
+    }
+
+    #[test]
+    fn contains_probe_is_invisible_to_stats_and_recency() {
+        let one = region(10).byte_len();
+        let mut s = store(one * 2 + 2, EvictionPolicy::Lru);
+        s.insert(0, region(10));
+        s.insert(1, region(10));
+        assert!(s.contains(0) && s.contains(1) && !s.contains(2));
+        assert_eq!(s.stats().hits + s.stats().misses, 0, "probing must not count");
+        // Probing 0 did not refresh it: it is still the LRU victim.
+        s.insert(2, region(10));
+        assert!(!s.contains(0), "probe must not touch recency");
+    }
+
+    #[test]
+    fn insert_protected_skips_kept_regions_until_forced() {
+        let one = region(10).byte_len();
+        let mut s = store(one * 2 + 2, EvictionPolicy::Lru);
+        s.insert(0, region(10));
+        s.insert(1, region(10));
+        // 0 is the LRU victim, but keep-alive protects it: 1 goes instead.
+        let out = s.insert_protected(2, region(10), &|c| c == 0);
+        assert_eq!(out.evicted, vec![(1, one)]);
+        assert!(s.contains(0));
+        // Everything resident protected: capacity still wins (last resort,
+        // policy order among the kept).
+        let out = s.insert_protected(3, region(10), &|_| true);
+        assert_eq!(out.evicted.len(), 1);
+        assert!(s.footprint_bytes() <= s.config().capacity_bytes);
+    }
+
+    #[test]
+    fn insert_protected_with_never_keep_is_plain_insert() {
+        let one = region(10).byte_len();
+        let mut a = store(one * 2 + 2, EvictionPolicy::PinHot);
+        let mut b = store(one * 2 + 2, EvictionPolicy::PinHot);
+        for c in 0..5u64 {
+            let oa = a.insert(c, region(10));
+            let ob = b.insert_protected(c, region(10), &|_| false);
+            assert_eq!(oa, ob);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.footprint_bytes(), b.footprint_bytes());
     }
 
     #[test]

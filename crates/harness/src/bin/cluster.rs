@@ -5,7 +5,16 @@
 //! cargo run --release -p ignite-harness --bin cluster -- [OPTIONS]
 //!
 //! OPTIONS:
-//!   --cores N          simulated cores (default 4)
+//!   --cores N          simulated cores per node (default 4)
+//!   --nodes N          cluster nodes, each with its own cores, store
+//!                      and failure domain (default 1)
+//!   --scheduler P      placement policy: fifo, least-loaded, random[:N]
+//!                      (power-of-N-choices, default N=2), affinity
+//!                      (route to the node holding the function's Ignite
+//!                      metadata) (default fifo)
+//!   --keepalive P      pre-warm retention: none, fixed:CYCLES, or
+//!                      hybrid[:CYCLES] (per-function idle-window
+//!                      histogram, p99) (default none)
 //!   --fe NAME          front-end config: nl, boomerang, jukebox,
 //!                      boomerang-jukebox, confluence, ignite,
 //!                      ignite-tage, ideal (default ignite)
@@ -53,7 +62,8 @@ use std::process::ExitCode;
 use ignite_chaos::{parse_chaos_spec, parse_retry_spec, ChaosPlan};
 use ignite_cluster::{
     metrics_for, record_metrics, record_trace_health, sweep_capacities, validate_trace,
-    ClusterConfig, ClusterOutcome, ClusterReport, ClusterSim, ObsSummary,
+    ClusterConfig, ClusterOutcome, ClusterReport, ClusterSim, KeepAliveKind, ObsSummary,
+    SchedulerKind,
 };
 use ignite_core::EvictionPolicy;
 use ignite_engine::config::FrontEndConfig;
@@ -85,7 +95,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cluster [--cores N] [--fe NAME] [--scale F] [--seed S] [--rate R] \
+        "usage: cluster [--cores N] [--nodes N] [--scheduler P] [--keepalive P] \
+         [--fe NAME] [--scale F] [--seed S] [--rate R] \
          [--zipf S] [--horizon CYCLES] [--capacity BYTES] [--policy P] [--threads N] \
          [--sweep B1,B2,...] [--trace FILE] [--emit-trace FILE] [--out FILE] \
          [--validate FILE] [--trace-out FILE] [--metrics-out FILE] \
@@ -184,6 +195,21 @@ fn parse_args() -> Args {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--cores" => args.cfg.cores = parse(&value(&mut it, "--cores"), "--cores"),
+            "--nodes" => args.cfg.topology.nodes = parse(&value(&mut it, "--nodes"), "--nodes"),
+            "--scheduler" => {
+                let spec = value(&mut it, "--scheduler");
+                args.cfg.topology.scheduler = SchedulerKind::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("cluster: --scheduler: {e}");
+                    usage();
+                });
+            }
+            "--keepalive" => {
+                let spec = value(&mut it, "--keepalive");
+                args.cfg.topology.keepalive = KeepAliveKind::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("cluster: --keepalive: {e}");
+                    usage();
+                });
+            }
             "--fe" => {
                 let name = value(&mut it, "--fe");
                 args.cfg.fe = front_end(&name).unwrap_or_else(|| {
@@ -528,6 +554,20 @@ fn main() -> ExitCode {
         report.outcome.store.hit_rate(),
         report.outcome.peak_footprint_bytes
     );
+    if !report.config.topology.is_default() {
+        for (i, nd) in report.outcome.nodes.iter().enumerate() {
+            eprintln!(
+                "node {i}: {} submitted = {} completed + {} dropped | util {:.3} | \
+                 store hit rate {:.3} | wasted keep-alive {} cycles",
+                nd.submitted,
+                nd.completed,
+                nd.dropped,
+                nd.utilization,
+                nd.store.hit_rate(),
+                nd.wasted_keepalive_cycles
+            );
+        }
+    }
     if let Some(ch) = &report.outcome.chaos {
         eprintln!(
             "chaos: {} submitted = {} completed + {} dropped | {} retried to success | \

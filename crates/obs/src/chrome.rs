@@ -57,6 +57,10 @@ fn push_args(out: &mut String, kind: &EventKind) {
     };
     match *kind {
         EventKind::Arrival { function } => field(out, "function", u64::from(function)),
+        EventKind::Routed { function, node } => {
+            field(out, "function", u64::from(function));
+            field(out, "node", u64::from(node));
+        }
         EventKind::Dispatch { function, queue_cycles } => {
             field(out, "function", u64::from(function));
             field(out, "queue_cycles", queue_cycles);

@@ -24,6 +24,9 @@ pub enum Track {
     /// Chaos lifecycle: crashes, restores, retries, degrades, breaker
     /// transitions (`ignite-chaos`).
     Chaos,
+    /// Node `i`'s metadata store traffic in a multi-node run (a 1-node
+    /// run keeps using [`Track::Store`], preserving committed traces).
+    NodeStore(u32),
 }
 
 impl Track {
@@ -35,6 +38,7 @@ impl Track {
             Track::Core(i) => 2 + u64::from(i),
             Track::Alerts => 3 + u64::from(u32::MAX),
             Track::Chaos => 4 + u64::from(u32::MAX),
+            Track::NodeStore(n) => 5 + u64::from(u32::MAX) + u64::from(n),
         }
     }
 
@@ -46,6 +50,7 @@ impl Track {
             Track::Core(i) => format!("core{i}"),
             Track::Alerts => "alerts".to_string(),
             Track::Chaos => "chaos".to_string(),
+            Track::NodeStore(n) => format!("node{n}-store"),
         }
     }
 }
@@ -129,6 +134,9 @@ impl Phase {
 pub enum EventKind {
     /// A request joined the dispatch queue.
     Arrival { function: u32 },
+    /// The cluster scheduler placed an arrival on a node (multi-node
+    /// runs only; a 1-node run has no placement decision to record).
+    Routed { function: u32, node: u32 },
     /// A queued request was assigned a free core.
     Dispatch { function: u32, queue_cycles: u64 },
     /// A dispatched invocation ran to completion (span; `dur` is the
@@ -207,6 +215,7 @@ impl EventKind {
     pub fn name(&self) -> &'static str {
         match self {
             EventKind::Arrival { .. } => "arrival",
+            EventKind::Routed { .. } => "routed",
             EventKind::Dispatch { .. } => "dispatch",
             EventKind::Invocation { .. } => "invocation",
             EventKind::Complete { .. } => "complete",
@@ -238,6 +247,7 @@ impl EventKind {
     pub fn category(&self) -> &'static str {
         match self {
             EventKind::Arrival { .. }
+            | EventKind::Routed { .. }
             | EventKind::Dispatch { .. }
             | EventKind::Complete { .. }
             | EventKind::ContextSwitch => "cluster",
@@ -424,12 +434,16 @@ mod tests {
             Track::Core(u32::MAX),
             Track::Alerts,
             Track::Chaos,
+            Track::NodeStore(0),
+            Track::NodeStore(7),
         ];
         let tids: std::collections::BTreeSet<u64> = tracks.iter().map(|t| t.tid()).collect();
         assert_eq!(tids.len(), tracks.len());
         assert_eq!(Track::Core(0).tid(), 2);
         assert!(Track::Alerts.tid() > Track::Core(u32::MAX).tid());
         assert!(Track::Chaos.tid() > Track::Alerts.tid());
+        assert!(Track::NodeStore(0).tid() > Track::Chaos.tid());
+        assert_eq!(Track::NodeStore(3).label(), "node3-store");
     }
 
     #[test]

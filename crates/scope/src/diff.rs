@@ -107,6 +107,32 @@ fn scope_samples(obj: &[(String, Value)]) -> Vec<MetricSample> {
             if let Some(v) = num(fo, "p99_latency_cycles") {
                 out.push(sample(format!("function/{abbr}/p99_latency_cycles"), v, 0.0, false));
             }
+            // Per-function mean attribution components, so a diff can
+            // call a scheduler or keep-alive change a win or regression
+            // *per function* (e.g. store-miss cycles dropping for hot
+            // functions under affinity routing).
+            let inv = num(fo, "invocations").unwrap_or(0.0);
+            if inv > 0.0 {
+                for key in [
+                    "queue_cycles",
+                    "retry_cycles",
+                    "dram_cycles",
+                    "cold_frontend_cycles",
+                    "store_miss_cycles",
+                    "degraded_cycles",
+                    "execution_cycles",
+                    "latency_cycles",
+                ] {
+                    if let Some(v) = num(fo, key) {
+                        out.push(sample(
+                            format!("function/{abbr}/mean_{key}"),
+                            v / inv,
+                            0.0,
+                            false,
+                        ));
+                    }
+                }
+            }
         }
     }
     out
@@ -329,6 +355,34 @@ mod tests {
         assert_eq!(samples[0].name, "bench/decode/wall_ns");
         assert_eq!(samples[0].noise, 15.0);
         assert!(!samples[0].higher_is_better);
+    }
+
+    #[test]
+    fn scope_samples_carry_per_function_components() {
+        let text = r#"{"schema": "ignite-scope-v1", "totals": {"invocations": 4,
+            "queue_cycles": 8, "dram_cycles": 4, "cold_frontend_cycles": 0,
+            "store_miss_cycles": 12, "degraded_cycles": 0, "execution_cycles": 20,
+            "latency_cycles": 44, "p50_latency_cycles": 10, "p95_latency_cycles": 11,
+            "p99_latency_cycles": 12},
+            "functions": [{"function": "mdsvc", "invocations": 4,
+            "queue_cycles": 8, "dram_cycles": 4, "cold_frontend_cycles": 0,
+            "store_miss_cycles": 12, "degraded_cycles": 0, "execution_cycles": 20,
+            "latency_cycles": 44, "p99_latency_cycles": 12}]}"#;
+        let samples = load_samples(text).expect("scope samples");
+        let miss = samples
+            .iter()
+            .find(|s| s.name == "function/mdsvc/mean_store_miss_cycles")
+            .expect("per-function store-miss sample");
+        assert_eq!(miss.value, 3.0);
+        assert!(!miss.higher_is_better);
+        // A scheduler swap that halves mdsvc's store misses reads as a
+        // per-function improvement.
+        let better = text.replace("\"store_miss_cycles\": 12", "\"store_miss_cycles\": 4");
+        let d = diff(&samples, &load_samples(&better).unwrap(), 5.0);
+        assert!(d
+            .entries
+            .iter()
+            .any(|e| e.name == "function/mdsvc/mean_store_miss_cycles" && e.improvement));
     }
 
     #[test]
