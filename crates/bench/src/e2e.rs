@@ -73,6 +73,7 @@ pub fn e2e_benches(mode: Mode) -> Vec<Bench> {
         })
         .chain(std::iter::once(cluster_bench(mode)))
         .chain(std::iter::once(cluster_obs_bench(mode)))
+        .chain(std::iter::once(cluster_traffic_bench(mode)))
         .collect()
 }
 
@@ -127,6 +128,36 @@ fn cluster_obs_bench(mode: Mode) -> Bench {
     }
 }
 
+/// Streaming-workload bench: the same reduced fleet serving an MMPP
+/// shaped source pulled lazily through `run_source` (source
+/// construction included — it is part of the streaming arrival path).
+/// Work units are *invocations*, so `mips` reads as millions of
+/// invocations per wall-second and `cpi` as simulated cycles per
+/// invocation.
+fn cluster_traffic_bench(mode: Mode) -> Bench {
+    let cfg = cluster_config(mode);
+    let spec = ignite_traffic::TrafficSpec::parse("mmpp:mults=1/6,dwells=300000/60000")
+        .expect("pinned mmpp spec parses");
+    let suite = Suite::paper_suite_scaled(cfg.scale);
+    let first = {
+        let mut source = spec.build(&cfg.arrival, &suite).expect("pinned mmpp spec builds");
+        ClusterSim::new(cfg.clone()).run_source(&mut *source)
+    };
+    let cycles_per_invocation =
+        first.total_result().cycles as f64 / first.workload.arrivals.max(1) as f64;
+    Bench {
+        name: "e2e/cluster-traffic".to_string(),
+        kind: Kind::EndToEnd,
+        config: Some("cluster".to_string()),
+        cpi: Some(cycles_per_invocation),
+        run: Box::new(move || {
+            let mut source = spec.build(&cfg.arrival, &suite).expect("pinned mmpp spec builds");
+            let out = ClusterSim::new(cfg.clone()).run_source(&mut *source);
+            (out.workload.arrivals, out.total_result().cycles)
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,11 +168,12 @@ mod tests {
         let benches = e2e_benches(Mode::Quick);
         assert_eq!(
             benches.len(),
-            configs().len() + 2,
-            "per-config benches plus e2e/cluster and e2e/cluster-obs"
+            configs().len() + 3,
+            "per-config benches plus e2e/cluster, e2e/cluster-obs, and e2e/cluster-traffic"
         );
         assert!(benches.iter().any(|b| b.name == "e2e/cluster"));
         assert!(benches.iter().any(|b| b.name == "e2e/cluster-obs"));
+        assert!(benches.iter().any(|b| b.name == "e2e/cluster-traffic"));
         for b in &benches {
             assert!(b.cpi.unwrap() > 0.0, "{}: degenerate CPI", b.name);
         }

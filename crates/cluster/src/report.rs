@@ -135,6 +135,9 @@ impl ClusterReport {
         let _ = writeln!(s, "    \"rate_per_mcycle\": {},", num(cfg.arrival.rate_per_mcycle));
         let _ = writeln!(s, "    \"zipf_s\": {},", num(cfg.arrival.zipf_s));
         let _ = writeln!(s, "    \"horizon_cycles\": {},", cfg.arrival.horizon_cycles);
+        if let Some(spec) = &cfg.traffic {
+            let _ = writeln!(s, "    \"traffic\": {},", json::escape(spec));
+        }
         let _ = writeln!(s, "    \"store_capacity_bytes\": {},", cfg.store.capacity_bytes);
         let _ = writeln!(s, "    \"store_policy\": {},", json::escape(cfg.store.policy.name()));
         let _ = writeln!(s, "    \"store_pinned_hot\": {},", cfg.store.pinned_hot);
@@ -216,6 +219,23 @@ impl ClusterReport {
         s.push_str("  \"replay\": {\n");
         push_replay(&mut s, "    ", &total.replay, total.replay_unfinished);
         s.push_str("  },\n");
+        // Workload fingerprint: present exactly when a `--traffic` spec
+        // drove the run. Default Poisson/Zipf runs emit nothing here, so
+        // pre-traffic reports stay byte-identical.
+        if cfg.traffic.is_some() {
+            let wl = &out_.workload;
+            s.push_str("  \"workload\": {\n");
+            let _ = writeln!(s, "    \"schema\": \"{}\",", ignite_traffic::WORKLOAD_SCHEMA);
+            let _ = writeln!(s, "    \"arrivals\": {},", wl.arrivals);
+            let _ = writeln!(s, "    \"functions\": {},", wl.functions);
+            let _ = writeln!(s, "    \"horizon_cycles\": {},", wl.horizon_cycles);
+            let _ = writeln!(s, "    \"rate_per_mcycle\": {},", num(wl.rate_per_mcycle));
+            let _ = writeln!(s, "    \"interarrival_cv2\": {},", num(wl.interarrival_cv2));
+            let _ = writeln!(s, "    \"zipf_s_hat\": {},", num(wl.zipf_s_hat));
+            let _ = writeln!(s, "    \"top1_share\": {},", num(wl.top1_share));
+            let _ = writeln!(s, "    \"top5_share\": {}", num(wl.top5_share));
+            s.push_str("  },\n");
+        }
         if let Some(ch) = &out_.chaos {
             let plan = cfg.chaos.as_ref().expect("chaos stats imply a chaos plan");
             let rp = &cfg.retry;
@@ -333,7 +353,10 @@ impl ClusterReport {
     /// shape. v2 additionally requires the `chaos` section and enforces
     /// the invocation conservation law (`submitted == completed +
     /// dropped_deadline + dropped_retries_exhausted`); a `chaos` section
-    /// under the v1 tag is rejected.
+    /// under the v1 tag is rejected. A config `traffic` spec and a
+    /// `workload` fingerprint section must likewise appear together or
+    /// not at all, with the fingerprint's own schema tag and sane
+    /// statistics (shares in `[0, 1]`, `top1 <= top5`, CV² >= 0).
     pub fn validate(text: &str) -> Result<(), String> {
         let doc = json::parse(text)?;
         let obj = doc.as_object().ok_or("report is not an object")?;
@@ -484,6 +507,64 @@ impl ClusterReport {
         if let Some(obs) = json::get(obj, "obs") {
             let oo = obs.as_object().ok_or("'obs' is not an object")?;
             require(oo, "obs", &["trace_events", "trace_dropped"])?;
+        }
+        // Workload-fingerprint pairing: a config `traffic` spec and a
+        // top-level `workload` section appear together or not at all,
+        // the fingerprint carries its own schema tag, and its statistics
+        // must be internally sane.
+        let traffic_cfg = json::get(section("config")?, "traffic").and_then(Value::as_str);
+        match (traffic_cfg, json::get(obj, "workload")) {
+            (Some(_), None) => {
+                return Err(
+                    "config names a traffic spec but the report has no 'workload' section".into()
+                )
+            }
+            (None, Some(_)) => {
+                return Err("'workload' section requires a config 'traffic' key".into())
+            }
+            (None, None) => {}
+            (Some(_), Some(wl)) => {
+                let wo = wl.as_object().ok_or("'workload' is not an object")?;
+                let ws = json::get(wo, "schema").and_then(Value::as_str);
+                if ws != Some(ignite_traffic::WORKLOAD_SCHEMA) {
+                    return Err(format!(
+                        "workload: schema {ws:?}, want {:?}",
+                        ignite_traffic::WORKLOAD_SCHEMA
+                    ));
+                }
+                require(
+                    wo,
+                    "workload",
+                    &[
+                        "arrivals",
+                        "functions",
+                        "horizon_cycles",
+                        "rate_per_mcycle",
+                        "interarrival_cv2",
+                        "zipf_s_hat",
+                        "top1_share",
+                        "top5_share",
+                    ],
+                )?;
+                let n = |k: &str| json::get(wo, k).and_then(Value::as_f64).unwrap_or(f64::NAN);
+                for k in ["top1_share", "top5_share"] {
+                    let v = n(k);
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(format!("workload: '{k}' {v} outside [0, 1]"));
+                    }
+                }
+                if n("top1_share") > n("top5_share") {
+                    return Err(format!(
+                        "workload: top1_share {} exceeds top5_share {}",
+                        n("top1_share"),
+                        n("top5_share")
+                    ));
+                }
+                let cv2 = n("interarrival_cv2");
+                if cv2.is_nan() || cv2 < 0.0 {
+                    return Err(format!("workload: negative interarrival_cv2 {cv2}"));
+                }
+            }
         }
         match (v2, json::get(obj, "chaos")) {
             (false, Some(_)) => {
@@ -758,6 +839,58 @@ mod tests {
         assert!(!text.contains("\"keepalive\""));
         assert!(!text.contains("\"cold_starts\""));
         assert!(!text.contains("\"wasted_keepalive_cycles\""));
+    }
+
+    fn traffic_report() -> ClusterReport {
+        let cfg = ClusterConfig {
+            arrival: ArrivalConfig { horizon_cycles: 800_000, ..ArrivalConfig::default() },
+            traffic: Some("mmpp:mults=1/6,dwells=300000/60000".to_string()),
+            ..ClusterConfig::default()
+        };
+        let spec = ignite_traffic::TrafficSpec::parse(cfg.traffic.as_deref().unwrap()).unwrap();
+        let sim = ClusterSim::new(cfg.clone());
+        let suite = ignite_workloads::Suite::paper_suite_scaled(cfg.scale);
+        let mut arrival = cfg.arrival;
+        arrival.functions = suite.functions().len();
+        let mut source = spec.build(&arrival, &suite).unwrap();
+        let outcome = sim.run_source(&mut *source);
+        ClusterReport::new(cfg, outcome)
+    }
+
+    #[test]
+    fn traffic_report_carries_workload_fingerprint() {
+        let text = traffic_report().to_json();
+        assert!(text.contains("\"traffic\": \"mmpp:mults=1/6,dwells=300000/60000\""));
+        assert!(text.contains("\"workload\": {"));
+        assert!(text.contains(&format!("\"schema\": \"{}\"", ignite_traffic::WORKLOAD_SCHEMA)));
+        ClusterReport::validate(&text).expect("traffic report must self-validate");
+    }
+
+    #[test]
+    fn default_report_carries_no_workload_section() {
+        let text = report().to_json();
+        assert!(!text.contains("\"traffic\""));
+        assert!(!text.contains("\"workload\""));
+    }
+
+    #[test]
+    fn validate_enforces_workload_pairing_and_sanity() {
+        let good = traffic_report().to_json();
+        // A workload section without the config traffic key.
+        let bad =
+            good.replacen("    \"traffic\": \"mmpp:mults=1/6,dwells=300000/60000\",\n", "", 1);
+        assert!(ClusterReport::validate(&bad).unwrap_err().contains("'traffic'"));
+        // A traffic key without a workload section.
+        let start = good.find("  \"workload\": {").unwrap();
+        let end = good[start..].find("},\n").unwrap() + start + 3;
+        let bad = format!("{}{}", &good[..start], &good[end..]);
+        assert!(ClusterReport::validate(&bad).unwrap_err().contains("'workload'"));
+        // A stale fingerprint schema tag.
+        let bad = good.replacen(ignite_traffic::WORKLOAD_SCHEMA, "ignite-workload-v0", 1);
+        assert!(ClusterReport::validate(&bad).unwrap_err().contains("workload"));
+        // A share outside [0, 1].
+        let bad = good.replacen("\"top1_share\": ", "\"top1_share\": 9", 1);
+        assert!(ClusterReport::validate(&bad).unwrap_err().contains("top1_share"));
     }
 
     #[test]

@@ -24,8 +24,9 @@ use ignite_engine::machine::{Machine, PreparedFunction};
 use ignite_engine::metrics::InvocationResult;
 use ignite_engine::sim::{run_invocation_obs, InvocationCtx};
 use ignite_obs::{DegradeReason, DropReason, Event, EventKind, EventSink, NullSink, Track};
+use ignite_traffic::{FingerprintAccum, WorkloadFingerprint};
 use ignite_uarch::UarchConfig;
-use ignite_workloads::arrival::{Arrival, ArrivalConfig, Trace};
+use ignite_workloads::arrival::{Arrival, ArrivalConfig, ArrivalSource, Trace, TraceSource};
 use ignite_workloads::suite::Suite;
 
 use crate::fanout::{self, PanicFailure};
@@ -205,6 +206,13 @@ pub struct ClusterConfig {
     /// Recovery policy (deadlines, retry/backoff, circuit breaker).
     /// Only consulted when `chaos` is set.
     pub retry: RetryPolicy,
+    /// The raw `--traffic` spec string when a non-default workload drove
+    /// the run (`None` for the built-in Poisson/Zipf process). Purely
+    /// descriptive: the simulator never parses it, but the report echoes
+    /// it and gates the workload-fingerprint section on it, so reports
+    /// from shaped workloads are self-describing and `scope diff` can
+    /// refuse cross-workload comparisons.
+    pub traffic: Option<String>,
 }
 
 impl Default for ClusterConfig {
@@ -220,6 +228,7 @@ impl Default for ClusterConfig {
             dram_bytes_per_cycle: 8.0,
             chaos: None,
             retry: RetryPolicy::default(),
+            traffic: None,
         }
     }
 }
@@ -440,6 +449,10 @@ pub struct ClusterOutcome {
     /// conservation law — `submitted == completed + dropped` — is
     /// enforced by the `ignite-cluster-v2` report validator.
     pub chaos: Option<ChaosStats>,
+    /// Statistical fingerprint of the arrival stream the run consumed.
+    /// Always computed (it is O(1) per arrival); serialized into the
+    /// report only when [`ClusterConfig::traffic`] is set.
+    pub workload: WorkloadFingerprint,
 }
 
 impl ClusterOutcome {
@@ -690,6 +703,39 @@ impl ClusterSim {
             trace.functions,
             self.functions.len()
         );
+        self.run_source_obs(&mut TraceSource::new(trace), sink)
+    }
+
+    /// Serves a streaming [`ArrivalSource`] — the lazy counterpart of
+    /// [`ClusterSim::run_trace`]: arrivals are pulled one at a time (one
+    /// look-ahead arrival is held for event scheduling), so a
+    /// million-invocation workload runs in O(1) arrival state instead of
+    /// materializing the whole [`Trace`]. Replaying a materialized copy
+    /// of the same stream produces the identical outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source declares more functions than the suite has.
+    pub fn run_source<A: ArrivalSource + ?Sized>(&self, source: &mut A) -> ClusterOutcome {
+        self.run_source_obs(source, &mut NullSink)
+    }
+
+    /// [`ClusterSim::run_source`] with event observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source declares more functions than the suite has.
+    pub fn run_source_obs<A: ArrivalSource + ?Sized, S: EventSink>(
+        &self,
+        source: &mut A,
+        sink: &mut S,
+    ) -> ClusterOutcome {
+        assert!(
+            source.functions() <= self.functions.len(),
+            "source declares {} functions, suite has {}",
+            source.functions(),
+            self.functions.len()
+        );
         let ignite_on = self.cfg.fe.select.ignite.is_some();
         let nnodes = self.cfg.topology.nodes;
         let cores_per_node = self.cfg.cores;
@@ -753,7 +799,11 @@ impl ClusterSim {
             stats: ChaosStats::default(),
         });
 
-        let mut next_arrival = 0usize;
+        // One-arrival look-ahead: the head of the stream, needed to pick
+        // the next event time. Refilled from the source on consumption —
+        // the only arrival state held, whatever the stream length.
+        let mut pending: Option<Arrival> = source.next_arrival();
+        let mut fingerprint = FingerprintAccum::new(source.functions());
         let mut submitted = 0u64;
         let mut now = 0u64;
         let mut makespan = 0u64;
@@ -848,7 +898,7 @@ impl ClusterSim {
             // among that node's cores.
             let next_completion = cores.iter().filter(|c| c.busy).map(|c| c.busy_until).min();
             let next_retry = chaos.as_ref().and_then(|rt| rt.ready.keys().next().map(|&(t, _)| t));
-            let next_arrival_cycle = trace.arrivals.get(next_arrival).map(|a| a.cycle);
+            let next_arrival_cycle = pending.map(|a| a.cycle);
             let next_restart = chaos.as_mut().and_then(|rt| {
                 (0..nnodes)
                     .filter(|&ni| !queues[ni].is_empty())
@@ -885,10 +935,12 @@ impl ClusterSim {
                     node_queue_peak[ni] = node_queue_peak[ni].max(queues[ni].len() as u64);
                 }
             }
-            // Then arrivals at `now`, in trace order, each routed by the
+            // Then arrivals at `now`, in stream order, each routed by the
             // scheduler (a 1-node cluster routes to node 0 untouched).
-            while trace.arrivals.get(next_arrival).is_some_and(|a| a.cycle <= now) {
-                let a = trace.arrivals[next_arrival];
+            while pending.is_some_and(|a| a.cycle <= now) {
+                let a = pending.expect("checked above");
+                pending = source.next_arrival();
+                fingerprint.observe(a);
                 if sink.enabled() {
                     sink.record(Event {
                         ts: a.cycle,
@@ -939,7 +991,6 @@ impl ClusterSim {
                 });
                 node_queue_peak[ni] = node_queue_peak[ni].max(queues[ni].len() as u64);
                 submitted += 1;
-                next_arrival += 1;
             }
         }
         keepalive.finish(makespan);
@@ -1059,6 +1110,7 @@ impl ClusterSim {
             latency_histogram,
             latency_sum,
             chaos,
+            workload: fingerprint.finish(),
         }
     }
 

@@ -28,6 +28,20 @@
 //!   --threads N        sweep worker threads (default: all cores)
 //!   --sweep B1,B2,...  run a store-capacity sweep, print a table
 //!   --trace FILE       replay an ignite-trace-v1 file
+//!   --traffic SPEC     drive the run from a shaped workload instead of
+//!                      the stationary Poisson process:
+//!                        azure:PATH[,cpm=N]  Azure-style CSV import
+//!                        mmpp[:mults=A/B,dwells=X/Y]  Markov-modulated
+//!                        diurnal[:period=P,amp=A]     triangle wave
+//!                        burst[:every=E,width=W,mult=M]  burst trains
+//!                      Synthetic kinds stream lazily (O(1) arrival
+//!                      state) and use --rate/--zipf/--seed/--horizon as
+//!                      the base process. The report gains a validated
+//!                      'workload' fingerprint section.
+//!   --stats            print workload statistics (invocation count,
+//!                      per-function shares, inter-arrival CV², horizon)
+//!                      for the configured workload and exit without
+//!                      simulating
 //!   --emit-trace FILE  write the generated trace and exit
 //!   --out FILE         write the JSON report here (default: stdout)
 //!   --validate FILE    validate an existing report and exit
@@ -69,7 +83,9 @@ use ignite_core::EvictionPolicy;
 use ignite_engine::config::FrontEndConfig;
 use ignite_obs::{to_chrome_json, ChromeOptions, MetricsRegistry, NullSink, TraceBuffer};
 use ignite_scope::{record_scope_metrics, ScopeAnalyzer, ScopeReport, SloConfig};
-use ignite_workloads::arrival::Trace;
+use ignite_traffic::{materialize, FingerprintAccum, TrafficSpec};
+use ignite_workloads::arrival::{ArrivalSource, Trace, TraceSource};
+use ignite_workloads::suite::Suite;
 
 /// Ring capacity for `--trace-out`: comfortably above the event count of
 /// the default configuration; overflow drops oldest events and is
@@ -81,6 +97,8 @@ struct Args {
     threads: usize,
     sweep: Option<Vec<usize>>,
     trace: Option<String>,
+    traffic: Option<String>,
+    stats: bool,
     emit_trace: Option<String>,
     out: Option<String>,
     validate: Option<String>,
@@ -98,7 +116,8 @@ fn usage() -> ! {
         "usage: cluster [--cores N] [--nodes N] [--scheduler P] [--keepalive P] \
          [--fe NAME] [--scale F] [--seed S] [--rate R] \
          [--zipf S] [--horizon CYCLES] [--capacity BYTES] [--policy P] [--threads N] \
-         [--sweep B1,B2,...] [--trace FILE] [--emit-trace FILE] [--out FILE] \
+         [--sweep B1,B2,...] [--trace FILE] [--traffic SPEC] [--stats] \
+         [--emit-trace FILE] [--out FILE] \
          [--validate FILE] [--trace-out FILE] [--metrics-out FILE] \
          [--validate-trace FILE] [--scope-out FILE] [--slo SPEC] \
          [--chaos SPEC] [--chaos-seed S] [--retry SPEC]"
@@ -174,6 +193,8 @@ fn parse_args() -> Args {
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         sweep: None,
         trace: None,
+        traffic: None,
+        stats: false,
         emit_trace: None,
         out: None,
         validate: None,
@@ -242,6 +263,8 @@ fn parse_args() -> Args {
                 args.sweep = Some(list.split(',').map(|c| parse(c.trim(), "--sweep")).collect());
             }
             "--trace" => args.trace = Some(value(&mut it, "--trace")),
+            "--traffic" => args.traffic = Some(value(&mut it, "--traffic")),
+            "--stats" => args.stats = true,
             "--emit-trace" => args.emit_trace = Some(value(&mut it, "--emit-trace")),
             "--out" => args.out = Some(value(&mut it, "--out")),
             "--validate" => args.validate = Some(value(&mut it, "--validate")),
@@ -283,6 +306,25 @@ fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
         eprintln!("cluster: bad value '{s}' for {flag}");
         usage();
     })
+}
+
+/// Builds the configured workload as a stream: the traffic spec, a
+/// replayed trace file, or the built-in Poisson/Zipf process.
+fn build_source<'a>(
+    spec: &Option<TrafficSpec>,
+    trace: &'a Option<Trace>,
+    cfg: &ClusterConfig,
+) -> Result<Box<dyn ArrivalSource + 'a>, String> {
+    match (spec, trace) {
+        (Some(spec), _) => {
+            let suite = Suite::paper_suite_scaled(cfg.scale);
+            spec.build(&cfg.arrival, &suite)
+                .map(|s| s as Box<dyn ArrivalSource + 'a>)
+                .map_err(|e| e.to_string())
+        }
+        (None, Some(t)) => Ok(Box::new(TraceSource::new(t))),
+        (None, None) => Ok(Box::new(cfg.arrival.source())),
+    }
 }
 
 fn main() -> ExitCode {
@@ -344,8 +386,95 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // A shaped workload replaces the arrival process wholesale, so it
+    // conflicts with replaying a trace file and with the sweep (whose
+    // points regenerate the built-in process).
+    let traffic_spec = match &args.traffic {
+        None => None,
+        Some(raw) => {
+            if args.trace.is_some() {
+                eprintln!("cluster: --traffic and --trace both define the workload; pick one");
+                return ExitCode::FAILURE;
+            }
+            if args.sweep.is_some() {
+                eprintln!("cluster: --traffic is not supported with --sweep");
+                return ExitCode::FAILURE;
+            }
+            match TrafficSpec::parse(raw) {
+                Ok(spec) => {
+                    cfg.traffic = Some(raw.clone());
+                    Some(spec)
+                }
+                Err(e) => {
+                    eprintln!("cluster: --traffic: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let replay_trace = match &args.trace {
+        None => None,
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cluster: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Trace::parse(&text) {
+                Ok(trace) => Some(trace),
+                Err(e) => {
+                    eprintln!("cluster: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    if args.stats {
+        let mut source = match build_source(&traffic_spec, &replay_trace, &cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cluster: --traffic: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut accum = FingerprintAccum::new(source.functions());
+        while let Some(a) = source.next_arrival() {
+            accum.observe(a);
+        }
+        let fp = accum.finish();
+        println!(
+            "{} invocations | horizon {} cycles | rate {:.2}/Mcycle | \
+             interarrival cv2 {:.3} | zipf s_hat {:.3}",
+            fp.arrivals, fp.horizon_cycles, fp.rate_per_mcycle, fp.interarrival_cv2, fp.zipf_s_hat
+        );
+        let suite = Suite::paper_suite_scaled(cfg.scale);
+        let mut shares: Vec<(usize, u64)> =
+            accum.counts().iter().copied().enumerate().filter(|&(_, c)| c > 0).collect();
+        shares.sort_by_key(|&(i, c)| (std::cmp::Reverse(c), i));
+        for (i, count) in shares {
+            let abbr = suite.functions().get(i).map_or("?", |f| f.profile.abbr.as_str());
+            println!(
+                "{abbr:>8}  {count:>8}  {:.4}",
+                if fp.arrivals == 0 { 0.0 } else { count as f64 / fp.arrivals as f64 }
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
     if let Some(path) = &args.emit_trace {
-        let trace = cfg.arrival.generate();
+        // With --traffic the source is materialized into the same
+        // ignite-trace-v1 format, so shaped workloads can be archived
+        // and replayed through --trace like any other trace.
+        let trace = match build_source(&traffic_spec, &replay_trace, &cfg) {
+            Ok(mut s) => materialize(&mut *s),
+            Err(e) => {
+                eprintln!("cluster: --traffic: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if let Err(e) = std::fs::write(path, trace.to_text()) {
             eprintln!("cluster: cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -437,41 +566,23 @@ fn main() -> ExitCode {
         ))))),
     };
 
-    let run = |sim: &ClusterSim, sinks: &mut Sinks| -> ClusterOutcome {
-        match sinks {
-            Sinks::Plain(s) => sim.run_obs(s),
-            Sinks::Trace(s) => sim.run_obs(s),
-            Sinks::Scope(s) => sim.run_obs(s.as_mut()),
-            Sinks::Both(s) => sim.run_obs(s.as_mut()),
-        }
-    };
-    let run_replay = |sim: &ClusterSim, trace: &Trace, sinks: &mut Sinks| -> ClusterOutcome {
-        match sinks {
-            Sinks::Plain(s) => sim.run_trace_obs(trace, s),
-            Sinks::Trace(s) => sim.run_trace_obs(trace, s),
-            Sinks::Scope(s) => sim.run_trace_obs(trace, s.as_mut()),
-            Sinks::Both(s) => sim.run_trace_obs(trace, s.as_mut()),
-        }
-    };
-    let outcome = match &args.trace {
-        None => run(&sim, &mut sinks),
-        Some(path) => {
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("cluster: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match Trace::parse(&text) {
-                Ok(trace) => run_replay(&sim, &trace, &mut sinks),
-                Err(e) => {
-                    eprintln!("cluster: {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
+    let run_source =
+        |sim: &ClusterSim, source: &mut dyn ArrivalSource, sinks: &mut Sinks| -> ClusterOutcome {
+            match sinks {
+                Sinks::Plain(s) => sim.run_source_obs(source, s),
+                Sinks::Trace(s) => sim.run_source_obs(source, s),
+                Sinks::Scope(s) => sim.run_source_obs(source, s.as_mut()),
+                Sinks::Both(s) => sim.run_source_obs(source, s.as_mut()),
             }
+        };
+    let mut source = match build_source(&traffic_spec, &replay_trace, &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cluster: --traffic: {e}");
+            return ExitCode::FAILURE;
         }
     };
+    let outcome = run_source(&sim, &mut *source, &mut sinks);
 
     let abbrs: Vec<String> = outcome.functions.iter().map(|f| f.abbr.clone()).collect();
     let (trace_buf, scope_report) = match sinks {

@@ -9,8 +9,9 @@
 //!                                 significant regressions/improvements
 //!
 //! DIFF OPTIONS:
-//!   --threshold PCT   relative significance threshold (default 5)
-//!   --advisory        report but always exit 0 (for advisory CI gates)
+//!   --threshold PCT          relative significance threshold (default 5)
+//!   --advisory               report but always exit 0 (for advisory CI gates)
+//!   --allow-cross-workload   compare despite mismatched workload fingerprints
 //! ```
 //!
 //! `diff` auto-detects each input by schema tag: `ignite-cluster-v1`
@@ -18,14 +19,22 @@
 //! files. Pass two files of the same schema; only metrics named in
 //! both are compared. Exit status is 1 when significant regressions
 //! were found and `--advisory` was not given.
+//!
+//! When both inputs carry workload fingerprints (reports produced with
+//! `cluster --traffic`), their identities must match: a latency diff
+//! between runs driven by different traffic shapes is meaningless.
+//! Mismatches — including one fingerprinted report against one without —
+//! are refused with exit 1. `--advisory` does *not* bypass the refusal
+//! (it only downgrades regressions); pass `--allow-cross-workload` to
+//! compare anyway.
 
 use std::process::ExitCode;
 
-use ignite_scope::{diff, load_samples, ScopeReport};
+use ignite_scope::{diff, load_samples, workload_identity, ScopeReport};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scope validate FILE\n       scope diff OLD NEW [--threshold PCT] [--advisory]"
+        "usage: scope validate FILE\n       scope diff OLD NEW [--threshold PCT] [--advisory] [--allow-cross-workload]"
     );
     std::process::exit(2);
 }
@@ -65,6 +74,7 @@ fn main() -> ExitCode {
             let (old_path, new_path) = (&rest[0], &rest[1]);
             let mut threshold = 5.0f64;
             let mut advisory = false;
+            let mut allow_cross_workload = false;
             let mut it = rest[2..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -79,6 +89,7 @@ fn main() -> ExitCode {
                         });
                     }
                     "--advisory" => advisory = true,
+                    "--allow-cross-workload" => allow_cross_workload = true,
                     other => {
                         eprintln!("scope: unknown argument '{other}'");
                         usage();
@@ -89,6 +100,16 @@ fn main() -> ExitCode {
                 (Ok(a), Ok(b)) => (a, b),
                 (Err(code), _) | (_, Err(code)) => return code,
             };
+            let (old_id, new_id) = (workload_identity(&old_text), workload_identity(&new_text));
+            if old_id != new_id && !allow_cross_workload {
+                let show = |id: &Option<String>| id.clone().unwrap_or_else(|| "(none)".into());
+                eprintln!(
+                    "scope: workload fingerprints differ; refusing to compare\n  {old_path}: {}\n  {new_path}: {}\npass --allow-cross-workload to compare anyway",
+                    show(&old_id),
+                    show(&new_id)
+                );
+                return ExitCode::FAILURE;
+            }
             let old = match load_samples(&old_text) {
                 Ok(s) => s,
                 Err(e) => {

@@ -171,6 +171,30 @@ pub fn load_samples(text: &str) -> Result<Vec<MetricSample>, String> {
     Ok(samples)
 }
 
+/// Extracts a compact workload identity from a serialized cluster
+/// report, or `None` when the document carries no `workload`
+/// fingerprint section (legacy reports, scope reports, bench files).
+///
+/// Two reports with different identities were produced by different
+/// traffic shapes, so a metric diff between them compares apples to
+/// oranges; `scope diff` refuses such pairs unless explicitly
+/// overridden. The identity is the *configured* shape (the `--traffic`
+/// spec plus arrival seed/rate/skew inputs and stream size), not the
+/// measured statistics, so two runs of the same spec under different
+/// policies still compare cleanly.
+pub fn workload_identity(text: &str) -> Option<String> {
+    let doc = json::parse(text).ok()?;
+    let obj = doc.as_object()?;
+    let workload = json::get(obj, "workload")?.as_object()?;
+    let arrivals = json::get(workload, "arrivals").and_then(Value::as_f64)?;
+    let functions = json::get(workload, "functions").and_then(Value::as_f64)?;
+    let config = json::get(obj, "config").and_then(Value::as_object);
+    let traffic =
+        config.and_then(|c| json::get(c, "traffic")).and_then(Value::as_str).unwrap_or("(none)");
+    let seed = config.and_then(|c| num(c, "seed")).unwrap_or(0.0);
+    Some(format!("traffic={traffic} seed={seed} arrivals={arrivals} functions={functions}"))
+}
+
 /// One compared metric.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffEntry {
@@ -383,6 +407,35 @@ mod tests {
             .entries
             .iter()
             .any(|e| e.name == "function/mdsvc/mean_store_miss_cycles" && e.improvement));
+    }
+
+    #[test]
+    fn workload_identity_extracts_configured_shape() {
+        let report = r#"{"schema": "ignite-cluster-v1",
+            "config": {"seed": 42, "traffic": "mmpp:mults=1/6,dwells=300000/60000"},
+            "workload": {"schema": "ignite-workload-v1", "arrivals": 50, "functions": 20}}"#;
+        let id = workload_identity(report).expect("identity");
+        assert_eq!(
+            id,
+            "traffic=mmpp:mults=1/6,dwells=300000/60000 seed=42 arrivals=50 functions=20"
+        );
+        // Same workload under a different policy keeps the identity:
+        // nothing outside config/workload participates.
+        let other = report.replace("ignite-cluster-v1", "ignite-cluster-v2");
+        assert_eq!(workload_identity(&other).as_deref(), Some(id.as_str()));
+        // A different traffic spec, arrival count, or seed changes it.
+        for (from, to) in
+            [("mmpp:", "diurnal:"), ("\"arrivals\": 50", "\"arrivals\": 51"), ("42", "43")]
+        {
+            assert_ne!(workload_identity(&report.replace(from, to)), Some(id.clone()));
+        }
+    }
+
+    #[test]
+    fn workload_identity_is_none_without_fingerprint() {
+        assert_eq!(workload_identity(r#"{"schema": "ignite-cluster-v1", "config": {}}"#), None);
+        assert_eq!(workload_identity(r#"{"schema": "ignite-bench-v1", "results": []}"#), None);
+        assert_eq!(workload_identity("not json"), None);
     }
 
     #[test]

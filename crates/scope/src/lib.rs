@@ -29,6 +29,6 @@ pub mod report;
 pub mod slo;
 
 pub use attribution::{FunctionAttribution, InvocationAttribution, ScopeAnalyzer};
-pub use diff::{diff, load_samples, DiffEntry, DiffReport, MetricSample};
+pub use diff::{diff, load_samples, workload_identity, DiffEntry, DiffReport, MetricSample};
 pub use report::{record_scope_metrics, ScopeReport, SCOPE_SCHEMA};
 pub use slo::{SloConfig, SloTracker, Transition};

@@ -1,0 +1,387 @@
+//! Synthetic non-stationary arrival processes.
+//!
+//! All generators share one construction: a time-varying rate
+//! `λ(t) = base_rate · m(t)` realized by Lewis–Shedler thinning. A
+//! homogeneous Poisson candidate stream runs at the peak rate
+//! `base_rate · max(m)`, and each candidate at time `t` is accepted with
+//! probability `m(t) / max(m)`. The modulation function `m(t)` is
+//! supplied by a [`RateModulator`]:
+//!
+//! * [`MmppChain`] — a Markov-modulated Poisson process: states carry
+//!   rate multipliers, dwell times are exponential draws on a dedicated
+//!   forked [`SplitMix64`] stream, and state transitions cycle
+//!   deterministically so the chain is reproducible from the seed alone.
+//! * [`DiurnalWave`] — smooth day/night modulation via a triangle wave.
+//!   A triangle (pure arithmetic) rather than a sinusoid keeps the
+//!   stream bit-identical across platforms: no `sin` from a platform
+//!   libm in the hot path.
+//! * [`BurstWave`] — periodic burst trains: rate multiplied by `mult`
+//!   for the first `width` cycles of every `every`-cycle period.
+//!
+//! Determinism: candidate times, acceptance draws, and function draws
+//! all come from one forked stream (label `"TRAF"`), the MMPP dwell
+//! stream from another (label `"MMPP"`), so the arrival stream is a pure
+//! function of (seed, spec, horizon).
+
+use ignite_uarch::rng::SplitMix64;
+use ignite_workloads::arrival::pick_function;
+use ignite_workloads::{Arrival, ArrivalConfig, ArrivalSource};
+
+/// Fork label for the candidate/acceptance/function draw stream.
+const TRAFFIC_STREAM: u64 = 0x54_52_41_46; // "TRAF"
+/// Fork label for the MMPP state-dwell stream.
+const MMPP_STREAM: u64 = 0x4D_4D_50_50; // "MMPP"
+
+/// A time-varying rate multiplier `m(t) ≥ 0`, queried at non-decreasing
+/// times by the thinning loop.
+pub trait RateModulator {
+    /// The supremum of `m(t)`; the thinning envelope rate. Must be
+    /// positive and finite.
+    fn max_multiplier(&self) -> f64;
+
+    /// The multiplier at time `t` (cycles). Called with non-decreasing
+    /// `t`; implementations may advance internal state.
+    fn multiplier_at(&mut self, t: f64) -> f64;
+
+    /// Short stable name for reports and labels.
+    fn name(&self) -> &'static str;
+}
+
+/// Markov-modulated Poisson chain: state `i` multiplies the base rate by
+/// `mults[i]` and dwells for an exponential time with mean `dwells[i]`
+/// cycles; states advance cyclically (`i → i+1 mod K`).
+#[derive(Debug, Clone)]
+pub struct MmppChain {
+    mults: Vec<f64>,
+    dwell_means: Vec<f64>,
+    state: usize,
+    next_transition: f64,
+    rng: SplitMix64,
+}
+
+impl MmppChain {
+    /// Builds the chain in state 0 with its dwell stream forked from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists are empty, differ in length, contain
+    /// non-finite or negative multipliers, non-positive dwell means, or
+    /// if every multiplier is zero.
+    pub fn new(mults: Vec<f64>, dwell_means: Vec<f64>, seed: u64) -> Self {
+        assert!(!mults.is_empty(), "MMPP needs at least one state");
+        assert_eq!(mults.len(), dwell_means.len(), "MMPP mults/dwells length mismatch");
+        for &m in &mults {
+            assert!(m.is_finite() && m >= 0.0, "bad MMPP multiplier {m}");
+        }
+        for &d in &dwell_means {
+            assert!(d.is_finite() && d > 0.0, "bad MMPP dwell {d}");
+        }
+        assert!(mults.iter().any(|&m| m > 0.0), "MMPP needs a state with positive rate");
+        let mut rng = SplitMix64::new(seed).fork(MMPP_STREAM);
+        let next_transition = exponential(&mut rng, dwell_means[0]);
+        MmppChain { mults, dwell_means, state: 0, next_transition, rng }
+    }
+}
+
+/// Exponential draw with the given mean; `next_f64` is in `[0, 1)` so
+/// the log argument stays in `(0, 1]`.
+fn exponential(rng: &mut SplitMix64, mean: f64) -> f64 {
+    -mean * (1.0 - rng.next_f64()).ln()
+}
+
+impl RateModulator for MmppChain {
+    fn max_multiplier(&self) -> f64 {
+        self.mults.iter().copied().fold(0.0, f64::max)
+    }
+
+    fn multiplier_at(&mut self, t: f64) -> f64 {
+        while t >= self.next_transition {
+            self.state = (self.state + 1) % self.mults.len();
+            self.next_transition += exponential(&mut self.rng, self.dwell_means[self.state]);
+        }
+        self.mults[self.state]
+    }
+
+    fn name(&self) -> &'static str {
+        "mmpp"
+    }
+}
+
+/// Diurnal triangle-wave modulation: `m(t)` ramps linearly from
+/// `1 - amp` up to `1 + amp` over the first half of each period and back
+/// down over the second, starting mid-ramp at `m(0) = 1`.
+#[derive(Debug, Clone)]
+pub struct DiurnalWave {
+    period: f64,
+    amp: f64,
+}
+
+impl DiurnalWave {
+    /// Builds the wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period` is positive and finite and `amp` is in
+    /// `[0, 1]` (so the rate never goes negative).
+    pub fn new(period: f64, amp: f64) -> Self {
+        assert!(period.is_finite() && period > 0.0, "bad diurnal period {period}");
+        assert!((0.0..=1.0).contains(&amp), "diurnal amp {amp} outside [0, 1]");
+        DiurnalWave { period, amp }
+    }
+}
+
+impl RateModulator for DiurnalWave {
+    fn max_multiplier(&self) -> f64 {
+        1.0 + self.amp
+    }
+
+    fn multiplier_at(&mut self, t: f64) -> f64 {
+        let phase = (t / self.period).fract();
+        // Triangle in [-1, 1] starting mid-ramp: 0 at phase 0, peak at
+        // 0.25, trough at 0.75.
+        let tri = if phase < 0.25 {
+            4.0 * phase
+        } else if phase < 0.75 {
+            2.0 - 4.0 * phase
+        } else {
+            4.0 * phase - 4.0
+        };
+        1.0 + self.amp * tri
+    }
+
+    fn name(&self) -> &'static str {
+        "diurnal"
+    }
+}
+
+/// Periodic burst train: `m(t) = mult` during the first `width` cycles
+/// of each `every`-cycle period, 1 otherwise.
+#[derive(Debug, Clone)]
+pub struct BurstWave {
+    every: f64,
+    width: f64,
+    mult: f64,
+}
+
+impl BurstWave {
+    /// Builds the train.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < width <= every`, both finite, and `mult` is
+    /// finite and ≥ 1.
+    pub fn new(every: f64, width: f64, mult: f64) -> Self {
+        assert!(every.is_finite() && every > 0.0, "bad burst period {every}");
+        assert!(width.is_finite() && width > 0.0 && width <= every, "bad burst width {width}");
+        assert!(mult.is_finite() && mult >= 1.0, "bad burst multiplier {mult}");
+        BurstWave { every, width, mult }
+    }
+}
+
+impl RateModulator for BurstWave {
+    fn max_multiplier(&self) -> f64 {
+        self.mult
+    }
+
+    fn multiplier_at(&mut self, t: f64) -> f64 {
+        if t % self.every < self.width {
+            self.mult
+        } else {
+            1.0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "burst"
+    }
+}
+
+/// A modulated Poisson [`ArrivalSource`]: thinning over a candidate
+/// stream at the envelope rate, Zipf function draw per accepted arrival.
+/// O(1) state regardless of stream length.
+#[derive(Debug, Clone)]
+pub struct ModulatedSource<M: RateModulator> {
+    functions: usize,
+    cumulative: Vec<f64>,
+    envelope_gap: f64,
+    max_mult: f64,
+    horizon: f64,
+    modulator: M,
+    rng: SplitMix64,
+    t: f64,
+    done: bool,
+}
+
+impl<M: RateModulator> ModulatedSource<M> {
+    /// Builds the source: base rate, Zipf skew, horizon, and seed come
+    /// from `cfg`; the shape comes from `modulator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`ArrivalConfig::zipf_cumulative`] conditions, on a
+    /// non-positive/non-finite base rate, or on a non-positive/non-finite
+    /// envelope multiplier.
+    pub fn new(cfg: &ArrivalConfig, modulator: M) -> Self {
+        assert!(
+            cfg.rate_per_mcycle > 0.0 && cfg.rate_per_mcycle.is_finite(),
+            "bad rate {}",
+            cfg.rate_per_mcycle
+        );
+        let max_mult = modulator.max_multiplier();
+        assert!(max_mult > 0.0 && max_mult.is_finite(), "bad envelope multiplier {max_mult}");
+        ModulatedSource {
+            functions: cfg.functions,
+            cumulative: cfg.zipf_cumulative(),
+            envelope_gap: 1.0e6 / (cfg.rate_per_mcycle * max_mult),
+            max_mult,
+            horizon: cfg.horizon_cycles as f64,
+            modulator,
+            rng: SplitMix64::new(cfg.seed).fork(TRAFFIC_STREAM),
+            t: 0.0,
+            done: false,
+        }
+    }
+}
+
+impl<M: RateModulator> ArrivalSource for ModulatedSource<M> {
+    fn functions(&self) -> usize {
+        self.functions
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.t += exponential(&mut self.rng, self.envelope_gap);
+            if self.t >= self.horizon {
+                self.done = true;
+                return None;
+            }
+            // Thin: accept the candidate with probability m(t)/max(m).
+            let accept = self.rng.next_f64();
+            let m = self.modulator.multiplier_at(self.t);
+            if accept * self.max_mult < m {
+                let v = self.rng.next_f64();
+                return Some(Arrival {
+                    cycle: self.t as u64,
+                    function: pick_function(&self.cumulative, v),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> ArrivalConfig {
+        ArrivalConfig {
+            rate_per_mcycle: 50.0,
+            horizon_cycles: 8_000_000,
+            ..ArrivalConfig::default()
+        }
+    }
+
+    fn drain<S: ArrivalSource>(mut source: S) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        while let Some(a) = source.next_arrival() {
+            out.push(a);
+        }
+        out
+    }
+
+    fn default_mmpp(cfg: &ArrivalConfig) -> ModulatedSource<MmppChain> {
+        ModulatedSource::new(
+            cfg,
+            MmppChain::new(vec![1.0, 6.0], vec![300_000.0, 60_000.0], cfg.seed),
+        )
+    }
+
+    #[test]
+    fn mmpp_same_seed_identical_stream() {
+        let cfg = base_cfg();
+        assert_eq!(drain(default_mmpp(&cfg)), drain(default_mmpp(&cfg)));
+    }
+
+    #[test]
+    fn mmpp_different_seed_differs() {
+        let a = drain(default_mmpp(&base_cfg()));
+        let b = drain(default_mmpp(&ArrivalConfig { seed: 43, ..base_cfg() }));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_in_range() {
+        let cfg = base_cfg();
+        let arrivals = drain(default_mmpp(&cfg));
+        assert!(!arrivals.is_empty());
+        for pair in arrivals.windows(2) {
+            assert!(pair[0].cycle <= pair[1].cycle);
+        }
+        assert!(arrivals.iter().all(|a| (a.function as usize) < cfg.functions));
+        assert!(arrivals.iter().all(|a| a.cycle < cfg.horizon_cycles));
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // A 2-state chain alternating 1x/6x must raise the inter-arrival
+        // CV² well above the Poisson value of 1.
+        let cfg = ArrivalConfig { horizon_cycles: 60_000_000, ..base_cfg() };
+        let arrivals = drain(default_mmpp(&cfg));
+        let gaps: Vec<f64> =
+            arrivals.windows(2).map(|p| (p[1].cycle - p[0].cycle) as f64).collect();
+        let n = gaps.len() as f64;
+        let mean = gaps.iter().sum::<f64>() / n;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
+        let cv2 = var / (mean * mean);
+        assert!(cv2 > 1.3, "cv2 {cv2} not bursty");
+    }
+
+    #[test]
+    fn diurnal_wave_shape() {
+        let mut wave = DiurnalWave::new(1_000_000.0, 0.5);
+        assert_eq!(wave.multiplier_at(0.0), 1.0);
+        assert_eq!(wave.multiplier_at(250_000.0), 1.5);
+        assert_eq!(wave.multiplier_at(750_000.0), 0.5);
+        assert_eq!(wave.multiplier_at(1_250_000.0), 1.5);
+        assert_eq!(wave.max_multiplier(), 1.5);
+    }
+
+    #[test]
+    fn burst_wave_shape() {
+        let mut wave = BurstWave::new(500_000.0, 50_000.0, 8.0);
+        assert_eq!(wave.multiplier_at(0.0), 8.0);
+        assert_eq!(wave.multiplier_at(49_999.0), 8.0);
+        assert_eq!(wave.multiplier_at(50_000.0), 1.0);
+        assert_eq!(wave.multiplier_at(499_999.0), 1.0);
+        assert_eq!(wave.multiplier_at(500_001.0), 8.0);
+    }
+
+    #[test]
+    fn burst_raises_arrival_count() {
+        let cfg = base_cfg();
+        let plain = drain(ModulatedSource::new(&cfg, BurstWave::new(400_000.0, 40_000.0, 1.0)));
+        let bursty = drain(ModulatedSource::new(&cfg, BurstWave::new(400_000.0, 40_000.0, 8.0)));
+        assert!(
+            bursty.len() > plain.len() + plain.len() / 2,
+            "{} vs {}",
+            bursty.len(),
+            plain.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "MMPP mults/dwells length mismatch")]
+    fn mmpp_rejects_length_mismatch() {
+        MmppChain::new(vec![1.0, 2.0], vec![100.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn diurnal_rejects_overdeep_amp() {
+        DiurnalWave::new(1000.0, 1.5);
+    }
+}

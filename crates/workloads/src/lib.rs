@@ -40,7 +40,7 @@ pub mod gen;
 pub mod suite;
 pub mod trace;
 
-pub use arrival::{Arrival, ArrivalConfig, Trace};
+pub use arrival::{Arrival, ArrivalConfig, ArrivalSource, PoissonZipfSource, Trace, TraceSource};
 pub use cfg::{BasicBlock, CodeImage, Terminator};
 pub use suite::{FunctionProfile, Language, Suite, SuiteFunction};
 pub use trace::{BlockExec, ExecutedBranch, TraceWalker};
