@@ -355,6 +355,34 @@ mod tests {
         assert_eq!(small.window_for(0), Some(HYBRID_MIN_WINDOW));
     }
 
+    /// Audit pin: the hybrid window clamp is exact at both power-of-two
+    /// boundaries. A gap in the bucket just below the floor rounds up to
+    /// exactly `HYBRID_MIN_WINDOW` (no off-by-one shift past it), a gap
+    /// whose bucket upper bound IS the floor passes through unclamped,
+    /// and gaps at or beyond the ceiling bucket — including the
+    /// saturating `u64::MAX` top bucket — pin to `HYBRID_MAX_WINDOW`.
+    #[test]
+    fn hybrid_window_clamps_exactly_at_the_power_of_two_boundaries() {
+        let fill = |gap: u64| {
+            let mut h = IdleHist::default();
+            for _ in 0..HYBRID_MIN_OBSERVATIONS {
+                h.record(gap);
+            }
+            h.p99_window().expect("enough observations")
+        };
+        // Bucket [2^9, 2^10) rounds up to 2^10 == the floor: clamp is a
+        // no-op, not a push to the next bucket.
+        assert_eq!(fill((1 << 10) - 1), HYBRID_MIN_WINDOW);
+        // Bucket [2^10, 2^11) rounds up to 2^11, already above the floor.
+        assert_eq!(fill(1 << 10), 1 << 11);
+        // Bucket [2^21, 2^22) rounds up to exactly the ceiling.
+        assert_eq!(fill((1 << 22) - 1), HYBRID_MAX_WINDOW);
+        // Bucket [2^22, 2^23) rounds up past the ceiling and clamps back.
+        assert_eq!(fill(1 << 22), HYBRID_MAX_WINDOW);
+        // The saturating top bucket (upper bound u64::MAX) clamps too.
+        assert_eq!(fill(u64::MAX), HYBRID_MAX_WINDOW);
+    }
+
     #[test]
     fn refreshing_an_unconsumed_slot_charges_the_old_episode() {
         let mut rt = KeepAliveRt::new(KeepAliveKind::Fixed { window_cycles: 100 }, 1, 1);

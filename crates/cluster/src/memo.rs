@@ -1,0 +1,497 @@
+//! Invocation-result memoization: skip the cycle-accurate engine when an
+//! identical invocation has already been simulated.
+//!
+//! # The key, and why it is sound
+//!
+//! [`ignite_engine::sim::run_invocation_obs`] is a pure function of
+//! `(machine state, prepared function, invocation index, InvocationCtx)`
+//! — it reads nothing else and its result is bit-identical whether or
+//! not observability is wired. A memo key therefore has to pin exactly
+//! those inputs. Machine state is the hard one: hashing a [`Machine`]
+//! per dispatch would cost more than the run it saves. Instead each core
+//! carries an incremental **history digest**: an FNV-1a fold, reseeded
+//! on core crash, over everything that mutated the machine since it was
+//! fresh — per dispatch, the function index, that function's global
+//! invocation count, the chaos `bypass_ignite` flag, and a digest of the
+//! metadata installed before the run (or a none marker). Equal digests
+//! on fresh-equal machines ⇒ the same mutation sequence ⇒ equal machine
+//! state.
+//!
+//! The same fold also pins the *raw* `data_cold_fraction`: coldness is a
+//! pure function of the core's dispatch sequence (interleaving distance)
+//! and `distance_saturation` (part of the config fingerprint), both
+//! determined by the key. That is why the key's quantized
+//! [`MemoKey::cold_bucket`] is safe — two contexts can only share a
+//! bucket *and* the rest of the key if their raw fractions are already
+//! equal, so quantization can never alias two different results. The
+//! bucket exists to make the key an honest `Eq + Hash` value:
+//! `InvocationCtx`'s derived `PartialEq` over a raw `f64` admits NaN
+//! (never equal to itself) and sub-epsilon drift; [`MemoKey::new`]
+//! rejects NaN at construction and buckets the rest.
+//!
+//! # Staleness
+//!
+//! On a cache hit the engine is skipped, so the core's *actual* machine
+//! no longer matches its digest — the core is marked stale. Within one
+//! run that is harmless: the invocation count is folded into the digest,
+//! so no two dispatches of a run share a key, and hits only happen when
+//! the cache was warmed by a *previous* run. A run that replays a warmed
+//! cache and then diverges (a cache miss on a stale core) cannot run the
+//! engine on the stale machine; [`ClusterSim::run_source_memo_obs`]
+//! aborts the speculative pass and re-runs plainly (lookups off, stores
+//! on). Arrivals and events are held replayable/transactional for
+//! exactly this case — see [`RecordingSource`] and
+//! [`ignite_obs::BufferingSink`].
+//!
+//! [`Machine`]: ignite_engine::machine::Machine
+//! [`ClusterSim::run_source_memo_obs`]: crate::ClusterSim::run_source_memo_obs
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use ignite_core::codec::Metadata;
+use ignite_engine::config::FrontEndConfig;
+use ignite_engine::metrics::InvocationResult;
+use ignite_obs::Event;
+use ignite_uarch::UarchConfig;
+use ignite_workloads::arrival::{Arrival, ArrivalSource};
+
+/// FNV-1a 64-bit offset basis: the history digest of a fresh machine.
+pub const HISTORY_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one `u64` into an FNV-1a digest, byte by byte.
+#[inline]
+pub fn fold_u64(mut digest: u64, value: u64) -> u64 {
+    for b in value.to_le_bytes() {
+        digest = (digest ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    digest
+}
+
+/// Folds a byte slice into an FNV-1a digest.
+#[inline]
+pub fn fold_bytes(mut digest: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        digest = (digest ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    digest
+}
+
+/// Digest of one installed metadata region: enough structure (checksum,
+/// entry count, byte length, codec widths) that two regions with equal
+/// digests decode identically for replay purposes.
+fn metadata_digest(md: &Metadata) -> u64 {
+    let cfg = md.codec_config();
+    let mut d = fold_u64(HISTORY_SEED, u64::from(md.checksum()));
+    d = fold_u64(d, md.entries() as u64);
+    d = fold_u64(d, md.byte_len() as u64);
+    d = fold_u64(d, u64::from(cfg.src_delta_bits));
+    fold_u64(d, u64::from(cfg.tgt_delta_bits))
+}
+
+/// Advances a core's history digest across one dispatch: the function
+/// that ran, its global invocation count (the trace-walker seed), the
+/// chaos bypass flag, and what was installed into the replay engine
+/// beforehand. Everything else the engine reads is either fresh-machine
+/// state (pinned by the crash reseed) or derived from this sequence.
+pub fn dispatch_digest(
+    history: u64,
+    function: u32,
+    invocation_count: u64,
+    bypass_ignite: bool,
+    installed: Option<&Metadata>,
+) -> u64 {
+    let mut d = fold_u64(history, u64::from(function));
+    d = fold_u64(d, invocation_count);
+    d = fold_u64(d, u64::from(bypass_ignite));
+    match installed {
+        Some(md) => fold_u64(d, metadata_digest(md)),
+        // Distinct from any metadata digest's fold (tagged).
+        None => fold_u64(d, u64::MAX),
+    }
+}
+
+/// Fingerprint of everything configuration-side that shapes an engine
+/// result: the microarchitecture, the front-end mechanisms and policy,
+/// the suite scale (which fixes the prepared functions), and the
+/// interleaving saturation (which maps dispatch distance to coldness).
+/// Cached results only ever cross runs that share this fingerprint.
+pub fn config_fingerprint(
+    uarch: &UarchConfig,
+    fe: &FrontEndConfig,
+    scale: f64,
+    distance_saturation: f64,
+) -> u64 {
+    let mut d = fold_bytes(HISTORY_SEED, format!("{uarch:?}").as_bytes());
+    d = fold_bytes(d, format!("{fe:?}").as_bytes());
+    d = fold_u64(d, scale.to_bits());
+    fold_u64(d, distance_saturation.to_bits())
+}
+
+/// Number of buckets the cold fraction is quantized into: `[0, 1]`
+/// maps to `0..=4096`.
+pub const COLD_QUANTA: u32 = 4096;
+
+/// The reason a [`MemoKey`] could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoKeyError {
+    /// `data_cold_fraction` was NaN — a value that is never equal to
+    /// itself has no place in an `Eq` key.
+    NanColdFraction,
+}
+
+impl std::fmt::Display for MemoKeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoKeyError::NanColdFraction => {
+                write!(f, "data_cold_fraction is NaN; memo keys require a comparable value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoKeyError {}
+
+/// An honest `Eq + Hash` identity for one engine invocation. See the
+/// module docs for why the quantized bucket cannot alias distinct
+/// results when the rest of the key matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    /// Suite function index.
+    pub function: u32,
+    /// `data_cold_fraction` quantized to [`COLD_QUANTA`] buckets.
+    /// Negative zero buckets with positive zero; NaN is rejected by
+    /// [`MemoKey::new`].
+    pub cold_bucket: u16,
+    /// The chaos circuit-breaker bypass flag (`InvocationCtx::bypass_ignite`).
+    pub bypass: bool,
+    /// [`config_fingerprint`] of the run.
+    pub config_fp: u64,
+    /// The core's [`dispatch_digest`] at this dispatch.
+    pub state_digest: u64,
+}
+
+impl MemoKey {
+    /// Builds a key, quantizing the cold fraction (clamped to `[0, 1]`)
+    /// and rejecting NaN.
+    pub fn new(
+        function: u32,
+        data_cold_fraction: f64,
+        bypass: bool,
+        config_fp: u64,
+        state_digest: u64,
+    ) -> Result<MemoKey, MemoKeyError> {
+        if data_cold_fraction.is_nan() {
+            return Err(MemoKeyError::NanColdFraction);
+        }
+        let cold = data_cold_fraction.clamp(0.0, 1.0);
+        let cold_bucket = (cold * f64::from(COLD_QUANTA)).round() as u16;
+        Ok(MemoKey { function, cold_bucket, bypass, config_fp, state_digest })
+    }
+}
+
+/// One cached invocation: the engine result, the (merged) metadata the
+/// engine handed back for writeback, and the engine's event stream with
+/// timestamps relative to the invocation's start on the cluster clock.
+/// Deliberately machine-free — a snapshot of the post-run [`Machine`]
+/// would dwarf the cost of just re-running the engine.
+///
+/// [`Machine`]: ignite_engine::machine::Machine
+#[derive(Debug, Clone)]
+pub struct MemoEntry {
+    /// The engine measurements.
+    pub res: InvocationResult,
+    /// What `take_metadata` returned after the run (before any
+    /// store-availability gating, which is cluster-side and re-executed).
+    pub taken: Option<Metadata>,
+    /// Engine events with `ts` relative to `now + fetch_cycles`; the
+    /// replaying dispatch rebases them onto its own clock and track.
+    pub events: Vec<Event>,
+}
+
+/// Counters for one memoized run, serialized into the report's `memo`
+/// section and the `ignite_memo_*` Prometheus families.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Cache probes performed.
+    pub lookups: u64,
+    /// Probes that found a usable entry.
+    pub hits: u64,
+    /// Probes that found nothing.
+    pub misses: u64,
+    /// Entries written into the cache.
+    pub inserts: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Speculative passes abandoned because a miss landed on a stale
+    /// core, forcing a plain re-run.
+    pub stale_reruns: u64,
+    /// Engine cycles not re-simulated thanks to hits (the sum of cached
+    /// `res.cycles` over hits).
+    pub cycles_saved: u64,
+}
+
+const SHARDS: usize = 16;
+
+struct Shard {
+    map: HashMap<MemoKey, MemoEntry>,
+    /// Insertion order, for bounded FIFO eviction.
+    order: VecDeque<MemoKey>,
+}
+
+/// A bounded, sharded, thread-safe invocation cache. Sharding keeps
+/// lock contention low when a capacity sweep shares one cache across
+/// worker threads; shard selection is a deterministic FNV fold of the
+/// key, so eviction behavior is reproducible run to run.
+pub struct MemoCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+}
+
+impl MemoCache {
+    /// Default total entry capacity (entries are a few hundred bytes to
+    /// a few KB each, dominated by the writeback metadata clone).
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates a cache bounded to roughly `capacity` entries total
+    /// (rounded up to a multiple of the shard count, minimum one entry
+    /// per shard).
+    pub fn new(capacity: usize) -> Self {
+        let capacity_per_shard = capacity.div_ceil(SHARDS).max(1);
+        let shards = (0..SHARDS)
+            .map(|_| Mutex::new(Shard { map: HashMap::new(), order: VecDeque::new() }))
+            .collect();
+        MemoCache { shards, capacity_per_shard }
+    }
+
+    fn shard_for(&self, key: &MemoKey) -> &Mutex<Shard> {
+        let mut d = fold_u64(HISTORY_SEED, key.state_digest);
+        d = fold_u64(d, key.config_fp);
+        d = fold_u64(d, u64::from(key.function));
+        &self.shards[(d % SHARDS as u64) as usize]
+    }
+
+    /// Returns a clone of the cached entry, if present.
+    pub fn lookup(&self, key: &MemoKey) -> Option<MemoEntry> {
+        self.shard_for(key).lock().expect("memo shard poisoned").map.get(key).cloned()
+    }
+
+    /// Inserts (or replaces) an entry, evicting oldest-inserted entries
+    /// past the shard bound; returns how many were evicted.
+    pub fn insert(&self, key: MemoKey, entry: MemoEntry) -> u64 {
+        let mut shard = self.shard_for(&key).lock().expect("memo shard poisoned");
+        if shard.map.insert(key, entry).is_none() {
+            shard.order.push_back(key);
+        }
+        let mut evicted = 0;
+        while shard.map.len() > self.capacity_per_shard {
+            let victim = shard.order.pop_front().expect("order tracks map");
+            if shard.map.remove(&victim).is_some() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Total entries resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("memo shard poisoned").map.len()).sum()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for MemoCache {
+    fn default() -> Self {
+        MemoCache::new(MemoCache::DEFAULT_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for MemoCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoCache")
+            .field("entries", &self.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .finish()
+    }
+}
+
+/// Per-run memoization state threaded through the dispatch loop.
+pub(crate) struct MemoRun<'c> {
+    pub cache: &'c MemoCache,
+    pub stats: MemoStats,
+    /// Whether dispatches may consume cached entries (`false` on the
+    /// plain re-run after a stale abort: stores still warm the cache,
+    /// but nothing is replayed).
+    pub lookups: bool,
+    /// Set by a dispatch that hit a miss on a stale core; the run loop
+    /// unwinds immediately and the caller re-runs plainly.
+    pub aborted: bool,
+    pub config_fp: u64,
+}
+
+/// Wraps an [`ArrivalSource`], remembering every arrival it hands out so
+/// an aborted speculative pass can replay the exact same stream.
+pub(crate) struct RecordingSource<'a, A: ArrivalSource + ?Sized> {
+    inner: &'a mut A,
+    recorded: Vec<Arrival>,
+}
+
+impl<'a, A: ArrivalSource + ?Sized> RecordingSource<'a, A> {
+    pub fn new(inner: &'a mut A) -> Self {
+        RecordingSource { inner, recorded: Vec::new() }
+    }
+
+    /// Converts into a source that first replays everything recorded,
+    /// then continues draining the original stream.
+    pub fn into_replay(self) -> ReplaySource<'a, A> {
+        ReplaySource { inner: self.inner, recorded: self.recorded, next: 0 }
+    }
+}
+
+impl<A: ArrivalSource + ?Sized> ArrivalSource for RecordingSource<'_, A> {
+    fn functions(&self) -> usize {
+        self.inner.functions()
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let a = self.inner.next_arrival();
+        if let Some(a) = a {
+            self.recorded.push(a);
+        }
+        a
+    }
+}
+
+/// The replay half of [`RecordingSource`].
+pub(crate) struct ReplaySource<'a, A: ArrivalSource + ?Sized> {
+    inner: &'a mut A,
+    recorded: Vec<Arrival>,
+    next: usize,
+}
+
+impl<A: ArrivalSource + ?Sized> ArrivalSource for ReplaySource<'_, A> {
+    fn functions(&self) -> usize {
+        self.inner.functions()
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        if self.next < self.recorded.len() {
+            let a = self.recorded[self.next];
+            self.next += 1;
+            return Some(a);
+        }
+        self.inner.next_arrival()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ignite_engine::sim::InvocationCtx;
+
+    #[test]
+    fn sub_quantum_contexts_share_a_key_where_partial_eq_splits() {
+        // The bug this satellite fixes: `InvocationCtx`'s derived
+        // `PartialEq` over a raw f64 treats sub-quantum drift as a
+        // different context, which would split cache entries that are
+        // physically the same invocation.
+        let a = InvocationCtx { data_cold_fraction: 0.5, bypass_ignite: false };
+        let drift = 0.5 + 1e-9; // far below the 1/4096 quantum
+        let b = InvocationCtx { data_cold_fraction: drift, bypass_ignite: false };
+        assert_ne!(a, b, "derived PartialEq splits on sub-quantum drift");
+        let ka = MemoKey::new(0, a.data_cold_fraction, a.bypass_ignite, 1, 2).unwrap();
+        let kb = MemoKey::new(0, b.data_cold_fraction, b.bypass_ignite, 1, 2).unwrap();
+        assert_eq!(ka, kb, "the quantized key must not split on sub-quantum drift");
+    }
+
+    #[test]
+    fn nan_is_rejected_at_construction() {
+        assert_eq!(
+            MemoKey::new(0, f64::NAN, false, 1, 2),
+            Err(MemoKeyError::NanColdFraction),
+            "a NaN cold fraction must never become an Eq key"
+        );
+    }
+
+    #[test]
+    fn negative_zero_buckets_with_positive_zero() {
+        let pos = MemoKey::new(0, 0.0, false, 1, 2).unwrap();
+        let neg = MemoKey::new(0, -0.0, false, 1, 2).unwrap();
+        assert_eq!(pos, neg);
+        assert_eq!(pos.cold_bucket, 0);
+    }
+
+    #[test]
+    fn out_of_range_fractions_clamp_to_the_bucket_range() {
+        assert_eq!(MemoKey::new(0, -3.0, false, 1, 2).unwrap().cold_bucket, 0);
+        assert_eq!(MemoKey::new(0, 7.5, false, 1, 2).unwrap().cold_bucket, COLD_QUANTA as u16);
+        assert_eq!(MemoKey::new(0, 1.0, false, 1, 2).unwrap().cold_bucket, COLD_QUANTA as u16);
+    }
+
+    #[test]
+    fn distinct_buckets_for_distinct_quanta() {
+        let a = MemoKey::new(0, 0.25, false, 1, 2).unwrap();
+        let b = MemoKey::new(0, 0.25 + 1.0 / f64::from(COLD_QUANTA), false, 1, 2).unwrap();
+        assert_ne!(a.cold_bucket, b.cold_bucket);
+    }
+
+    #[test]
+    fn dispatch_digest_distinguishes_every_folded_input() {
+        let h = HISTORY_SEED;
+        let base = dispatch_digest(h, 1, 0, false, None);
+        assert_ne!(base, dispatch_digest(h, 2, 0, false, None), "function index folds");
+        assert_ne!(base, dispatch_digest(h, 1, 1, false, None), "invocation count folds");
+        assert_ne!(base, dispatch_digest(h, 1, 0, true, None), "bypass flag folds");
+        assert_ne!(
+            dispatch_digest(base, 1, 1, false, None),
+            dispatch_digest(h, 1, 1, false, None),
+            "history chains"
+        );
+    }
+
+    fn entry(cycles: u64) -> MemoEntry {
+        let res = InvocationResult { cycles, ..InvocationResult::default() };
+        MemoEntry { res, taken: None, events: Vec::new() }
+    }
+
+    fn key(n: u64) -> MemoKey {
+        MemoKey::new((n % 7) as u32, 0.0, false, 1, n).unwrap()
+    }
+
+    #[test]
+    fn cache_round_trips_and_reports_len() {
+        let cache = MemoCache::new(64);
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&key(1)).is_none());
+        assert_eq!(cache.insert(key(1), entry(42)), 0);
+        assert_eq!(cache.lookup(&key(1)).expect("present").res.cycles, 42);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_eviction_is_bounded_and_counted() {
+        // One entry per shard: every shard collision evicts.
+        let cache = MemoCache::new(1);
+        let mut evicted = 0;
+        for n in 0..256 {
+            evicted += cache.insert(key(n), entry(n));
+        }
+        assert!(cache.len() <= SHARDS, "bound respected: {} entries", cache.len());
+        assert_eq!(evicted as usize, 256 - cache.len(), "every displaced entry was counted");
+    }
+
+    #[test]
+    fn cache_replacing_a_key_does_not_grow_the_order_queue() {
+        let cache = MemoCache::new(16);
+        for _ in 0..100 {
+            cache.insert(key(3), entry(3));
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -25,7 +25,16 @@
 //!   --horizon CYCLES   arrival horizon (default 4000000)
 //!   --capacity BYTES   metadata store capacity (default 262144)
 //!   --policy P         eviction: lru, size-aware, pin-hot (default lru)
-//!   --threads N        sweep worker threads (default: all cores)
+//!   --memo             memoize invocation results across the run (and
+//!                      across sweep points): a bounded, sharded cache
+//!                      keyed by (function, quantized context, config
+//!                      fingerprint, machine-state digest). Output is
+//!                      byte-identical to a non-memoized run; the report
+//!                      gains a 'memo' counter section and the summary a
+//!                      memoization_cycles_saved figure
+//!   --jobs N           sweep worker threads (default 1; the sweep
+//!                      output is byte-identical at any job count)
+//!   --threads N        alias for --jobs
 //!   --sweep B1,B2,...  run a store-capacity sweep, print a table
 //!   --trace FILE       replay an ignite-trace-v1 file
 //!   --traffic SPEC     drive the run from a shaped workload instead of
@@ -75,13 +84,15 @@ use std::process::ExitCode;
 
 use ignite_chaos::{parse_chaos_spec, parse_retry_spec, ChaosPlan};
 use ignite_cluster::{
-    metrics_for, record_metrics, record_trace_health, sweep_capacities, validate_trace,
-    ClusterConfig, ClusterOutcome, ClusterReport, ClusterSim, KeepAliveKind, ObsSummary,
-    SchedulerKind,
+    metrics_for, record_metrics, record_trace_health, sweep_capacities, sweep_capacities_memo,
+    validate_trace, ClusterConfig, ClusterOutcome, ClusterReport, ClusterSim, KeepAliveKind,
+    MemoCache, ObsSummary, SchedulerKind,
 };
 use ignite_core::EvictionPolicy;
 use ignite_engine::config::FrontEndConfig;
-use ignite_obs::{to_chrome_json, ChromeOptions, MetricsRegistry, NullSink, TraceBuffer};
+use ignite_obs::{
+    to_chrome_json, ChromeOptions, EventSink, MetricsRegistry, NullSink, TraceBuffer,
+};
 use ignite_scope::{record_scope_metrics, ScopeAnalyzer, ScopeReport, SloConfig};
 use ignite_traffic::{materialize, FingerprintAccum, TrafficSpec};
 use ignite_workloads::arrival::{ArrivalSource, Trace, TraceSource};
@@ -94,6 +105,7 @@ const TRACE_BUFFER_EVENTS: usize = 1 << 18;
 
 struct Args {
     cfg: ClusterConfig,
+    memo: bool,
     threads: usize,
     sweep: Option<Vec<usize>>,
     trace: Option<String>,
@@ -115,7 +127,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: cluster [--cores N] [--nodes N] [--scheduler P] [--keepalive P] \
          [--fe NAME] [--scale F] [--seed S] [--rate R] \
-         [--zipf S] [--horizon CYCLES] [--capacity BYTES] [--policy P] [--threads N] \
+         [--zipf S] [--horizon CYCLES] [--capacity BYTES] [--policy P] [--memo] \
+         [--jobs N] [--threads N] \
          [--sweep B1,B2,...] [--trace FILE] [--traffic SPEC] [--stats] \
          [--emit-trace FILE] [--out FILE] \
          [--validate FILE] [--trace-out FILE] [--metrics-out FILE] \
@@ -190,7 +203,10 @@ fn front_end(name: &str) -> Option<FrontEndConfig> {
 fn parse_args() -> Args {
     let mut args = Args {
         cfg: ClusterConfig::default(),
-        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        memo: false,
+        // Single-threaded by default: the sweep output is byte-identical
+        // at any job count, so parallelism is strictly opt-in speed.
+        threads: 1,
         sweep: None,
         trace: None,
         traffic: None,
@@ -257,6 +273,8 @@ fn parse_args() -> Args {
                     usage();
                 });
             }
+            "--memo" => args.memo = true,
+            "--jobs" => args.threads = parse(&value(&mut it, "--jobs"), "--jobs"),
             "--threads" => args.threads = parse(&value(&mut it, "--threads"), "--threads"),
             "--sweep" => {
                 let list = value(&mut it, "--sweep");
@@ -496,7 +514,14 @@ fn main() -> ExitCode {
         }
         // Independent sweep points shard across threads; a panicking point
         // reports its failure without tearing down the rest.
-        let results = sweep_capacities(&cfg, capacities, args.threads);
+        let results = if args.memo {
+            // Sweep points share one cache: points differ only in store
+            // capacity, so their dispatch schedules share long prefixes.
+            let cache = MemoCache::default();
+            sweep_capacities_memo(&cfg, capacities, args.threads, &cache)
+        } else {
+            sweep_capacities(&cfg, capacities, args.threads)
+        };
         let mut metrics = args.metrics_out.as_ref().map(|_| MetricsRegistry::new());
         println!(
             "{:>12} {:>9} {:>10} {:>14} {:>14} {:>12}",
@@ -566,13 +591,26 @@ fn main() -> ExitCode {
         ))))),
     };
 
+    fn run_one<S: EventSink>(
+        sim: &ClusterSim,
+        source: &mut dyn ArrivalSource,
+        sink: &mut S,
+        memo: Option<&MemoCache>,
+    ) -> ClusterOutcome {
+        match memo {
+            Some(cache) => sim.run_source_memo_obs(source, sink, cache),
+            None => sim.run_source_obs(source, sink),
+        }
+    }
+    let memo_cache = args.memo.then(MemoCache::default);
     let run_source =
         |sim: &ClusterSim, source: &mut dyn ArrivalSource, sinks: &mut Sinks| -> ClusterOutcome {
+            let memo = memo_cache.as_ref();
             match sinks {
-                Sinks::Plain(s) => sim.run_source_obs(source, s),
-                Sinks::Trace(s) => sim.run_source_obs(source, s),
-                Sinks::Scope(s) => sim.run_source_obs(source, s.as_mut()),
-                Sinks::Both(s) => sim.run_source_obs(source, s.as_mut()),
+                Sinks::Plain(s) => run_one(sim, source, s, memo),
+                Sinks::Trace(s) => run_one(sim, source, s, memo),
+                Sinks::Scope(s) => run_one(sim, source, s.as_mut(), memo),
+                Sinks::Both(s) => run_one(sim, source, s.as_mut(), memo),
             }
         };
     let mut source = match build_source(&traffic_spec, &replay_trace, &cfg) {
@@ -678,6 +716,13 @@ fn main() -> ExitCode {
                 nd.wasted_keepalive_cycles
             );
         }
+    }
+    if let Some(m) = &report.outcome.memo {
+        eprintln!(
+            "memo: {} lookups = {} hits + {} misses | {} inserts | {} evictions | \
+             {} stale reruns | memoization_cycles_saved={}",
+            m.lookups, m.hits, m.misses, m.inserts, m.evictions, m.stale_reruns, m.cycles_saved
+        );
     }
     if let Some(ch) = &report.outcome.chaos {
         eprintln!(

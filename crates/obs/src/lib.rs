@@ -36,7 +36,8 @@ pub mod sketch;
 
 pub use chrome::{to_chrome_json, ChromeOptions, CHROME_SCHEMA};
 pub use event::{
-    DegradeReason, DropReason, Event, EventKind, EventSink, NullSink, Phase, TraceBuffer, Track,
+    BufferingSink, CaptureSink, DegradeReason, DropReason, Event, EventKind, EventSink, NullSink,
+    Phase, TraceBuffer, Track,
 };
 pub use metrics::MetricsRegistry;
 pub use sketch::QuantileSketch;

@@ -291,7 +291,12 @@ pub fn diff(old: &[MetricSample], new: &[MetricSample], threshold_pct: f64) -> D
         let delta_pct =
             if o.value == 0.0 { 100.0 * delta.signum() } else { 100.0 * delta / o.value };
         let noise_gate = 3.0 * (o.noise + n.noise);
-        let significant = delta_pct.abs() > threshold_pct && delta.abs() > noise_gate;
+        // An exactly-zero baseline pins delta_pct to ±100, so the
+        // percent threshold is no test at all; without a noise floor to
+        // supply an absolute scale either, any nonzero jitter would be
+        // flagged. Demand at least one real yardstick.
+        let measurable = o.value != 0.0 || noise_gate > 0.0;
+        let significant = measurable && delta_pct.abs() > threshold_pct && delta.abs() > noise_gate;
         let worse = if o.higher_is_better { delta < 0.0 } else { delta > 0.0 };
         report.entries.push(DiffEntry {
             name: o.name.clone(),
@@ -342,6 +347,27 @@ mod tests {
         let new = vec![sample("util".into(), 0.9, 0.0, true)];
         assert_eq!(diff(&old, &new, 10.0).improvements(), 1);
         assert_eq!(diff(&new, &old, 10.0).regressions(), 1);
+    }
+
+    #[test]
+    fn zero_baseline_without_a_noise_floor_is_not_significant() {
+        // A component that is exactly zero in the baseline offers no
+        // scale to judge a percent delta against: delta_pct pins to
+        // ±100 and (for noise-free report-derived samples) the noise
+        // gate is also zero, so 0 -> 1e-9 used to read as a significant
+        // 100% regression.
+        let old = vec![s("function/mdsvc/mean_degraded_cycles", 0.0)];
+        let new = vec![s("function/mdsvc/mean_degraded_cycles", 1e-9)];
+        let d = diff(&old, &new, 5.0);
+        assert_eq!(d.regressions(), 0, "zero-baseline jitter must not be significant");
+        let e = &d.entries[0];
+        assert_eq!(e.delta_pct, 100.0);
+        assert!(!e.significant);
+        // A zero baseline WITH a noise floor still flags a change that
+        // clears it — the gate supplies the missing scale.
+        let old = vec![sample("x".into(), 0.0, 1.0, false)];
+        let new = vec![sample("x".into(), 10.0, 1.0, false)];
+        assert_eq!(diff(&old, &new, 5.0).regressions(), 1);
     }
 
     #[test]

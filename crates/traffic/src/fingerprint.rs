@@ -175,6 +175,41 @@ mod tests {
         assert_eq!(fp.top5_share, 0.0);
     }
 
+    /// Audit pin: with fewer than two arrivals there are no gaps, so
+    /// the CV² branch must stay on its guarded zero path — no NaN from
+    /// a 0/0 mean and no division by a zero gap count.
+    #[test]
+    fn single_arrival_yields_finite_zero_cv2_and_rate() {
+        let mut accum = FingerprintAccum::new(4);
+        accum.observe(Arrival { cycle: 123, function: 2 });
+        let fp = accum.finish();
+        assert_eq!(fp.arrivals, 1);
+        assert_eq!(fp.interarrival_cv2, 0.0);
+        assert_eq!(fp.rate_per_mcycle, 0.0);
+        assert!(fp.interarrival_cv2.is_finite() && fp.rate_per_mcycle.is_finite());
+        // Two simultaneous arrivals make one zero-width gap: gap_sum is
+        // 0, so the same guard must hold the zero path.
+        accum.observe(Arrival { cycle: 123, function: 2 });
+        let fp = accum.finish();
+        assert_eq!(fp.interarrival_cv2, 0.0);
+        assert_eq!(fp.rate_per_mcycle, 0.0);
+    }
+
+    /// Audit pin: a stream that only ever invokes one function gives
+    /// the least-squares Zipf fit a single rank — the `len() < 2` guard
+    /// must return 0 rather than divide by a zero ln-rank variance.
+    #[test]
+    fn single_distinct_function_fits_zipf_zero() {
+        let mut accum = FingerprintAccum::new(8);
+        for i in 0..50u64 {
+            accum.observe(Arrival { cycle: i * 1_000, function: 3 });
+        }
+        let fp = accum.finish();
+        assert_eq!(fp.zipf_s_hat, 0.0);
+        assert!(fp.zipf_s_hat.is_finite());
+        assert_eq!(fp.top1_share, 1.0);
+    }
+
     #[test]
     fn poisson_stream_has_cv2_near_one_and_matching_rate() {
         let cfg = ArrivalConfig {

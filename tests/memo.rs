@@ -1,0 +1,279 @@
+//! Memoization integration gates: memo-on runs must be byte-identical
+//! to memo-off runs on every committed golden configuration (plain
+//! cluster, chaos, 3-node multinode, Azure traffic, MMPP traffic), the
+//! memoized report is pinned as its own golden snapshot, and the sweep
+//! output is byte-identical across `--jobs` counts, with and without a
+//! shared memo cache.
+//!
+//! The golden snapshot is the full JSON report of the cluster golden
+//! configuration run through a fresh memo cache — identical to
+//! `tests/golden/cluster.json` except for the appended `memo` counter
+//! section. To update after an intentional change:
+//!
+//! ```text
+//! IGNITE_BLESS=1 cargo test -p ignite-harness --test memo
+//! ```
+
+use std::path::PathBuf;
+
+use ignite_chaos::ChaosPlan;
+use ignite_cluster::{
+    ClusterConfig, ClusterOutcome, ClusterReport, ClusterSim, KeepAliveKind, MemoCache,
+    SchedulerKind, Topology,
+};
+use ignite_obs::NullSink;
+use ignite_traffic::{AzureSource, AzureTrace, TrafficSpec};
+use ignite_workloads::arrival::ArrivalSource;
+use ignite_workloads::Suite;
+
+/// The CI smoke-job spec strings, mirrored from `tests/traffic.rs`.
+const AZURE_SPEC: &str = "azure:tests/fixtures/azure_mini.csv,cpm=800000";
+const MMPP_SPEC: &str = "mmpp:mults=1/6,dwells=300000/60000";
+const AZURE_CPM: u64 = 800_000;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(rel)
+}
+
+/// The cluster golden envelope: 800k-cycle horizon, 8 KiB store.
+fn cluster_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.arrival.horizon_cycles = 800_000;
+    cfg.store.capacity_bytes = 8 * 1024;
+    cfg
+}
+
+/// The chaos golden configuration (default preset, seed 7).
+fn chaos_cfg() -> ClusterConfig {
+    let mut cfg = cluster_cfg();
+    cfg.chaos = Some(ChaosPlan::default_preset().seeded(7));
+    cfg
+}
+
+/// The multi-node golden configuration: 3 nodes of 2 cores, affinity
+/// routing, hybrid keep-alive.
+fn multinode_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig {
+        cores: 2,
+        topology: Topology {
+            nodes: 3,
+            scheduler: SchedulerKind::Affinity,
+            keepalive: KeepAliveKind::Hybrid { default_window_cycles: 50_000 },
+        },
+        ..ClusterConfig::default()
+    };
+    cfg.arrival.horizon_cycles = 800_000;
+    cfg.store.capacity_bytes = 8 * 1024;
+    cfg
+}
+
+/// The traffic golden configuration for `spec`.
+fn traffic_cfg(spec: &str) -> ClusterConfig {
+    let mut cfg = cluster_cfg();
+    cfg.traffic = Some(spec.to_string());
+    cfg
+}
+
+/// Builds the workload source the binary would build for `spec`, with
+/// the Azure fixture path resolved against the repo root.
+fn traffic_source(cfg: &ClusterConfig, spec: &str) -> Box<dyn ArrivalSource> {
+    let suite = Suite::paper_suite_scaled(cfg.scale);
+    if spec == AZURE_SPEC {
+        let text = std::fs::read_to_string(repo_path("tests/fixtures/azure_mini.csv"))
+            .expect("read committed azure fixture");
+        let trace = AzureTrace::parse(&text).expect("committed fixture must parse");
+        Box::new(AzureSource::new(trace, &suite, AZURE_CPM))
+    } else {
+        TrafficSpec::parse(spec)
+            .expect("golden spec must parse")
+            .build(&cfg.arrival, &suite)
+            .expect("golden spec must build")
+    }
+}
+
+/// Strips the memo counters — the only field memoization is allowed to
+/// change — so outcomes compare against their non-memoized twins.
+fn sans_memo(mut out: ClusterOutcome) -> ClusterOutcome {
+    out.memo = None;
+    out
+}
+
+/// Asserts that memoizing `cfg` moves nothing but the memo counters,
+/// for both a cold cache (all misses) and a warmed one (all hits).
+fn assert_memo_transparent(name: &str, cfg: ClusterConfig) {
+    let sim = ClusterSim::new(cfg);
+    let plain = sim.run();
+    let cache = MemoCache::default();
+    let cold = sim.run_memo(&cache);
+    let stats = cold.memo.expect("memoized run must carry counters");
+    assert!(stats.lookups > 0, "{name}: memoized run never consulted the cache");
+    assert_eq!(sans_memo(cold), plain, "{name}: cold-cache memoized outcome diverged");
+    let warm = sim.run_memo(&cache);
+    let warm_stats = warm.memo.expect("memoized run must carry counters");
+    assert_eq!(warm_stats.misses, 0, "{name}: identical warmed re-run must hit throughout");
+    assert_eq!(sans_memo(warm), plain, "{name}: warmed-cache memoized outcome diverged");
+}
+
+#[test]
+fn memo_is_transparent_on_the_cluster_golden() {
+    assert_memo_transparent("cluster", cluster_cfg());
+}
+
+#[test]
+fn memo_is_transparent_on_the_chaos_golden() {
+    assert_memo_transparent("chaos", chaos_cfg());
+}
+
+#[test]
+fn memo_is_transparent_on_the_multinode_golden() {
+    assert_memo_transparent("multinode", multinode_cfg());
+}
+
+/// Traffic runs drive the simulator from a streamed source, so the
+/// memoized twin replays a freshly built source through the memo entry
+/// point rather than `run_memo`'s internal trace.
+fn assert_memo_transparent_traffic(name: &str, spec: &str) {
+    let cfg = traffic_cfg(spec);
+    let sim = ClusterSim::new(cfg.clone());
+    let plain = {
+        let mut source = traffic_source(&cfg, spec);
+        sim.run_source(&mut *source)
+    };
+    let cache = MemoCache::default();
+    let cold = {
+        let mut source = traffic_source(&cfg, spec);
+        sim.run_source_memo_obs(&mut *source, &mut NullSink, &cache)
+    };
+    assert_eq!(sans_memo(cold), plain, "{name}: cold-cache memoized outcome diverged");
+    let warm = {
+        let mut source = traffic_source(&cfg, spec);
+        sim.run_source_memo_obs(&mut *source, &mut NullSink, &cache)
+    };
+    let stats = warm.memo.expect("memoized run must carry counters");
+    assert_eq!(stats.misses, 0, "{name}: identical warmed re-run must hit throughout");
+    assert_eq!(sans_memo(warm), plain, "{name}: warmed-cache memoized outcome diverged");
+}
+
+#[test]
+fn memo_is_transparent_on_the_azure_traffic_golden() {
+    assert_memo_transparent_traffic("traffic_azure", AZURE_SPEC);
+}
+
+#[test]
+fn memo_is_transparent_on_the_mmpp_traffic_golden() {
+    assert_memo_transparent_traffic("traffic_mmpp", MMPP_SPEC);
+}
+
+/// The memoized report of the cluster golden configuration through a
+/// fresh cache — what `cluster --horizon 800000 --capacity 8192 --memo`
+/// emits, so the CI smoke job can `cmp` against it byte-for-byte.
+fn memo_golden_report() -> String {
+    let cfg = cluster_cfg();
+    let outcome = ClusterSim::new(cfg.clone()).run_memo(&MemoCache::default());
+    ClusterReport::new(cfg, outcome).to_json()
+}
+
+#[test]
+fn golden_memo_report_matches() {
+    let current = memo_golden_report();
+    ClusterReport::validate(&current).expect("golden memo report must self-validate");
+    assert!(current.contains("\"memo\""), "memoized report must carry the memo section");
+    let path = repo_path("tests/golden/memo.json");
+    if std::env::var_os("IGNITE_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, &current).expect("write golden snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); generate it with \
+             IGNITE_BLESS=1 cargo test -p ignite-harness --test memo",
+            path.display()
+        )
+    });
+    if committed != current {
+        for (i, (a, b)) in committed.lines().zip(current.lines()).enumerate() {
+            if a != b {
+                panic!(
+                    "memo golden mismatch at line {}:\n  committed: {a}\n  \
+                     regenerated: {b}\nMemoization semantics changed. If intentional, \
+                     re-bless with IGNITE_BLESS=1 cargo test -p ignite-harness --test memo",
+                    i + 1
+                );
+            }
+        }
+        panic!(
+            "memo golden length mismatch ({} vs {} bytes); re-bless if intentional",
+            committed.len(),
+            current.len()
+        );
+    }
+}
+
+/// Every line of the memo golden except the memo section must match the
+/// plain cluster golden: memoization appends counters, nothing else.
+#[test]
+fn memo_golden_is_the_cluster_golden_plus_counters() {
+    let memoized = memo_golden_report();
+    let cfg = cluster_cfg();
+    let plain = {
+        let outcome = ClusterSim::new(cfg.clone()).run();
+        ClusterReport::new(cfg, outcome).to_json()
+    };
+    let strip = |text: &str| -> Vec<String> {
+        let mut kept = Vec::new();
+        let mut in_memo = false;
+        for line in text.lines() {
+            if line.trim_start().starts_with("\"memo\"") {
+                in_memo = true;
+            }
+            if !in_memo {
+                kept.push(line.to_string());
+            } else if line.trim_start().starts_with('}') {
+                in_memo = false;
+                // The section before `memo` gained a trailing comma;
+                // normalize it away so the suffix lines align too.
+            }
+        }
+        kept.iter().map(|l| l.trim_end_matches(',').to_string()).collect()
+    };
+    assert_eq!(strip(&memoized), strip(&plain), "memo may only append its counter section");
+}
+
+/// Spawns the cluster binary on a capacity sweep and returns stdout.
+fn sweep_stdout(jobs: &str, memo: bool) -> String {
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_cluster"));
+    cmd.args(["--horizon", "600000", "--sweep", "2048,8192,65536", "--jobs", jobs]);
+    if memo {
+        cmd.arg("--memo");
+    }
+    let out = cmd.output().expect("spawn cluster binary");
+    assert!(
+        out.status.success(),
+        "cluster --jobs {jobs} (memo: {memo}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 sweep output")
+}
+
+/// Cross-process `--jobs` pinning: the panic-isolated fanout must merge
+/// sweep points in index order, so a 4-worker sweep prints the same
+/// bytes as a serial one.
+#[test]
+fn sweep_output_is_byte_identical_across_job_counts() {
+    assert_eq!(
+        sweep_stdout("1", false),
+        sweep_stdout("4", false),
+        "--jobs 4 sweep output diverged from --jobs 1"
+    );
+}
+
+/// A shared memo cache across concurrently-running sweep points must
+/// not move the table either — at any job count.
+#[test]
+fn memoized_sweep_output_is_byte_identical_across_job_counts() {
+    let plain = sweep_stdout("1", false);
+    assert_eq!(sweep_stdout("1", true), plain, "--memo sweep output diverged");
+    assert_eq!(sweep_stdout("4", true), plain, "--memo --jobs 4 sweep output diverged");
+}
