@@ -75,6 +75,7 @@ pub fn e2e_benches(mode: Mode) -> Vec<Bench> {
         .chain(std::iter::once(cluster_obs_bench(mode)))
         .chain(std::iter::once(cluster_traffic_bench(mode)))
         .chain(std::iter::once(cluster_memo_bench(mode)))
+        .chain(std::iter::once(cluster_control_bench(mode)))
         .collect()
 }
 
@@ -200,6 +201,44 @@ fn cluster_memo_bench(mode: Mode) -> Bench {
     }
 }
 
+/// Controlled streaming bench: the `e2e/cluster-traffic` MMPP burst
+/// workload with the default online policy controller in the loop
+/// (fresh per rep — its decision state is part of the measured work).
+/// Its `mips` (millions of invocations per wall-second) against
+/// `e2e/cluster-traffic`'s is the decision-path overhead of the
+/// per-completion `OnlineScope` fold plus epoch-boundary actuation.
+fn cluster_control_bench(mode: Mode) -> Bench {
+    let cfg = cluster_config(mode);
+    let spec = ignite_traffic::TrafficSpec::parse("mmpp:mults=1/6,dwells=300000/60000")
+        .expect("pinned mmpp spec parses");
+    let suite = Suite::paper_suite_scaled(cfg.scale);
+    let controlled = move |cfg: &ClusterConfig| {
+        let mut source = spec.build(&cfg.arrival, &suite).expect("pinned mmpp spec builds");
+        let mut controller = ignite_control::Controller::new(
+            ignite_control::ControllerSpec::parse("default").expect("default spec parses"),
+        );
+        ClusterSim::new(cfg.clone()).run_source_policy_obs(
+            &mut *source,
+            &mut ignite_obs::NullSink,
+            &mut controller,
+        )
+    };
+    let first = controlled(&cfg);
+    assert!(first.controller.is_some(), "controlled bench must carry stats");
+    let cycles_per_invocation =
+        first.total_result().cycles as f64 / first.workload.arrivals.max(1) as f64;
+    Bench {
+        name: "e2e/cluster-control".to_string(),
+        kind: Kind::EndToEnd,
+        config: Some("cluster".to_string()),
+        cpi: Some(cycles_per_invocation),
+        run: Box::new(move || {
+            let out = controlled(&cfg);
+            (out.workload.arrivals, out.total_result().cycles)
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,14 +249,15 @@ mod tests {
         let benches = e2e_benches(Mode::Quick);
         assert_eq!(
             benches.len(),
-            configs().len() + 4,
+            configs().len() + 5,
             "per-config benches plus e2e/cluster, e2e/cluster-obs, e2e/cluster-traffic, \
-             and e2e/cluster-memo"
+             e2e/cluster-memo, and e2e/cluster-control"
         );
         assert!(benches.iter().any(|b| b.name == "e2e/cluster"));
         assert!(benches.iter().any(|b| b.name == "e2e/cluster-obs"));
         assert!(benches.iter().any(|b| b.name == "e2e/cluster-traffic"));
         assert!(benches.iter().any(|b| b.name == "e2e/cluster-memo"));
+        assert!(benches.iter().any(|b| b.name == "e2e/cluster-control"));
         for b in &benches {
             assert!(b.cpi.unwrap() > 0.0, "{}: degenerate CPI", b.name);
         }

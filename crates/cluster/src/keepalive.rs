@@ -205,7 +205,32 @@ impl KeepAliveRt {
     /// An invocation of `function` completed on `node` at `completion`:
     /// open (or refresh) the pin on its region.
     pub fn on_complete(&mut self, node: usize, function: usize, container: u64, completion: u64) {
-        let Some(window) = self.window_for(function) else { return };
+        self.on_complete_with(node, function, container, completion, None);
+    }
+
+    /// [`KeepAliveRt::on_complete`] with an optional window override —
+    /// the policy-controller seam. `Some(w)` pins for exactly `w`
+    /// cycles regardless of what this policy would grant; `None` is
+    /// the plain policy window. Under [`KeepAliveKind::None`] the
+    /// override is ignored (there is no pinning machinery to retune).
+    pub fn on_complete_with(
+        &mut self,
+        node: usize,
+        function: usize,
+        container: u64,
+        completion: u64,
+        override_window: Option<u64>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let window = match override_window {
+            Some(w) => w,
+            None => match self.window_for(function) {
+                Some(w) => w,
+                None => return,
+            },
+        };
         let slot = Slot { function, since: completion, until: completion.saturating_add(window) };
         if let Some(prev) = self.slots.insert((node, container), slot) {
             // A previous episode was never consumed by a fetch (e.g. the
@@ -381,6 +406,22 @@ mod tests {
         assert_eq!(fill(1 << 22), HYBRID_MAX_WINDOW);
         // The saturating top bucket (upper bound u64::MAX) clamps too.
         assert_eq!(fill(u64::MAX), HYBRID_MAX_WINDOW);
+    }
+
+    #[test]
+    fn override_window_supersedes_the_policy_window() {
+        let mut rt = KeepAliveRt::new(KeepAliveKind::Fixed { window_cycles: 100 }, 1, 1);
+        rt.on_complete_with(0, 0, 7, 1_000, Some(10));
+        assert!(rt.is_protected(0, 7, 1_009));
+        assert!(!rt.is_protected(0, 7, 1_010), "overridden window, not the fixed 100");
+        // None falls back to the policy window.
+        rt.on_fetch(0, 7, 1_020);
+        rt.on_complete_with(0, 0, 7, 2_000, None);
+        assert!(rt.is_protected(0, 7, 2_099));
+        // Under KeepAliveKind::None the override is ignored entirely.
+        let mut off = KeepAliveRt::new(KeepAliveKind::None, 1, 1);
+        off.on_complete_with(0, 0, 7, 1_000, Some(1_000_000));
+        assert!(!off.is_protected(0, 7, 1_001));
     }
 
     #[test]

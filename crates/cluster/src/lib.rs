@@ -52,6 +52,7 @@ pub mod fanout;
 pub mod json;
 pub mod keepalive;
 pub mod memo;
+pub mod policy;
 pub mod prom;
 pub mod report;
 pub mod sched;
@@ -61,6 +62,9 @@ pub mod tracecheck;
 pub use fanout::{run_indexed, PanicFailure};
 pub use keepalive::{KeepAliveKind, KeepAliveRt};
 pub use memo::{MemoCache, MemoKey, MemoKeyError, MemoStats};
+pub use policy::{
+    ClusterGauges, ControllerStats, Decision, PolicyHook, PolicySample, StaticPolicy,
+};
 pub use prom::{metrics_for, record_metrics, record_trace_health};
 pub use report::{ClusterReport, ObsSummary, CLUSTER_SCHEMA, CLUSTER_SCHEMA_V2};
 pub use sched::{NodeLoad, Scheduler, SchedulerKind};

@@ -322,6 +322,44 @@ pub fn record_metrics(
         }
     }
 
+    // Controller counters only exist for controller-on runs, so every
+    // static-policy exposition stays byte-identical to pre-controller
+    // output. All seven per-rule counters are always emitted (zeros
+    // included) so absence of a rule is distinguishable from absence of
+    // the controller.
+    if let Some(ctrl) = &out.controller {
+        for (name, help, v) in [
+            ("ignite_ctrl_epochs_total", "Controller epoch evaluations", ctrl.epochs),
+            ("ignite_ctrl_samples_total", "Invocations folded through the controller", {
+                ctrl.samples
+            }),
+            (
+                "ignite_ctrl_replay_denied_total",
+                "Invocations dispatched with record/replay suppressed",
+                ctrl.replay_denied,
+            ),
+            ("ignite_ctrl_store_denied_total", "Writebacks denied store admission", {
+                ctrl.store_denied
+            }),
+        ] {
+            reg.inc_counter(name, help, &base, v);
+        }
+        reg.set_gauge(
+            "ignite_ctrl_active_cores",
+            "Active-core cap per node at end of run",
+            &base,
+            ctrl.final_active_cores as f64,
+        );
+        for rule in ignite_obs::CtrlRule::ALL {
+            reg.inc_counter(
+                "ignite_ctrl_decisions_total",
+                "Controller decisions actuated, by rule",
+                &with(&base, &[("rule", rule.key())]),
+                ctrl.fires(rule),
+            );
+        }
+    }
+
     for f in &out.functions {
         let labels = with(&base, &[("function", f.abbr.as_str())]);
         reg.inc_counter(
@@ -435,6 +473,45 @@ mod tests {
             "ignite_memo_cycles_saved_total",
         ] {
             assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn ctrl_families_appear_only_under_a_controller() {
+        let (cfg, out) = run();
+        let plain = metrics_for(&cfg, &out).expose();
+        assert!(!plain.contains("ignite_ctrl_"), "plain exposition must have no ctrl family");
+        let mut cout = out;
+        cout.controller = Some(crate::policy::ControllerStats {
+            epochs: 16,
+            decisions: vec![crate::policy::Decision {
+                at: 50_000,
+                epoch: 0,
+                rule: ignite_obs::CtrlRule::CoresDown,
+                function: u32::MAX,
+                value: 1,
+                observed: 100,
+                threshold: 400_000,
+            }],
+            samples: 500,
+            replay_denied: 12,
+            store_denied: 3,
+            final_active_cores: 1,
+        });
+        let a = metrics_for(&cfg, &cout).expose();
+        assert_eq!(a, metrics_for(&cfg, &cout).expose(), "exposition must be deterministic");
+        for needle in [
+            "ignite_ctrl_epochs_total",
+            "ignite_ctrl_samples_total",
+            "ignite_ctrl_replay_denied_total",
+            "ignite_ctrl_store_denied_total",
+            "ignite_ctrl_active_cores",
+            "rule=\"cores_down\"",
+            // Zero counters are still exposed: absence of a rule must be
+            // distinguishable from absence of the controller.
+            "rule=\"keepalive_retune\"",
+        ] {
+            assert!(a.contains(needle), "missing {needle}");
         }
     }
 

@@ -138,6 +138,9 @@ impl ClusterReport {
         if let Some(spec) = &cfg.traffic {
             let _ = writeln!(s, "    \"traffic\": {},", json::escape(spec));
         }
+        if let Some(spec) = &cfg.controller {
+            let _ = writeln!(s, "    \"controller\": {},", json::escape(spec));
+        }
         let _ = writeln!(s, "    \"store_capacity_bytes\": {},", cfg.store.capacity_bytes);
         let _ = writeln!(s, "    \"store_policy\": {},", json::escape(cfg.store.policy.name()));
         let _ = writeln!(s, "    \"store_pinned_hot\": {},", cfg.store.pinned_hot);
@@ -317,6 +320,49 @@ impl ClusterReport {
             let _ = writeln!(s, "    \"cycles_saved\": {}", m.cycles_saved);
             s.push_str("  },\n");
         }
+        // The controller section — the decision audit trail — exists
+        // only for controller-on runs, so every controller-off report
+        // stays byte-identical to its golden.
+        if let Some(ctrl) = &out_.controller {
+            s.push_str("  \"controller\": {\n");
+            let _ = writeln!(s, "    \"epochs\": {},", ctrl.epochs);
+            let _ = writeln!(s, "    \"samples\": {},", ctrl.samples);
+            let _ = writeln!(s, "    \"replay_denied\": {},", ctrl.replay_denied);
+            let _ = writeln!(s, "    \"store_denied\": {},", ctrl.store_denied);
+            let _ = writeln!(s, "    \"final_active_cores\": {},", ctrl.final_active_cores);
+            s.push_str("    \"fires\": {\n");
+            for (i, &rule) in ignite_obs::CtrlRule::ALL.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "      \"{}\": {}{}",
+                    rule.key(),
+                    ctrl.fires(rule),
+                    if i + 1 == ignite_obs::CtrlRule::ALL.len() { "" } else { "," }
+                );
+            }
+            s.push_str("    },\n");
+            s.push_str("    \"decisions\": [\n");
+            for (i, d) in ctrl.decisions.iter().enumerate() {
+                // Cluster-wide decisions (no single target function)
+                // serialize `function` as -1.
+                let function = if d.function == u32::MAX { -1 } else { d.function as i64 };
+                let _ = writeln!(
+                    s,
+                    "      {{\"at\": {}, \"epoch\": {}, \"rule\": {}, \"function\": {}, \
+                     \"value\": {}, \"observed\": {}, \"threshold\": {}}}{}",
+                    d.at,
+                    d.epoch,
+                    json::escape(d.rule.key()),
+                    function,
+                    d.value,
+                    d.observed,
+                    d.threshold,
+                    if i + 1 == ctrl.decisions.len() { "" } else { "," }
+                );
+            }
+            s.push_str("    ]\n");
+            s.push_str("  },\n");
+        }
         s.push_str("  \"functions\": [\n");
         for (i, f) in out_.functions.iter().enumerate() {
             s.push_str("    {\n");
@@ -369,7 +415,10 @@ impl ClusterReport {
     /// under the v1 tag is rejected. A config `traffic` spec and a
     /// `workload` fingerprint section must likewise appear together or
     /// not at all, with the fingerprint's own schema tag and sane
-    /// statistics (shares in `[0, 1]`, `top1 <= top5`, CV² >= 0).
+    /// statistics (shares in `[0, 1]`, `top1 <= top5`, CV² >= 0). A
+    /// config `controller` spec and a `controller` section pair the
+    /// same way, and the decision audit log must agree with the
+    /// per-rule fire counters entry for entry.
     pub fn validate(text: &str) -> Result<(), String> {
         let doc = json::parse(text)?;
         let obj = doc.as_object().ok_or("report is not an object")?;
@@ -547,6 +596,75 @@ impl ClusterReport {
                     count("hits"),
                     count("misses")
                 ));
+            }
+        }
+        // Controller pairing: a config `controller` spec and a
+        // top-level `controller` section appear together or not at all,
+        // the section is complete, and the decision log is consistent
+        // with the per-rule fire counters (every decision counted
+        // exactly once, every counter backed by decisions).
+        let controller_cfg = json::get(section("config")?, "controller").and_then(Value::as_str);
+        match (controller_cfg, json::get(obj, "controller")) {
+            (Some(_), None) => {
+                return Err(
+                    "config names a controller spec but the report has no 'controller' section"
+                        .into(),
+                )
+            }
+            (None, Some(_)) => {
+                return Err("'controller' section requires a config 'controller' key".into())
+            }
+            (None, None) => {}
+            (Some(_), Some(ctrl)) => {
+                let co = ctrl.as_object().ok_or("'controller' is not an object")?;
+                require(
+                    co,
+                    "controller",
+                    &["epochs", "samples", "replay_denied", "store_denied", "final_active_cores"],
+                )?;
+                let fires = json::get(co, "fires")
+                    .and_then(Value::as_object)
+                    .ok_or("controller: missing object 'fires'")?;
+                let decisions = json::get(co, "decisions")
+                    .and_then(Value::as_array)
+                    .ok_or("controller: missing array 'decisions'")?;
+                for (i, d) in decisions.iter().enumerate() {
+                    let dobj = d
+                        .as_object()
+                        .ok_or_else(|| format!("controller.decisions[{i}] is not an object"))?;
+                    require(
+                        dobj,
+                        &format!("controller.decisions[{i}]"),
+                        &["at", "epoch", "rule", "function", "value", "observed", "threshold"],
+                    )?;
+                }
+                let mut counted = 0.0;
+                for rule in ignite_obs::CtrlRule::ALL {
+                    let n = json::get(fires, rule.key())
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("controller.fires: missing '{}'", rule.key()))?;
+                    let logged = decisions
+                        .iter()
+                        .filter(|d| {
+                            d.as_object().and_then(|o| json::get(o, "rule")).and_then(Value::as_str)
+                                == Some(rule.key())
+                        })
+                        .count() as f64;
+                    if n != logged {
+                        return Err(format!(
+                            "controller: fires['{}'] is {n} but the decision log has {logged}",
+                            rule.key()
+                        ));
+                    }
+                    counted += n;
+                }
+                if counted != decisions.len() as f64 {
+                    return Err(format!(
+                        "controller: decision log has {} entries, fires total {counted} \
+                         (unknown rule in log)",
+                        decisions.len()
+                    ));
+                }
             }
         }
         // Workload-fingerprint pairing: a config `traffic` spec and a
@@ -782,6 +900,55 @@ mod tests {
         );
         let bad = text.replacen("    \"cycles_saved\"", "    \"cycles_zaved\"", 1);
         assert!(ClusterReport::validate(&bad).is_err(), "missing memo field must be caught");
+    }
+
+    #[test]
+    fn controller_section_appears_only_for_controller_runs_and_validates() {
+        let plain = report().to_json();
+        assert!(!plain.contains("\"controller\""), "plain reports must carry no controller keys");
+
+        let mut r = report();
+        r.config.controller = Some("epoch=50000,slo=400000".to_string());
+        let d = |rule, function, value| crate::policy::Decision {
+            at: 50_000,
+            epoch: 0,
+            rule,
+            function,
+            value,
+            observed: 10,
+            threshold: 5,
+        };
+        r.outcome.controller = Some(crate::policy::ControllerStats {
+            epochs: 12,
+            decisions: vec![
+                d(ignite_obs::CtrlRule::ReplayOff, 3, 0),
+                d(ignite_obs::CtrlRule::CoresDown, u32::MAX, 1),
+            ],
+            samples: 600,
+            replay_denied: 40,
+            store_denied: 2,
+            final_active_cores: 1,
+        });
+        let text = r.to_json();
+        assert!(text.contains("\"controller\": \"epoch=50000,slo=400000\""));
+        assert!(text.contains("\"replay_off\": 1"));
+        assert!(text.contains("\"keepalive_retune\": 0"));
+        assert!(text.contains("\"rule\": \"cores_down\", \"function\": -1"));
+        ClusterReport::validate(&text).expect("controller report must self-validate");
+
+        // Pairing both ways.
+        let bad = text.replacen("    \"controller\": \"epoch=50000,slo=400000\",\n", "", 1);
+        assert!(ClusterReport::validate(&bad).unwrap_err().contains("'controller'"));
+        let start = text.find("  \"controller\": {").unwrap();
+        let end = text[start..].find("\n  },\n").unwrap() + start + 6;
+        let bad = format!("{}{}", &text[..start], &text[end..]);
+        assert!(ClusterReport::validate(&bad).unwrap_err().contains("'controller'"));
+        // A fire counter disagreeing with the decision log.
+        let bad = text.replacen("\"replay_off\": 1", "\"replay_off\": 2", 1);
+        assert!(ClusterReport::validate(&bad).unwrap_err().contains("fires"));
+        // A decision whose rule no counter accounts for.
+        let bad = text.replacen("\"rule\": \"replay_off\"", "\"rule\": \"replay_offf\"", 1);
+        assert!(ClusterReport::validate(&bad).is_err());
     }
 
     #[test]

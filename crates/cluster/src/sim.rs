@@ -35,6 +35,7 @@ use ignite_workloads::suite::Suite;
 use crate::fanout::{self, PanicFailure};
 use crate::keepalive::{KeepAliveKind, KeepAliveRt};
 use crate::memo::{self, MemoCache, MemoEntry, MemoRun, MemoStats, RecordingSource};
+use crate::policy::{ClusterGauges, ControllerStats, PolicyHook, PolicySample, StaticPolicy};
 use crate::sched::{NodeLoad, Scheduler, SchedulerKind};
 
 /// Inclusive upper bounds of the cluster latency histogram, in cycles
@@ -217,6 +218,12 @@ pub struct ClusterConfig {
     /// from shaped workloads are self-describing and `scope diff` can
     /// refuse cross-workload comparisons.
     pub traffic: Option<String>,
+    /// The raw `--controller` spec string when an online policy
+    /// controller drove the run (`None` for static policy). Purely
+    /// descriptive, like [`ClusterConfig::traffic`]: the simulator
+    /// never parses it, but the report echoes it and gates the
+    /// `controller` section on it.
+    pub controller: Option<String>,
 }
 
 impl Default for ClusterConfig {
@@ -233,6 +240,7 @@ impl Default for ClusterConfig {
             chaos: None,
             retry: RetryPolicy::default(),
             traffic: None,
+            controller: None,
         }
     }
 }
@@ -462,6 +470,11 @@ pub struct ClusterOutcome {
     /// every non-memoized report stays byte-identical to the committed
     /// goldens.
     pub memo: Option<MemoStats>,
+    /// Controller decision audit trail (`Some` iff the run went through
+    /// [`ClusterSim::run_source_policy_obs`] with an enabled policy).
+    /// Absent for static-policy runs, so every controller-off report
+    /// stays byte-identical to the committed goldens.
+    pub controller: Option<ControllerStats>,
 }
 
 impl ClusterOutcome {
@@ -748,7 +761,30 @@ impl ClusterSim {
         source: &mut A,
         sink: &mut S,
     ) -> ClusterOutcome {
-        self.run_source_impl(source, sink, None)
+        self.run_source_impl(source, sink, &mut StaticPolicy, None)
+    }
+
+    /// [`ClusterSim::run_source_obs`] with an active policy: the
+    /// simulator's four actuation points (replay admission, store
+    /// writeback admission, schedulable-core mask, keep-alive window)
+    /// consult `policy`, the policy observes every completed
+    /// invocation's attribution sample, and epoch decisions land on the
+    /// `Track::Controller` trace track. With [`StaticPolicy`] (or any
+    /// policy whose [`PolicyHook::enabled`] is `false`) this is
+    /// bit-identical to [`ClusterSim::run_source_obs`] — every
+    /// actuation site is guarded, the same zero-cost contract the event
+    /// sinks keep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source declares more functions than the suite has.
+    pub fn run_source_policy_obs<A: ArrivalSource + ?Sized, S: EventSink, P: PolicyHook>(
+        &self,
+        source: &mut A,
+        sink: &mut S,
+        policy: &mut P,
+    ) -> ClusterOutcome {
+        self.run_source_impl(source, sink, policy, None)
     }
 
     /// [`ClusterSim::run`] with invocation-result memoization against
@@ -803,7 +839,8 @@ impl ClusterSim {
             config_fp,
         };
         let mut buffered = BufferingSink::new(sink);
-        let mut out = self.run_source_impl(&mut recording, &mut buffered, Some(&mut run));
+        let mut out =
+            self.run_source_impl(&mut recording, &mut buffered, &mut StaticPolicy, Some(&mut run));
         if !run.aborted {
             buffered.commit();
             out.memo = Some(run.stats);
@@ -820,15 +857,16 @@ impl ClusterSim {
             aborted: false,
             config_fp,
         };
-        let mut out = self.run_source_impl(&mut replay, sink, Some(&mut rerun));
+        let mut out = self.run_source_impl(&mut replay, sink, &mut StaticPolicy, Some(&mut rerun));
         out.memo = Some(rerun.stats);
         out
     }
 
-    fn run_source_impl<A: ArrivalSource + ?Sized, S: EventSink>(
+    fn run_source_impl<A: ArrivalSource + ?Sized, S: EventSink, P: PolicyHook>(
         &self,
         source: &mut A,
         sink: &mut S,
+        policy: &mut P,
         mut memo: Option<&mut MemoRun<'_>>,
     ) -> ClusterOutcome {
         assert!(
@@ -914,15 +952,57 @@ impl ClusterSim {
         let mut latency_sum = 0u64;
 
         'run: loop {
+            // Epoch evaluation: when the clock has crossed the policy's
+            // next epoch boundary, snapshot the cluster gauges, let the
+            // policy actuate, and mirror each decision onto the
+            // controller trace track. Gated twice (enabled, then
+            // epoch_due) so the static path never assembles gauges.
+            if policy.enabled() && policy.epoch_due(now) {
+                let gauges = ClusterGauges {
+                    busy_cores: cores.iter().filter(|c| c.busy).count(),
+                    total_cores: cores.len(),
+                    cores_per_node,
+                    queued: queues.iter().map(|q| q.len()).sum(),
+                    footprint_bytes: stores.iter().map(|s| s.footprint_bytes() as u64).sum(),
+                    capacity_bytes: self.cfg.store.capacity_bytes as u64 * nnodes as u64,
+                    insertions: stores.iter().map(|s| s.stats().insertions).sum(),
+                    evictions: stores.iter().map(|s| s.stats().evictions).sum(),
+                    keepalive_enabled: keepalive.enabled(),
+                };
+                for d in policy.on_epoch(now, &gauges) {
+                    if sink.enabled() {
+                        sink.record(Event {
+                            ts: d.at,
+                            dur: 0,
+                            track: Track::Controller,
+                            kind: EventKind::Decision {
+                                rule: d.rule,
+                                epoch: d.epoch,
+                                function: d.function,
+                                value: d.value,
+                                observed: d.observed,
+                                threshold: d.threshold,
+                            },
+                        });
+                    }
+                }
+            }
             // Dispatch each node's FIFO queue onto its free cores, nodes
             // in index order, lowest core index first (under chaos, a
             // core inside a crash window cannot accept work even when
             // idle). With one node this is the single-queue loop
-            // verbatim.
+            // verbatim. An enabled policy may cap the schedulable cores
+            // per node; high-index cores past the cap finish in-flight
+            // work but accept no new dispatches.
             for ni in 0..nnodes {
                 let base = ni * cores_per_node;
+                let active = if policy.enabled() {
+                    policy.active_cores(cores_per_node).clamp(1, cores_per_node)
+                } else {
+                    cores_per_node
+                };
                 while !queues[ni].is_empty() {
-                    let free = (0..cores_per_node).map(|i| base + i).find(|&g| {
+                    let free = (0..active).map(|i| base + i).find(|&g| {
                         !cores[g].busy
                             && chaos.as_mut().is_none_or(|rt| !rt.state.core_down(g, now))
                     });
@@ -961,6 +1041,7 @@ impl ClusterSim {
                         ignite_on,
                         &mut chaos,
                         &mut keepalive,
+                        &mut *policy,
                         memo.as_deref_mut(),
                         sink,
                     );
@@ -1103,6 +1184,7 @@ impl ClusterSim {
             }
         }
         keepalive.finish(makespan);
+        let controller = if policy.enabled() { policy.finish(makespan) } else { None };
 
         // Summaries.
         all_latencies.sort_unstable();
@@ -1222,6 +1304,7 @@ impl ClusterSim {
             chaos,
             workload: fingerprint.finish(),
             memo: None,
+            controller,
         }
     }
 
@@ -1231,7 +1314,7 @@ impl ClusterSim {
     /// chaos branch is behind `if let Some`, the job accumulators equal
     /// the original expressions, and the attempt always completes.
     #[allow(clippy::too_many_arguments)] // internal hot path; a context struct would be rebuilt per call
-    fn dispatch<S: EventSink>(
+    fn dispatch<S: EventSink, P: PolicyHook>(
         &self,
         job: &Job,
         now: u64,
@@ -1244,6 +1327,7 @@ impl ClusterSim {
         ignite_on: bool,
         chaos: &mut Option<ChaosRt>,
         keepalive: &mut KeepAliveRt,
+        policy: &mut P,
         mut memo: Option<&mut MemoRun<'_>>,
         sink: &mut S,
     ) -> Served {
@@ -1288,11 +1372,17 @@ impl ClusterSim {
         let mut store_hit = false;
         let mut degrade: Option<DegradeReason> = None;
         let mut bypass = false;
+        // Policy replay admission: a denied function skips the store
+        // fetch entirely (no miss counted, nothing to re-record) and
+        // runs cold; its front-end stalls attribute to `cold_frontend`.
+        // With a disabled policy this is constant-false and the fetch
+        // gate below is the pre-seam `if ignite_on` exactly.
+        let policy_bypass = policy.enabled() && ignite_on && !policy.replay_admitted(a.function);
         // The region to stage into the replay engine, decided by the
         // fetch/chaos gates below but installed only after the memo
         // probe (which needs to digest it without consuming it).
         let mut to_install: Option<Metadata> = None;
-        if ignite_on {
+        if ignite_on && !policy_bypass {
             if let Some(rt) = chaos.as_mut() {
                 if !rt.breakers[a.function as usize].replay_allowed(now) {
                     degrade = Some(DegradeReason::BreakerOpen);
@@ -1416,12 +1506,13 @@ impl ClusterSim {
                 core.history,
                 a.function,
                 fstate.count,
-                bypass,
+                bypass || policy_bypass,
                 to_install.as_ref(),
             );
             core.history = digest;
-            let key = memo::MemoKey::new(a.function, cold, bypass, m.config_fp, digest)
-                .expect("interleaving cold fraction is never NaN");
+            let key =
+                memo::MemoKey::new(a.function, cold, bypass || policy_bypass, m.config_fp, digest)
+                    .expect("interleaving cold fraction is never NaN");
             if m.lookups {
                 m.stats.lookups += 1;
                 hit = m.cache.lookup(&key);
@@ -1485,7 +1576,10 @@ impl ClusterSim {
                 if sink.enabled() {
                     sink.record(Event { ts: now, dur: 0, track, kind: EventKind::ContextSwitch });
                 }
-                let ctx = InvocationCtx { data_cold_fraction: cold, bypass_ignite: bypass };
+                let ctx = InvocationCtx {
+                    data_cold_fraction: cold,
+                    bypass_ignite: bypass || policy_bypass,
+                };
                 // Map machine-local cycles onto the cluster clock: the
                 // machine clock (busy cycles only) never exceeds
                 // cluster time.
@@ -1569,7 +1663,14 @@ impl ClusterSim {
         if ignite_on {
             if let Some(md) = taken {
                 let wb_at = now + md_cycles + exec_cycles;
-                if chaos.as_mut().is_some_and(|rt| rt.state.store_unavailable_on(node, wb_at)) {
+                if policy.enabled() && !policy.store_admitted(a.function, md.byte_len() as u64) {
+                    // Policy tightened store admission: the recording is
+                    // discarded, saving footprint and writeback
+                    // bandwidth (the next fetch misses and re-records).
+                } else if chaos
+                    .as_mut()
+                    .is_some_and(|rt| rt.state.store_unavailable_on(node, wb_at))
+                {
                     // Unreachable store: the region is simply lost (the
                     // next fetch misses and re-records).
                     wb_skipped = true;
@@ -1646,7 +1747,15 @@ impl ClusterSim {
                 keepalive.is_protected(node, c, completion)
             });
             if keepalive.enabled() && !outcome.rejected {
-                keepalive.on_complete(node, a.function as usize, f.container, completion);
+                let window =
+                    if policy.enabled() { policy.keepalive_window(a.function) } else { None };
+                keepalive.on_complete_with(
+                    node,
+                    a.function as usize,
+                    f.container,
+                    completion,
+                    window,
+                );
             }
             if sink.enabled() {
                 for (victim, victim_bytes) in outcome.evicted {
@@ -1684,48 +1793,72 @@ impl ClusterSim {
             }
         }
 
-        if sink.enabled() {
-            // The writeback (and any evictions it forced) lands at
-            // completion time; the span covers fetch + engine + writeback.
-            for kind in store_events {
-                sink.record(Event { ts: completion, dur: 0, track: store_track, kind });
-            }
-            sink.record(Event {
-                ts: now,
-                dur: service,
-                track,
-                kind: EventKind::Invocation { function: a.function, invocation: fstate.count - 1 },
-            });
-            sink.record(Event {
-                ts: completion,
-                dur: 0,
-                track,
-                kind: EventKind::Complete { function: a.function, service_cycles: service },
-            });
+        if sink.enabled() || policy.enabled() {
             // Causal latency attribution. Latency decomposes exactly:
             // `latency = queue + retry + md_cycles + exec_cycles`, and
             // the engine's integer stall counters tile the compute
             // cycles into front-end penalty vs steady-state execution
             // (straggle inflation is charged to execution). Front-end
             // stalls paid after a store miss are the re-record cost
-            // Ignite could not avoid; after a hit (or with Ignite off)
-            // they are the residual cold-front-end penalty; when chaos
-            // degraded replay away they are the price of availability.
+            // Ignite could not avoid; after a hit (with Ignite off, or
+            // with replay suppressed by policy) they are the residual
+            // cold-front-end penalty; when chaos degraded replay away
+            // they are the price of availability. The policy folds the
+            // same components it would see on the trace, so the
+            // controller can run over a [`NullSink`].
             let frontend = res.front_end_stall_cycles();
             let execution = exec_cycles - frontend;
             let (cold_frontend, store_miss, degraded_cycles) = if degrade.is_some() {
                 (0, 0, frontend)
-            } else if ignite_on && !store_hit {
+            } else if ignite_on && !store_hit && !policy_bypass {
                 (0, frontend, 0)
             } else {
                 (frontend, 0, 0)
             };
-            sink.record(Event {
-                ts: completion,
-                dur: 0,
-                track,
-                kind: EventKind::Attribution {
+            if sink.enabled() {
+                // The writeback (and any evictions it forced) lands at
+                // completion time; the span covers fetch + engine +
+                // writeback.
+                for kind in store_events {
+                    sink.record(Event { ts: completion, dur: 0, track: store_track, kind });
+                }
+                sink.record(Event {
+                    ts: now,
+                    dur: service,
+                    track,
+                    kind: EventKind::Invocation {
+                        function: a.function,
+                        invocation: fstate.count - 1,
+                    },
+                });
+                sink.record(Event {
+                    ts: completion,
+                    dur: 0,
+                    track,
+                    kind: EventKind::Complete { function: a.function, service_cycles: service },
+                });
+                sink.record(Event {
+                    ts: completion,
+                    dur: 0,
+                    track,
+                    kind: EventKind::Attribution {
+                        function: a.function,
+                        queue_cycles: job.queue_accum,
+                        retry_cycles: job.lost_cycles,
+                        dram_cycles: md_cycles,
+                        cold_frontend_cycles: cold_frontend,
+                        store_miss_cycles: store_miss,
+                        degraded_cycles,
+                        execution_cycles: execution,
+                        latency_cycles: completion - a.cycle,
+                    },
+                });
+            }
+            if policy.enabled() {
+                policy.observe(&PolicySample {
                     function: a.function,
+                    completion,
+                    latency_cycles: completion - a.cycle,
                     queue_cycles: job.queue_accum,
                     retry_cycles: job.lost_cycles,
                     dram_cycles: md_cycles,
@@ -1733,9 +1866,10 @@ impl ClusterSim {
                     store_miss_cycles: store_miss,
                     degraded_cycles,
                     execution_cycles: execution,
-                    latency_cycles: completion - a.cycle,
-                },
-            });
+                    store_hit,
+                    replay_suppressed: policy_bypass,
+                });
+            }
         }
         if let Some(rt) = chaos.as_mut() {
             rt.stats.retry_cycles += job.lost_cycles;

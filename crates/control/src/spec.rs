@@ -1,0 +1,158 @@
+//! The `--controller` spec grammar: a comma-separated `k=v` list with
+//! defaults tuned for the bursty MMPP cluster workloads.
+//!
+//! Grammar (any subset, any order; `default` is the empty spec):
+//!
+//! ```text
+//! epoch=CYCLES        evaluation period            (default 50000)
+//! slo=CYCLES          p99 latency objective        (default 400000)
+//! min-samples=N       per-epoch evidence floor     (default 8)
+//! probe=EPOCHS        replay re-enable period      (default 4)
+//! min-cores=N         lower bound for scale-down   (default 1)
+//! ```
+
+use std::fmt;
+
+/// Parsed controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerSpec {
+    /// Evaluation period in cycles; every boundary crossing triggers
+    /// one rule evaluation over the window since the previous one.
+    pub epoch_cycles: u64,
+    /// The p99 latency objective in cycles: the core-scaling rule's
+    /// threshold and the burn-rate tracker's violation bound.
+    pub slo_cycles: u64,
+    /// Minimum completed invocations in an epoch before the latency and
+    /// replay rules may fire (suppresses decisions on noise).
+    pub min_samples: u64,
+    /// Re-enable probe period: every `probe` epochs, functions with
+    /// replay disabled are given it back to re-measure.
+    pub probe_epochs: u64,
+    /// The core-scaling rule never lowers the active-core cap below
+    /// this.
+    pub min_cores: usize,
+}
+
+impl Default for ControllerSpec {
+    fn default() -> Self {
+        ControllerSpec {
+            epoch_cycles: 50_000,
+            slo_cycles: 400_000,
+            min_samples: 8,
+            probe_epochs: 4,
+            min_cores: 1,
+        }
+    }
+}
+
+/// A malformed `--controller` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A clause was not `key=value`.
+    Clause(String),
+    /// An unrecognized key.
+    Key(String),
+    /// A value that failed to parse as an integer.
+    Value(String, String),
+    /// A value outside its legal range.
+    Range(&'static str),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Clause(c) => write!(f, "controller spec clause `{c}` is not key=value"),
+            SpecError::Key(k) => write!(
+                f,
+                "unknown controller spec key `{k}` \
+                 (expected epoch, slo, min-samples, probe, min-cores)"
+            ),
+            SpecError::Value(k, v) => {
+                write!(f, "controller spec `{k}={v}`: value is not an integer")
+            }
+            SpecError::Range(msg) => write!(f, "controller spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl ControllerSpec {
+    /// Parses a spec string. `default` (or the empty string) yields
+    /// [`ControllerSpec::default`].
+    pub fn parse(s: &str) -> Result<ControllerSpec, SpecError> {
+        let mut spec = ControllerSpec::default();
+        let s = s.trim();
+        if s.is_empty() || s == "default" {
+            return Ok(spec);
+        }
+        for clause in s.split(',') {
+            let clause = clause.trim();
+            let (key, value) =
+                clause.split_once('=').ok_or_else(|| SpecError::Clause(clause.to_string()))?;
+            let parse =
+                |v: &str| v.parse::<u64>().map_err(|_| SpecError::Value(key.into(), v.into()));
+            match key {
+                "epoch" => spec.epoch_cycles = parse(value)?,
+                "slo" => spec.slo_cycles = parse(value)?,
+                "min-samples" => spec.min_samples = parse(value)?,
+                "probe" => spec.probe_epochs = parse(value)?,
+                "min-cores" => spec.min_cores = parse(value)? as usize,
+                _ => return Err(SpecError::Key(key.to_string())),
+            }
+        }
+        if spec.epoch_cycles == 0 {
+            return Err(SpecError::Range("epoch must be positive"));
+        }
+        if spec.slo_cycles == 0 {
+            return Err(SpecError::Range("slo must be positive"));
+        }
+        if spec.probe_epochs == 0 {
+            return Err(SpecError::Range("probe must be positive"));
+        }
+        if spec.min_cores == 0 {
+            return Err(SpecError::Range("min-cores must be positive"));
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_empty_specs_agree() {
+        assert_eq!(ControllerSpec::parse("default").unwrap(), ControllerSpec::default());
+        assert_eq!(ControllerSpec::parse("").unwrap(), ControllerSpec::default());
+        assert_eq!(ControllerSpec::parse("  default  ").unwrap(), ControllerSpec::default());
+    }
+
+    #[test]
+    fn clauses_override_defaults_in_any_order() {
+        let spec = ControllerSpec::parse("slo=250000,epoch=20000,min-cores=2").unwrap();
+        assert_eq!(spec.epoch_cycles, 20_000);
+        assert_eq!(spec.slo_cycles, 250_000);
+        assert_eq!(spec.min_cores, 2);
+        assert_eq!(spec.probe_epochs, ControllerSpec::default().probe_epochs);
+        assert_eq!(spec.min_samples, ControllerSpec::default().min_samples);
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        assert!(matches!(ControllerSpec::parse("epoch"), Err(SpecError::Clause(_))));
+        assert!(matches!(ControllerSpec::parse("wat=3"), Err(SpecError::Key(_))));
+        assert!(matches!(ControllerSpec::parse("epoch=xyz"), Err(SpecError::Value(_, _))));
+        assert!(matches!(ControllerSpec::parse("epoch=0"), Err(SpecError::Range(_))));
+        assert!(matches!(ControllerSpec::parse("probe=0"), Err(SpecError::Range(_))));
+        assert!(matches!(ControllerSpec::parse("min-cores=0"), Err(SpecError::Range(_))));
+        for err in [
+            ControllerSpec::parse("epoch").unwrap_err(),
+            ControllerSpec::parse("wat=3").unwrap_err(),
+            ControllerSpec::parse("slo=nope").unwrap_err(),
+            ControllerSpec::parse("epoch=0").unwrap_err(),
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

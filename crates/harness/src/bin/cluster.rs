@@ -66,6 +66,18 @@
 //!                        objective=PCT, fast=CYCLES, slow=CYCLES,
 //!                        burn=MULT, min=N. Alerts land on their own
 //!                        trace track and in the scope report.
+//!   --controller SPEC    close the loop: fold the live obs stream into
+//!                        an online scope window and actuate policy at
+//!                        epoch boundaries (replay on/off per function,
+//!                        store admission, active cores, keep-alive
+//!                        windows). SPEC is 'default' or comma-separated
+//!                        k=v pairs: epoch=CYCLES, slo=CYCLES,
+//!                        min-samples=N, probe=EPOCHS, min-cores=N.
+//!                        Every decision lands in the report's
+//!                        'controller' section, the ignite_ctrl_*
+//!                        metric family and (with --trace-out) its own
+//!                        trace track. Conflicts with --memo and
+//!                        --sweep.
 //!   --chaos SPEC         enable failure injection; SPEC is 'default',
 //!                        'none', or comma-separated k=v pairs:
 //!                        crash-mtbf, crash-repair, straggle-mtbf,
@@ -88,12 +100,15 @@ use ignite_cluster::{
     validate_trace, ClusterConfig, ClusterOutcome, ClusterReport, ClusterSim, KeepAliveKind,
     MemoCache, ObsSummary, SchedulerKind,
 };
+use ignite_control::{Controller, ControllerSpec};
 use ignite_core::EvictionPolicy;
 use ignite_engine::config::FrontEndConfig;
 use ignite_obs::{
     to_chrome_json, ChromeOptions, EventSink, MetricsRegistry, NullSink, TraceBuffer,
 };
-use ignite_scope::{record_scope_metrics, ScopeAnalyzer, ScopeReport, SloConfig};
+use ignite_scope::{
+    record_scope_metrics, record_slo_metrics, ScopeAnalyzer, ScopeReport, SloConfig,
+};
 use ignite_traffic::{materialize, FingerprintAccum, TrafficSpec};
 use ignite_workloads::arrival::{ArrivalSource, Trace, TraceSource};
 use ignite_workloads::suite::Suite;
@@ -119,6 +134,7 @@ struct Args {
     validate_trace: Option<String>,
     scope_out: Option<String>,
     slo: Option<SloConfig>,
+    controller: Option<String>,
     chaos: Option<ChaosPlan>,
     chaos_seed: u64,
 }
@@ -133,7 +149,7 @@ fn usage() -> ! {
          [--emit-trace FILE] [--out FILE] \
          [--validate FILE] [--trace-out FILE] [--metrics-out FILE] \
          [--validate-trace FILE] [--scope-out FILE] [--slo SPEC] \
-         [--chaos SPEC] [--chaos-seed S] [--retry SPEC]"
+         [--controller SPEC] [--chaos SPEC] [--chaos-seed S] [--retry SPEC]"
     );
     std::process::exit(2);
 }
@@ -219,6 +235,7 @@ fn parse_args() -> Args {
         validate_trace: None,
         scope_out: None,
         slo: None,
+        controller: None,
         chaos: None,
         chaos_seed: 1,
     };
@@ -293,6 +310,7 @@ fn parse_args() -> Args {
             }
             "--scope-out" => args.scope_out = Some(value(&mut it, "--scope-out")),
             "--slo" => args.slo = Some(parse_slo(&value(&mut it, "--slo"))),
+            "--controller" => args.controller = Some(value(&mut it, "--controller")),
             "--chaos" => {
                 let spec = value(&mut it, "--chaos");
                 args.chaos = Some(parse_chaos_spec(&spec).unwrap_or_else(|e| {
@@ -425,6 +443,37 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("cluster: --traffic: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    // The controller mutates scheduling state (replay gates, admission,
+    // active cores, keep-alive windows) as the run unfolds, so it is
+    // incompatible with the memo cache (whose entries assume a static
+    // policy across reruns) and with the sweep (which compares static
+    // configurations by design).
+    let mut controller = match &args.controller {
+        None => None,
+        Some(raw) => {
+            if args.memo {
+                eprintln!(
+                    "cluster: --controller adapts policy online; the memo cache assumes a \
+                     static policy across reruns. Pick one."
+                );
+                return ExitCode::FAILURE;
+            }
+            if args.sweep.is_some() {
+                eprintln!("cluster: --controller is not supported with --sweep");
+                return ExitCode::FAILURE;
+            }
+            match ControllerSpec::parse(raw) {
+                Ok(spec) => {
+                    cfg.controller = Some(raw.clone());
+                    Some(Controller::new(spec))
+                }
+                Err(e) => {
+                    eprintln!("cluster: --controller: {e}");
                     return ExitCode::FAILURE;
                 }
             }
@@ -596,21 +645,25 @@ fn main() -> ExitCode {
         source: &mut dyn ArrivalSource,
         sink: &mut S,
         memo: Option<&MemoCache>,
+        policy: Option<&mut Controller>,
     ) -> ClusterOutcome {
-        match memo {
-            Some(cache) => sim.run_source_memo_obs(source, sink, cache),
-            None => sim.run_source_obs(source, sink),
+        match (memo, policy) {
+            (Some(cache), None) => sim.run_source_memo_obs(source, sink, cache),
+            (None, Some(ctrl)) => sim.run_source_policy_obs(source, sink, ctrl),
+            (None, None) => sim.run_source_obs(source, sink),
+            (Some(_), Some(_)) => unreachable!("--controller with --memo is rejected above"),
         }
     }
     let memo_cache = args.memo.then(MemoCache::default);
-    let run_source =
+    let mut run_source =
         |sim: &ClusterSim, source: &mut dyn ArrivalSource, sinks: &mut Sinks| -> ClusterOutcome {
             let memo = memo_cache.as_ref();
+            let policy = controller.as_mut();
             match sinks {
-                Sinks::Plain(s) => run_one(sim, source, s, memo),
-                Sinks::Trace(s) => run_one(sim, source, s, memo),
-                Sinks::Scope(s) => run_one(sim, source, s.as_mut(), memo),
-                Sinks::Both(s) => run_one(sim, source, s.as_mut(), memo),
+                Sinks::Plain(s) => run_one(sim, source, s, memo, policy),
+                Sinks::Trace(s) => run_one(sim, source, s, memo, policy),
+                Sinks::Scope(s) => run_one(sim, source, s.as_mut(), memo, policy),
+                Sinks::Both(s) => run_one(sim, source, s.as_mut(), memo, policy),
             }
         };
     let mut source = match build_source(&traffic_spec, &replay_trace, &cfg) {
@@ -623,14 +676,17 @@ fn main() -> ExitCode {
     let outcome = run_source(&sim, &mut *source, &mut sinks);
 
     let abbrs: Vec<String> = outcome.functions.iter().map(|f| f.abbr.clone()).collect();
-    let (trace_buf, scope_report) = match sinks {
-        Sinks::Plain(_) => (None, None),
-        Sinks::Trace(buf) => (Some(buf), None),
-        Sinks::Scope(an) => (None, Some(ScopeReport::from_analyzer(&an, &abbrs))),
-        Sinks::Both(an) => {
-            let report = ScopeReport::from_analyzer(&an, &abbrs);
-            (Some(an.into_inner()), Some(report))
-        }
+    // Borrow rather than consume the sinks: the analyzer's live burn-rate
+    // trackers are still needed by the metrics exposition below.
+    let scope_report = match &sinks {
+        Sinks::Scope(an) => Some(ScopeReport::from_analyzer(an, &abbrs)),
+        Sinks::Both(an) => Some(ScopeReport::from_analyzer(an, &abbrs)),
+        _ => None,
+    };
+    let trace_buf: Option<&TraceBuffer> = match &sinks {
+        Sinks::Trace(buf) => Some(buf),
+        Sinks::Both(an) => Some(an.inner()),
+        _ => None,
     };
 
     if let Some(report) = &scope_report {
@@ -652,7 +708,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if let (Some(path), Some(buf)) = (&args.trace_out, &trace_buf) {
+    if let (Some(path), Some(buf)) = (&args.trace_out, trace_buf) {
         let names: Vec<String> = outcome.functions.iter().map(|f| f.abbr.clone()).collect();
         let text = to_chrome_json(
             buf,
@@ -670,11 +726,16 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &args.metrics_out {
         let mut reg = metrics_for(&cfg, &outcome);
-        if let Some(buf) = &trace_buf {
+        if let Some(buf) = trace_buf {
             record_trace_health(&mut reg, buf.len() as u64, buf.dropped());
         }
         if let Some(report) = &scope_report {
             record_scope_metrics(&mut reg, report);
+        }
+        match &sinks {
+            Sinks::Scope(an) => record_slo_metrics(&mut reg, an, &abbrs),
+            Sinks::Both(an) => record_slo_metrics(&mut reg, an, &abbrs),
+            _ => {}
         }
         if let Err(e) = std::fs::write(path, reg.expose()) {
             eprintln!("cluster: cannot write {path}: {e}");
@@ -684,7 +745,7 @@ fn main() -> ExitCode {
     }
 
     let mut report = ClusterReport::new(cfg, outcome);
-    if let Some(buf) = &trace_buf {
+    if let Some(buf) = trace_buf {
         report = report
             .with_obs(ObsSummary { trace_events: buf.len() as u64, trace_dropped: buf.dropped() });
     }
@@ -722,6 +783,18 @@ fn main() -> ExitCode {
             "memo: {} lookups = {} hits + {} misses | {} inserts | {} evictions | \
              {} stale reruns | memoization_cycles_saved={}",
             m.lookups, m.hits, m.misses, m.inserts, m.evictions, m.stale_reruns, m.cycles_saved
+        );
+    }
+    if let Some(ctrl) = &report.outcome.controller {
+        eprintln!(
+            "controller: {} epochs | {} decisions | {} samples | replay denied {} | \
+             store denied {} | final active cores {}",
+            ctrl.epochs,
+            ctrl.decisions.len(),
+            ctrl.samples,
+            ctrl.replay_denied,
+            ctrl.store_denied,
+            ctrl.final_active_cores
         );
     }
     if let Some(ch) = &report.outcome.chaos {

@@ -151,6 +151,13 @@ fn push_args(out: &mut String, kind: &EventKind) {
             field(out, "faults", u64::from(faults));
         }
         EventKind::BreakerClose { function } => field(out, "function", u64::from(function)),
+        EventKind::Decision { epoch, function, value, observed, threshold, .. } => {
+            field(out, "epoch", epoch);
+            field(out, "function", u64::from(function));
+            field(out, "value", value);
+            field(out, "observed", observed);
+            field(out, "threshold", threshold);
+        }
     }
 }
 

@@ -27,6 +27,10 @@ pub enum Track {
     /// Node `i`'s metadata store traffic in a multi-node run (a 1-node
     /// run keeps using [`Track::Store`], preserving committed traces).
     NodeStore(u32),
+    /// Control-plane decision lifecycle: every policy actuation the
+    /// online controller takes, with its cause snapshot
+    /// (`ignite-control`).
+    Controller,
 }
 
 impl Track {
@@ -39,6 +43,8 @@ impl Track {
             Track::Alerts => 3 + u64::from(u32::MAX),
             Track::Chaos => 4 + u64::from(u32::MAX),
             Track::NodeStore(n) => 5 + u64::from(u32::MAX) + u64::from(n),
+            // Above every possible NodeStore tid (5 + 2 * (2^32 - 1)).
+            Track::Controller => 6 + 2 * u64::from(u32::MAX),
         }
     }
 
@@ -51,6 +57,7 @@ impl Track {
             Track::Alerts => "alerts".to_string(),
             Track::Chaos => "chaos".to_string(),
             Track::NodeStore(n) => format!("node{n}-store"),
+            Track::Controller => "controller".to_string(),
         }
     }
 }
@@ -78,6 +85,69 @@ impl DegradeReason {
             DegradeReason::Corrupt => "degraded-corrupt",
             DegradeReason::Loss => "degraded-loss",
             DegradeReason::BreakerOpen => "degraded-breaker",
+        }
+    }
+}
+
+/// Which control-plane rule fired. Each rule gets its own stable event
+/// name so traces and counters distinguish the four actuation axes
+/// (replay admission, store admission, core scaling, keep-alive
+/// retuning) without parsing args.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CtrlRule {
+    /// Record/replay disabled for a function: attributed
+    /// `store_miss + dram` cycles exceeded the replayed savings.
+    ReplayOff,
+    /// A periodic probe re-enabled record/replay to re-measure.
+    ReplayOn,
+    /// Store admission tightened under footprint/eviction pressure.
+    StoreTighten,
+    /// Footprint pressure eased; admission re-opened.
+    StoreLoosen,
+    /// Active cores scaled up against the latency SLO.
+    CoresUp,
+    /// Active cores scaled down (latency slack + idle capacity).
+    CoresDown,
+    /// A function's keep-alive window retuned from its observed
+    /// idle-gap histogram.
+    KeepAliveRetune,
+}
+
+impl CtrlRule {
+    /// Every rule, in stable serialization order.
+    pub const ALL: [CtrlRule; 7] = [
+        CtrlRule::ReplayOff,
+        CtrlRule::ReplayOn,
+        CtrlRule::StoreTighten,
+        CtrlRule::StoreLoosen,
+        CtrlRule::CoresUp,
+        CtrlRule::CoresDown,
+        CtrlRule::KeepAliveRetune,
+    ];
+
+    /// Stable event name for this rule.
+    pub fn name(self) -> &'static str {
+        match self {
+            CtrlRule::ReplayOff => "ctrl-replay-off",
+            CtrlRule::ReplayOn => "ctrl-replay-on",
+            CtrlRule::StoreTighten => "ctrl-store-tighten",
+            CtrlRule::StoreLoosen => "ctrl-store-loosen",
+            CtrlRule::CoresUp => "ctrl-cores-up",
+            CtrlRule::CoresDown => "ctrl-cores-down",
+            CtrlRule::KeepAliveRetune => "ctrl-keepalive-retune",
+        }
+    }
+
+    /// Stable snake_case key for report sections and metric labels.
+    pub fn key(self) -> &'static str {
+        match self {
+            CtrlRule::ReplayOff => "replay_off",
+            CtrlRule::ReplayOn => "replay_on",
+            CtrlRule::StoreTighten => "store_tighten",
+            CtrlRule::StoreLoosen => "store_loosen",
+            CtrlRule::CoresUp => "cores_up",
+            CtrlRule::CoresDown => "cores_down",
+            CtrlRule::KeepAliveRetune => "keepalive_retune",
         }
     }
 }
@@ -208,6 +278,20 @@ pub enum EventKind {
     BreakerOpen { function: u32, faults: u32 },
     /// A half-open probe succeeded; the breaker re-closed.
     BreakerClose { function: u32 },
+    /// The online controller actuated a policy change at an epoch
+    /// boundary. The cause is carried inline: `observed` is the input
+    /// snapshot that triggered `rule`, `threshold` the bound it was
+    /// compared against, and `value` the new setting (window cycles,
+    /// core count, admission byte cap, or 0/1 for replay toggles).
+    /// `function` is `u32::MAX` for cluster-wide decisions.
+    Decision {
+        rule: CtrlRule,
+        epoch: u64,
+        function: u32,
+        value: u64,
+        observed: u64,
+        threshold: u64,
+    },
 }
 
 impl EventKind {
@@ -240,6 +324,7 @@ impl EventKind {
             EventKind::Degraded { reason, .. } => reason.name(),
             EventKind::BreakerOpen { .. } => "breaker-open",
             EventKind::BreakerClose { .. } => "breaker-close",
+            EventKind::Decision { rule, .. } => rule.name(),
         }
     }
 
@@ -271,6 +356,7 @@ impl EventKind {
             | EventKind::Degraded { .. }
             | EventKind::BreakerOpen { .. }
             | EventKind::BreakerClose { .. } => "chaos",
+            EventKind::Decision { .. } => "controller",
         }
     }
 
@@ -562,6 +648,8 @@ mod tests {
             Track::Chaos,
             Track::NodeStore(0),
             Track::NodeStore(7),
+            Track::NodeStore(u32::MAX),
+            Track::Controller,
         ];
         let tids: std::collections::BTreeSet<u64> = tracks.iter().map(|t| t.tid()).collect();
         assert_eq!(tids.len(), tracks.len());
@@ -569,7 +657,9 @@ mod tests {
         assert!(Track::Alerts.tid() > Track::Core(u32::MAX).tid());
         assert!(Track::Chaos.tid() > Track::Alerts.tid());
         assert!(Track::NodeStore(0).tid() > Track::Chaos.tid());
+        assert!(Track::Controller.tid() > Track::NodeStore(u32::MAX).tid());
         assert_eq!(Track::NodeStore(3).label(), "node3-store");
+        assert_eq!(Track::Controller.label(), "controller");
     }
 
     #[test]
@@ -585,6 +675,28 @@ mod tests {
         );
         assert_eq!(EventKind::BreakerOpen { function: 0, faults: 5 }.category(), "chaos");
         assert!(!EventKind::ChaosRetry { function: 0, attempt: 1, backoff_cycles: 1 }.is_span());
+    }
+
+    #[test]
+    fn controller_event_names_encode_rules() {
+        let d = EventKind::Decision {
+            rule: CtrlRule::ReplayOff,
+            epoch: 3,
+            function: 2,
+            value: 0,
+            observed: 900,
+            threshold: 400,
+        };
+        assert_eq!(d.name(), "ctrl-replay-off");
+        assert_eq!(d.category(), "controller");
+        assert!(!d.is_span());
+        // Names and keys are pairwise distinct across all rules.
+        let names: std::collections::BTreeSet<&str> =
+            CtrlRule::ALL.iter().map(|r| r.name()).collect();
+        let keys: std::collections::BTreeSet<&str> =
+            CtrlRule::ALL.iter().map(|r| r.key()).collect();
+        assert_eq!(names.len(), CtrlRule::ALL.len());
+        assert_eq!(keys.len(), CtrlRule::ALL.len());
     }
 
     #[test]

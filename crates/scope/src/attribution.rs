@@ -153,6 +153,14 @@ impl<S: EventSink> ScopeAnalyzer<S> {
         &self.per_function
     }
 
+    /// Per-function burn-rate trackers, keyed by function index.
+    /// Populated only when an SLO is configured; the live
+    /// [`SloTracker::current_burn`] gauges feed the metrics exposition
+    /// and the policy controller.
+    pub fn trackers(&self) -> &BTreeMap<u32, SloTracker> {
+        &self.trackers
+    }
+
     /// Latency sketch over all invocations.
     pub fn overall(&self) -> &QuantileSketch {
         &self.overall

@@ -30,5 +30,5 @@ pub mod slo;
 
 pub use attribution::{FunctionAttribution, InvocationAttribution, ScopeAnalyzer};
 pub use diff::{diff, load_samples, workload_identity, DiffEntry, DiffReport, MetricSample};
-pub use report::{record_scope_metrics, ScopeReport, SCOPE_SCHEMA};
+pub use report::{record_scope_metrics, record_slo_metrics, ScopeReport, SCOPE_SCHEMA};
 pub use slo::{SloConfig, SloTracker, Transition};

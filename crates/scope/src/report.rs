@@ -372,6 +372,48 @@ pub fn record_scope_metrics(reg: &mut MetricsRegistry, report: &ScopeReport) {
     );
 }
 
+/// Records the SLO alerting surface into the registry as `ignite_slo_*`
+/// families: alert Fire/Resolve transition counters and the live
+/// fast/slow burn-rate gauges per function (the same
+/// [`crate::slo::SloTracker::current_burn`] values the policy
+/// controller reads). Emits nothing when the analyzer has no SLO
+/// configured, so SLO-free expositions stay byte-identical to
+/// pre-alerting output.
+pub fn record_slo_metrics<S: EventSink>(
+    reg: &mut MetricsRegistry,
+    analyzer: &ScopeAnalyzer<S>,
+    abbrs: &[String],
+) {
+    let Some(cfg) = analyzer.slo().copied() else { return };
+    for (&function, f) in analyzer.per_function() {
+        let abbr =
+            abbrs.get(function as usize).cloned().unwrap_or_else(|| format!("fn-{function}"));
+        let fl = [("function", abbr.as_str())];
+        reg.inc_counter(
+            "ignite_slo_alerts_fired_total",
+            "Burn-rate alert Fire transitions",
+            &fl,
+            f.alert_fires,
+        );
+        reg.inc_counter(
+            "ignite_slo_alerts_resolved_total",
+            "Burn-rate alert Resolve transitions",
+            &fl,
+            f.alert_resolves,
+        );
+        let (fast, slow) =
+            analyzer.trackers().get(&function).map(|t| t.current_burn(&cfg)).unwrap_or((0, 0));
+        for (window, burn) in [("fast", fast), ("slow", slow)] {
+            reg.set_gauge(
+                "ignite_slo_burn_rate_milli",
+                "Burn rate at end of run, in milli-units (1000 = sustainable)",
+                &[("function", abbr.as_str()), ("window", window)],
+                burn as f64,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +472,80 @@ mod tests {
         assert!(ScopeReport::validate(&bad).is_err());
         assert!(ScopeReport::validate("{}").is_err());
         assert!(ScopeReport::validate("not json").is_err());
+    }
+
+    #[test]
+    fn slo_families_appear_only_with_an_slo_and_are_byte_deterministic() {
+        // No SLO configured: the families must be entirely absent.
+        let mut plain = ScopeAnalyzer::new(NullSink);
+        plain.record(Event {
+            ts: 1_000,
+            dur: 0,
+            track: Track::Cluster,
+            kind: EventKind::Attribution {
+                function: 0,
+                queue_cycles: 0,
+                retry_cycles: 0,
+                dram_cycles: 0,
+                cold_frontend_cycles: 0,
+                store_miss_cycles: 0,
+                degraded_cycles: 0,
+                execution_cycles: 10,
+                latency_cycles: 10,
+            },
+        });
+        let mut reg = MetricsRegistry::new();
+        record_slo_metrics(&mut reg, &plain, &[]);
+        assert_eq!(reg.expose(), "", "SLO-free exposition must carry no ignite_slo_ family");
+
+        // With a violating stream the transition counters and live burn
+        // gauges appear, byte-identically across expositions.
+        let an = || {
+            let cfg = SloConfig {
+                threshold_cycles: 100,
+                objective_milli: 500,
+                fast_window_cycles: 1_000,
+                slow_window_cycles: 4_000,
+                burn_milli: 2_000,
+                min_count: 4,
+            };
+            let mut an = ScopeAnalyzer::new(NullSink).with_slo(cfg);
+            for i in 0u64..12 {
+                let lat = if i < 8 { 500 } else { 1 };
+                an.record(Event {
+                    ts: 100 * (i + 1),
+                    dur: 0,
+                    track: Track::Cluster,
+                    kind: EventKind::Attribution {
+                        function: 0,
+                        queue_cycles: 0,
+                        retry_cycles: 0,
+                        dram_cycles: 0,
+                        cold_frontend_cycles: 0,
+                        store_miss_cycles: 0,
+                        degraded_cycles: 0,
+                        execution_cycles: lat,
+                        latency_cycles: lat,
+                    },
+                });
+            }
+            an
+        };
+        let expose = |an: &ScopeAnalyzer<NullSink>| {
+            let mut reg = MetricsRegistry::new();
+            record_slo_metrics(&mut reg, an, &["aes".into()]);
+            reg.expose()
+        };
+        let a = expose(&an());
+        assert_eq!(a, expose(&an()), "exposition must be byte-deterministic");
+        for needle in [
+            "ignite_slo_alerts_fired_total{function=\"aes\"} 1",
+            "ignite_slo_alerts_resolved_total{function=\"aes\"}",
+            "ignite_slo_burn_rate_milli{function=\"aes\",window=\"fast\"}",
+            "ignite_slo_burn_rate_milli{function=\"aes\",window=\"slow\"}",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in:\n{a}");
+        }
     }
 
     #[test]

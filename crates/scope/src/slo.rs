@@ -85,7 +85,12 @@ fn burn_milli(bad: u64, total: u64, objective_milli: u32) -> u64 {
     let budget = u64::from(1000 - objective_milli.min(999)).max(1);
     let num = u128::from(bad) * 1_000_000;
     let den = u128::from(total) * u128::from(budget);
-    (num / den) as u64
+    // The u128 product cannot overflow (u64 × 10^6 and u64 × 10^3 both
+    // fit), and with the tracker's structural bound `bad <= total` the
+    // quotient is at most 10^6. The saturation guards the cast for
+    // out-of-contract callers (`bad > total`) instead of silently
+    // truncating.
+    (num / den).min(u128::from(u64::MAX)) as u64
 }
 
 impl SloTracker {
@@ -104,6 +109,34 @@ impl SloTracker {
         self.violations
     }
 
+    /// (bad, total) tallies for the fast and slow windows against the
+    /// current watermark.
+    fn windows(&self, cfg: &SloConfig) -> ((u64, u64), (u64, u64)) {
+        let fast_floor = self.watermark.saturating_sub(cfg.fast_window_cycles);
+        let mut fast = (0u64, 0u64);
+        let mut slow = (0u64, 0u64);
+        for &(t, b) in &self.samples {
+            slow.1 += 1;
+            slow.0 += u64::from(b);
+            if t >= fast_floor {
+                fast.1 += 1;
+                fast.0 += u64::from(b);
+            }
+        }
+        (fast, slow)
+    }
+
+    /// The (fast, slow) burn rates at the current watermark, in
+    /// milli-units — the live gauges the metrics exposition and the
+    /// policy controller read between transitions.
+    pub fn current_burn(&self, cfg: &SloConfig) -> (u64, u64) {
+        let (fast, slow) = self.windows(cfg);
+        (
+            burn_milli(fast.0, fast.1, cfg.objective_milli),
+            burn_milli(slow.0, slow.1, cfg.objective_milli),
+        )
+    }
+
     /// Feeds one completion and returns the alert transition it caused,
     /// if any.
     pub fn observe(&mut self, cfg: &SloConfig, ts: u64, latency_cycles: u64) -> Option<Transition> {
@@ -116,17 +149,7 @@ impl SloTracker {
         let slow_floor = self.watermark.saturating_sub(cfg.slow_window_cycles);
         self.samples.retain(|&(t, _)| t >= slow_floor);
 
-        let fast_floor = self.watermark.saturating_sub(cfg.fast_window_cycles);
-        let mut fast = (0u64, 0u64);
-        let mut slow = (0u64, 0u64);
-        for &(t, b) in &self.samples {
-            slow.1 += 1;
-            slow.0 += u64::from(b);
-            if t >= fast_floor {
-                fast.1 += 1;
-                fast.0 += u64::from(b);
-            }
-        }
+        let (fast, slow) = self.windows(cfg);
         let fast_burn = burn_milli(fast.0, fast.1, cfg.objective_milli);
         let slow_burn = burn_milli(slow.0, slow.1, cfg.objective_milli);
         let over =
@@ -221,6 +244,133 @@ mod tests {
         t.observe(&cfg, 4_800, 500);
         let got = t.observe(&cfg, 4_700, 500);
         assert!(matches!(got, Some(Transition::Fire { .. })));
+    }
+
+    #[test]
+    fn burn_rate_math_pins_saturation_edges() {
+        // The tightest objective (999 → budget 1 milli) at the largest
+        // possible window: the u128 intermediates keep the quotient
+        // exact. All-bad traffic burns 10^6 milli against a 1-milli
+        // budget.
+        assert_eq!(burn_milli(u64::MAX, u64::MAX, 999), 1_000_000);
+        assert_eq!(burn_milli(u64::MAX, u64::MAX, 950), 20_000);
+        // Structural bound: with bad <= total the burn never exceeds
+        // 10^6 / budget, far below u64::MAX.
+        assert_eq!(burn_milli(u64::MAX - 1, u64::MAX, 999), 999_999);
+        // Out-of-contract bad > total: well-defined, saturating instead
+        // of truncating through the cast.
+        assert_eq!(burn_milli(10, 5, 950), 40_000);
+        assert_eq!(burn_milli(u64::MAX, 1, 950), u64::MAX);
+        // Degenerate objective values clamp rather than underflow.
+        assert_eq!(burn_milli(1, 1, 1_000), 1_000_000);
+        assert_eq!(burn_milli(0, u64::MAX, 999), 0);
+    }
+
+    #[test]
+    fn dip_to_exact_threshold_does_not_flap() {
+        // objective 500 → budget 500 milli; burn = 2000 needs
+        // bad/total = 1 (every sample bad at 2x over a 50% budget).
+        // Use a config where the threshold is hit exactly: objective
+        // 900 → budget 100; burn 2000 ⇔ bad/total = 1/5 exactly.
+        // 999-cycle windows over samples spaced 200 apart: the window
+        // holds exactly the last 5 completions (the inclusive floor
+        // would admit a 6th at 1_000), so with bads spaced exactly 5
+        // samples apart the burn is exactly 2_000 at every step once
+        // the window fills.
+        let cfg = SloConfig {
+            threshold_cycles: 100,
+            objective_milli: 900,
+            fast_window_cycles: 999,
+            slow_window_cycles: 999,
+            burn_milli: 2_000,
+            min_count: 5,
+        };
+        let mut t = SloTracker::new();
+        let mut transitions = Vec::new();
+        // Adjacent windows, each carrying exactly 1 bad in 5 samples:
+        // the burn rate sits exactly at the 2000-milli policy, never
+        // above or below. The >= fire condition means the alert fires
+        // once and then holds — dipping *to* the threshold must not
+        // resolve, so there is no Fire/Resolve flapping between
+        // windows.
+        for window in 0u64..6 {
+            for i in 0u64..5 {
+                let ts = window * 1_000 + (i + 1) * 200;
+                let lat = if i == 0 { 500 } else { 50 };
+                if let Some(tr) = t.observe(&cfg, ts, lat) {
+                    transitions.push(tr);
+                }
+            }
+            // At every completed window boundary the fast burn sits
+            // exactly on the policy threshold.
+            let (fast, _) = t.current_burn(&cfg);
+            assert_eq!(fast, 2_000, "window {window} must end exactly on the threshold");
+        }
+        assert_eq!(transitions.len(), 1, "exactly one Fire, no Resolve flapping: {transitions:?}");
+        assert!(matches!(transitions[0], Transition::Fire { burn_milli: 2_000 }));
+        assert!(t.firing());
+    }
+
+    #[test]
+    fn current_burn_matches_transition_burn() {
+        let cfg = tight();
+        let mut t = SloTracker::new();
+        assert_eq!(t.current_burn(&cfg), (0, 0));
+        let mut fire_burn = None;
+        for i in 0..8 {
+            if let Some(Transition::Fire { burn_milli }) = t.observe(&cfg, 100 * (i + 1), 500) {
+                fire_burn = Some(burn_milli);
+                let (fast, slow) = t.current_burn(&cfg);
+                assert_eq!(fast, burn_milli, "gauge must agree with the transition snapshot");
+                assert!(slow >= cfg.burn_milli);
+            }
+        }
+        assert!(fire_burn.is_some());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Attribution events arrive in dispatch order, not completion
+        /// order, so the tracker must stay coherent under any
+        /// interleaving: cumulative violations are order-independent,
+        /// and the transition log always alternates Fire/Resolve
+        /// starting with Fire (never two fires without a resolve
+        /// between them), with the final firing state matching the
+        /// last transition.
+        fn transitions_stay_coherent_under_any_completion_ordering(
+            swaps in proptest::collection::vec((0usize..40, 0usize..40), 0..64),
+        ) {
+            let cfg = tight();
+            let mut stream: Vec<(u64, u64)> = (0u64..40)
+                .map(|i| (100 * (i + 1), if (i / 8) % 2 == 0 { 500 } else { 1 }))
+                .collect();
+            for &(a, b) in &swaps {
+                stream.swap(a, b);
+            }
+            let mut t = SloTracker::new();
+            let mut log = Vec::new();
+            for &(ts, lat) in &stream {
+                if let Some(tr) = t.observe(&cfg, ts, lat) {
+                    log.push(tr);
+                }
+            }
+            proptest::prop_assert_eq!(t.violations(), 20);
+            let mut firing = false;
+            for tr in &log {
+                match tr {
+                    Transition::Fire { .. } => {
+                        proptest::prop_assert!(!firing, "Fire while already firing");
+                        firing = true;
+                    }
+                    Transition::Resolve { .. } => {
+                        proptest::prop_assert!(firing, "Resolve while not firing");
+                        firing = false;
+                    }
+                }
+            }
+            proptest::prop_assert_eq!(firing, t.firing());
+        }
     }
 
     #[test]
